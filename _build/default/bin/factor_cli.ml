@@ -1,0 +1,391 @@
+(** The FACTOR command-line tool: parse a Verilog design, extract the
+    functional constraints around a module under test, write them out as
+    synthesizable Verilog, synthesize the transformed module, run the
+    ATPG engine, and report testability findings.
+
+    Subcommands mirror the tool flow of the paper:
+    - [parse]    check a design and show its hierarchy
+    - [extract]  FACTOR-ise a design around one module under test
+    - [synth]    synthesize a design to gates and print statistics
+    - [atpg]     generate tests for a design (or a module inside it)
+    - [analyze]  testability report (empty chains, hard-coded inputs)
+    - [demo]     run the whole flow on the bundled ARM benchmark *)
+
+open Cmdliner
+
+(* "@arm" selects the bundled processor; "@gcd", "@fifo", "@arbiter",
+   "@traffic", "@dma" select corpus designs; anything else is a file. *)
+let read_design path =
+  if path = "@arm" then Arm.Rtl.design ()
+  else if String.length path > 1 && path.[0] = '@' then begin
+    let name = String.sub path 1 (String.length path - 1) in
+    match Circuits.Collection.find name with
+    | entry -> Verilog.Parser.parse_design entry.Circuits.Collection.e_source
+    | exception Not_found ->
+      Printf.eprintf "unknown bundled design %s (have: arm, %s)\n" path
+        (String.concat ", "
+           (List.map
+              (fun e -> e.Circuits.Collection.e_name)
+              Circuits.Collection.all));
+      exit 1
+  end
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    Verilog.Parser.parse_design src
+  end
+
+let handle_errors f =
+  try f () with
+  | Verilog.Lexer.Error (msg, line) ->
+    Printf.eprintf "lexical error, line %d: %s\n" line msg;
+    exit 1
+  | Verilog.Parser.Error (msg, line) ->
+    Printf.eprintf "syntax error, line %d: %s\n" line msg;
+    exit 1
+  | Design.Elaborate.Error msg | Synth.Lower.Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  | Synth.Flatten.Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+(* ---------------------------- arguments --------------------------- *)
+
+let design_arg =
+  let doc = "Verilog source file ('@arm' or a corpus name like '@gcd' selects a bundled design)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc)
+
+let top_arg =
+  let doc = "Top module (default: the bundled benchmark's top or the last module)." in
+  Arg.(value & opt (some string) None & info [ "top" ] ~docv:"MODULE" ~doc)
+
+let mut_arg =
+  let doc = "Instance path of the module under test, e.g. u_dpath.u_alu." in
+  Arg.(required & opt (some string) None & info [ "mut" ] ~docv:"PATH" ~doc)
+
+let mode_arg =
+  let doc = "Extraction mode: 'compositional' (default) or 'conventional'." in
+  Arg.(value & opt string "compositional" & info [ "mode" ] ~doc)
+
+let output_arg =
+  let doc = "Write the extracted constraints (Verilog) to this file." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+(* the top module: explicit flag, the bundled benchmark's top, or the
+   last module in the file *)
+let resolve_top design path top =
+  match top with
+  | Some t -> t
+  | None ->
+    if path = "@arm" then Arm.Rtl.top
+    else if String.length path > 1 && path.[0] = '@' then
+      (Circuits.Collection.find (String.sub path 1 (String.length path - 1)))
+        .Circuits.Collection.e_top
+    else
+      (match List.rev design.Verilog.Ast.modules with
+       | last :: _ -> last.Verilog.Ast.mod_name
+       | [] -> failwith "empty design")
+
+(* ----------------------------- parse ------------------------------ *)
+
+let parse_cmd =
+  let run path top =
+    handle_errors (fun () ->
+        let design = read_design path in
+        let top = resolve_top design path top in
+        let env = Factor.Compose.make_env design ~top in
+        let tree = env.Factor.Compose.tree in
+        Printf.printf "design ok: %d modules, hierarchy depth %d\n"
+          (List.length design.Verilog.Ast.modules)
+          (Design.Hierarchy.max_depth tree);
+        let rec show node =
+          let pad = String.make (2 * node.Design.Hierarchy.nd_depth) ' ' in
+          let name =
+            match List.rev node.Design.Hierarchy.nd_path with
+            | [] -> "(top)"
+            | inst :: _ -> inst
+          in
+          Printf.printf "%s%s : %s\n" pad name node.Design.Hierarchy.nd_module;
+          List.iter show node.Design.Hierarchy.nd_children
+        in
+        show tree;
+        List.iter
+          (fun f -> Printf.printf "lint: %s\n" (Design.Lint.to_string f))
+          (Design.Lint.check env.Factor.Compose.ed))
+  in
+  let doc = "Parse and elaborate a design; print the instance hierarchy." in
+  Cmd.v (Cmd.info "parse" ~doc) Term.(const run $ design_arg $ top_arg)
+
+(* ----------------------------- synth ------------------------------ *)
+
+let synth_cmd =
+  let run path top =
+    handle_errors (fun () ->
+        let design = read_design path in
+        let top = resolve_top design path top in
+        let ed = Design.Elaborate.elaborate design ~top in
+        let flat = Synth.Flatten.flatten ed top in
+        let r = Synth.Lower.lower flat in
+        List.iter (fun w -> Printf.printf "warning: %s\n" w) r.Synth.Lower.warnings;
+        let st = Netlist.stats r.Synth.Lower.circuit in
+        Printf.printf
+          "synthesized %s: %d PIs, %d POs, %d flip-flops, %d gate equivalents\n"
+          top st.Netlist.st_pis st.Netlist.st_pos st.Netlist.st_ffs
+          (Netlist.gate_equivalents st))
+  in
+  let doc = "Synthesize a design to gates and print statistics." in
+  Cmd.v (Cmd.info "synth" ~doc) Term.(const run $ design_arg $ top_arg)
+
+(* ---------------------------- extract ----------------------------- *)
+
+let extract_cmd =
+  let run path top mut mode output =
+    handle_errors (fun () ->
+        let design = read_design path in
+        let top = resolve_top design path top in
+        let env = Factor.Compose.make_env design ~top in
+        let stats =
+          match mode with
+          | "conventional" -> Factor.Compose.conventional env ~mut_path:mut
+          | _ ->
+            Factor.Compose.compositional (Factor.Compose.create_session ())
+              env ~mut_path:mut
+        in
+        Printf.printf
+          "extraction: %d kept sites across %d modules, %.4f s, %d stage(s)\n"
+          (Factor.Slice.cardinal stats.Factor.Compose.cs_slice)
+          (List.length (Factor.Slice.modules stats.Factor.Compose.cs_slice))
+          stats.Factor.Compose.cs_extraction_time
+          stats.Factor.Compose.cs_stages;
+        List.iter
+          (fun d ->
+            Printf.printf "warning: %s\n" (Factor.Extract.dead_end_to_string d))
+          stats.Factor.Compose.cs_dead_ends;
+        let tf =
+          Factor.Transform.build env stats.Factor.Compose.cs_slice ~mut_path:mut
+        in
+        Printf.printf
+          "transformed module: %d MUT gates + %d surrounding gates, %d PI bits, %d PO bits\n"
+          tf.Factor.Transform.tf_mut_gates
+          tf.Factor.Transform.tf_surrounding_gates
+          tf.Factor.Transform.tf_pi_bits tf.Factor.Transform.tf_po_bits;
+        match output with
+        | None -> ()
+        | Some file ->
+          let oc = open_out file in
+          output_string oc
+            (Verilog.Pp.design_to_string tf.Factor.Transform.tf_design);
+          close_out oc;
+          Printf.printf "constraints written to %s\n" file)
+  in
+  let doc = "Extract the functional constraints around a module under test." in
+  Cmd.v (Cmd.info "extract" ~doc)
+    Term.(const run $ design_arg $ top_arg $ mut_arg $ mode_arg $ output_arg)
+
+(* ------------------------------ atpg ------------------------------ *)
+
+let atpg_cmd =
+  let mut_opt =
+    let doc = "Restrict faults to this instance path." in
+    Arg.(value & opt (some string) None & info [ "mut" ] ~docv:"PATH" ~doc)
+  in
+  let budget =
+    let doc = "Total CPU budget in seconds." in
+    Arg.(value & opt float 60.0 & info [ "budget" ] ~doc)
+  in
+  let frames =
+    let doc = "Deepest time-frame expansion." in
+    Arg.(value & opt int 4 & info [ "frames" ] ~doc)
+  in
+  let piers_flag =
+    let doc = "Treat load/store-reachable registers as PIER pseudo ports." in
+    Arg.(value & flag & info [ "piers" ] ~doc)
+  in
+  let out_vectors =
+    let doc = "Write the generated test vectors to this file." in
+    Cmdliner.Arg.(value & opt (some string) None
+                  & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run path top mut budget frames use_piers output =
+    handle_errors (fun () ->
+        let design = read_design path in
+        let top = resolve_top design path top in
+        let ed = Design.Elaborate.elaborate design ~top in
+        let flat = Synth.Flatten.flatten ed top in
+        let c = (Synth.Lower.lower flat).Synth.Lower.circuit in
+        let faults =
+          Atpg.Fault.collapse c (Atpg.Fault.all ?within:mut c)
+        in
+        let piers = if use_piers then Factor.Pier.identify c else [] in
+        let cfg =
+          { Atpg.Gen.default_config with
+            g_total_budget = budget;
+            g_max_frames = frames;
+            g_piers = piers }
+        in
+        let r = Atpg.Gen.run c cfg faults in
+        Printf.printf
+          "faults %d | detected %d | untestable %d | aborted %d\n"
+          r.Atpg.Gen.r_total r.Atpg.Gen.r_detected r.Atpg.Gen.r_untestable
+          r.Atpg.Gen.r_aborted;
+        Printf.printf
+          "coverage %.2f%% | effectiveness %.2f%% | %d vectors | %.2f s\n"
+          r.Atpg.Gen.r_coverage r.Atpg.Gen.r_effectiveness r.Atpg.Gen.r_vectors
+          r.Atpg.Gen.r_time;
+        match output with
+        | None -> ()
+        | Some file ->
+          Atpg.Pattern.write_file ~pi_names:c.Netlist.pi_names file
+            r.Atpg.Gen.r_tests;
+          Printf.printf "vectors written to %s\n" file)
+  in
+  let doc = "Run sequential test generation on a design." in
+  Cmd.v (Cmd.info "atpg" ~doc)
+    Term.(const run $ design_arg $ top_arg $ mut_opt $ budget $ frames
+          $ piers_flag $ out_vectors)
+
+(* ----------------------------- analyze ---------------------------- *)
+
+let analyze_cmd =
+  let run path top mut =
+    handle_errors (fun () ->
+        let design = read_design path in
+        let top = resolve_top design path top in
+        let env = Factor.Compose.make_env design ~top in
+        let stats =
+          Factor.Compose.compositional (Factor.Compose.create_session ()) env
+            ~mut_path:mut
+        in
+        let report =
+          Factor.Testability.analyze env ~mut_path:mut
+            ~dead_ends:stats.Factor.Compose.cs_dead_ends
+        in
+        print_string (Factor.Testability.report_to_string report);
+        (* SCOAP testability measures of the module inside the chip *)
+        let ed = env.Factor.Compose.ed in
+        let flat = Synth.Flatten.flatten ed ed.Design.Elaborate.ed_top in
+        let c = (Synth.Lower.lower flat).Synth.Lower.circuit in
+        let scoap = Atpg.Scoap.compute c in
+        let summary = Atpg.Scoap.summarize ~within:mut c scoap in
+        Printf.printf
+          "SCOAP summary for %s: %d fault sites, %d uncontrollable, %d unobservable, max finite cost %d\n"
+          mut summary.Atpg.Scoap.su_nets summary.Atpg.Scoap.su_uncontrollable
+          summary.Atpg.Scoap.su_unobservable
+          summary.Atpg.Scoap.su_max_finite_cost;
+        let faults = Atpg.Fault.collapse c (Atpg.Fault.all ~within:mut c) in
+        List.iter
+          (fun (f, cost) ->
+            Printf.printf "  hard fault %-40s cost %s\n"
+              (Atpg.Fault.to_string c f)
+              (if cost >= Atpg.Scoap.infinite then "unreachable"
+               else string_of_int cost))
+          (Atpg.Scoap.rank_faults scoap faults ~n:5))
+  in
+  let doc = "Report testability problems around a module under test." in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ design_arg $ top_arg $ mut_arg)
+
+(* ----------------------------- grade ------------------------------ *)
+
+let grade_cmd =
+  let vec_arg =
+    let doc = "Vector file produced by 'atpg -o' (or by hand)." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"VECTORS" ~doc)
+  in
+  let mut_opt =
+    let doc = "Restrict faults to this instance path." in
+    Arg.(value & opt (some string) None & info [ "mut" ] ~docv:"PATH" ~doc)
+  in
+  let piers_flag =
+    let doc = "Treat load/store-reachable registers as observable." in
+    Arg.(value & flag & info [ "piers" ] ~doc)
+  in
+  let run path vec_file top mut use_piers =
+    handle_errors (fun () ->
+        let design = read_design path in
+        let top = resolve_top design path top in
+        let ed = Design.Elaborate.elaborate design ~top in
+        let c =
+          (Synth.Lower.lower (Synth.Flatten.flatten ed top)).Synth.Lower.circuit
+        in
+        let tests =
+          try Atpg.Pattern.read_file vec_file with
+          | Atpg.Pattern.Parse_error msg ->
+            Printf.eprintf "bad vector file: %s\n" msg;
+            exit 1
+        in
+        let faults = Atpg.Fault.collapse c (Atpg.Fault.all ?within:mut c) in
+        let observe =
+          { Atpg.Fsim.ob_pos = true;
+            ob_pier_ffs = (if use_piers then Factor.Pier.identify c else []) }
+        in
+        let flags = Atpg.Fsim.run c ~observe ~faults tests in
+        let detected =
+          Array.to_list flags |> List.filter Fun.id |> List.length
+        in
+        Printf.printf
+          "%d tests, %d vectors | %d / %d faults detected | coverage %.2f%%\n"
+          (List.length tests)
+          (Atpg.Pattern.total_vectors tests)
+          detected (List.length faults)
+          (100.0 *. float_of_int detected
+           /. float_of_int (max 1 (List.length faults))))
+  in
+  let doc = "Fault-simulate a vector file against a design (grade tests)." in
+  Cmd.v (Cmd.info "grade" ~doc)
+    Term.(const run $ design_arg $ vec_arg $ top_arg $ mut_opt $ piers_flag)
+
+(* ------------------------------ demo ------------------------------ *)
+
+let demo_cmd =
+  let run () =
+    handle_errors (fun () ->
+        let env = Factor.Compose.make_env (Arm.Rtl.design ()) ~top:Arm.Rtl.top in
+        let session = Factor.Compose.create_session () in
+        List.iter
+          (fun spec ->
+            let stats =
+              Factor.Compose.compositional session env
+                ~mut_path:spec.Factor.Flow.ms_path
+            in
+            let tf =
+              Factor.Transform.build env stats.Factor.Compose.cs_slice
+                ~mut_path:spec.Factor.Flow.ms_path
+            in
+            let a =
+              Factor.Flow.transformed_atpg
+                { Factor.Flow.tr_name = spec.Factor.Flow.ms_name;
+                  tr_standalone_faults =
+                    Factor.Flow.standalone_fault_count env spec;
+                  tr_extraction_time = stats.Factor.Compose.cs_extraction_time;
+                  tr_synthesis_time = tf.Factor.Transform.tf_synthesis_time;
+                  tr_surrounding_gates = tf.Factor.Transform.tf_surrounding_gates;
+                  tr_reduction_pct = 0.0;
+                  tr_pi_bits = tf.Factor.Transform.tf_pi_bits;
+                  tr_po_bits = tf.Factor.Transform.tf_po_bits;
+                  tr_cache_hits = stats.Factor.Compose.cs_cache_hits;
+                  tr_stats = stats;
+                  tr_transformed = tf }
+                { Atpg.Gen.default_config with g_total_budget = 60.0 }
+            in
+            Printf.printf
+              "%-15s surrounding %5d gates | coverage %6.2f%% | %6.2f s\n%!"
+              spec.Factor.Flow.ms_name
+              tf.Factor.Transform.tf_surrounding_gates
+              a.Factor.Flow.ar_coverage a.Factor.Flow.ar_testgen_time)
+          Arm.Rtl.muts)
+  in
+  let doc = "FACTOR-ise the bundled ARM benchmark end to end." in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "hierarchical functional test generation and testability analysis" in
+  let info = Cmd.info "factor" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ parse_cmd; synth_cmd; extract_cmd; atpg_cmd; grade_cmd;
+            analyze_cmd; demo_cmd ]))

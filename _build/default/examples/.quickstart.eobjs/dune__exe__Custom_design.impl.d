@@ -1,0 +1,1 @@
+examples/custom_design.ml: Atpg Design Factor List Printf Synth Verilog

@@ -1,0 +1,1 @@
+examples/functional_programs.ml: Arm Array Atpg Factor Fun List Netlist Printf Random String

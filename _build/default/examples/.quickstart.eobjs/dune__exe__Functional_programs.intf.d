@@ -1,0 +1,1 @@
+examples/functional_programs.mli:

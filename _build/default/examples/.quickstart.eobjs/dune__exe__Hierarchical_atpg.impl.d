@@ -1,0 +1,1 @@
+examples/hierarchical_atpg.ml: Arm Atpg Factor List Netlist Printf

@@ -1,0 +1,1 @@
+examples/module_diagnosis.ml: Atpg Circuits Design Factor List Printf Synth Verilog

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atpg Factor Printf Verilog

@@ -1,0 +1,1 @@
+examples/testability_analysis.mli:

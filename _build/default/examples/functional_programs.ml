@@ -1,0 +1,131 @@
+(** Functional test programs vs extracted-constraint ATPG.
+
+    The paper's motivation is that at-speed *functional* tests are the
+    most widely accepted kind; the question is how to generate them for
+    an embedded module.  This example measures, on the ARM benchmark's
+    ALU, the stuck-at coverage of (a) a hand-written exerciser program,
+    (b) random instruction sequences, and (c) the FACTOR flow's
+    translated tests.
+
+    Run with: [dune exec examples/functional_programs.exe] *)
+
+module I = Arm.Isa
+
+(* Convert a program (with a reset prefix) into a test the fault
+   simulator understands: one vector per cycle on the chip pins. *)
+let test_of_program c (cycles : I.cycle list) =
+  let find name =
+    let found = ref (-1) in
+    Array.iteri
+      (fun i n -> if String.equal n name then found := i)
+      c.Netlist.pi_names;
+    !found
+  in
+  let rst = find "rst" in
+  let inst_bits = List.init 16 (fun b -> (find (Printf.sprintf "inst[%d]" b), b)) in
+  let rdata_bits =
+    List.init 16 (fun b -> (find (Printf.sprintf "mem_rdata[%d]" b), b))
+  in
+  let vector ~reset (cy : I.cycle) =
+    let v = Array.make (Netlist.num_pis c) false in
+    if rst >= 0 then v.(rst) <- reset;
+    let word = I.encode cy.I.cy_inst in
+    List.iter
+      (fun (pi, b) -> if pi >= 0 then v.(pi) <- (word lsr b) land 1 = 1)
+      inst_bits;
+    List.iter
+      (fun (pi, b) ->
+        if pi >= 0 then v.(pi) <- (cy.I.cy_rdata lsr b) land 1 = 1)
+      rdata_bits;
+    v
+  in
+  let vectors =
+    vector ~reset:true (I.cycle I.nop)
+    :: List.map (vector ~reset:false) cycles
+  in
+  { Atpg.Pattern.p_vectors = Array.of_list vectors; p_loads = [] }
+
+(* A hand-written ALU exerciser: load contrasting values and run every
+   arithmetic/logic instruction through them. *)
+let exerciser =
+  I.setup_registers [ (0, 0); (1, 0xAAAA); (2, 0x5555); (3, 0xFFFF) ]
+  @ List.concat_map
+      (fun i -> [ I.cycle i; I.cycle (I.Str (4, 0, 1)) ])
+      [ I.Add (4, 1, 2); I.Sub (4, 3, 1); I.And (4, 1, 3); I.Orr (4, 1, 2);
+        I.Eor (4, 1, 3); I.Mvn (4, 2); I.Cmp (1, 2); I.Lsl (4, 1, 3);
+        I.Lsr (4, 3, 2); I.Add (4, 3, 3); I.Sub (4, 1, 1) ]
+  @ [ I.cycle I.nop ]
+
+let random_program rng length =
+  List.init length (fun _ ->
+      I.cycle
+        ~rdata:(Random.State.int rng 65536)
+        (I.decode (Random.State.int rng 65536)))
+
+let () =
+  let env = Factor.Compose.make_env (Arm.Rtl.design ()) ~top:Arm.Rtl.top in
+  let chip = Factor.Flow.full_circuit env in
+  let faults =
+    Atpg.Fault.collapse chip (Atpg.Fault.all ~within:"u_dpath.u_alu" chip)
+  in
+  let observe = Atpg.Fsim.default_observe in
+  let coverage tests =
+    let flags = Atpg.Fsim.run chip ~observe ~faults tests in
+    100.0
+    *. float_of_int
+         (Array.to_list flags |> List.filter Fun.id |> List.length)
+    /. float_of_int (List.length faults)
+  in
+  Printf.printf "arm_alu: %d chip-level stuck-at faults\n\n"
+    (List.length faults);
+
+  (* (a) the hand-written exerciser *)
+  let hand = [ test_of_program chip exerciser ] in
+  Printf.printf "hand-written exerciser  (%3d cycles): %5.1f%% coverage\n"
+    (Atpg.Pattern.total_vectors hand) (coverage hand);
+
+  (* (b) random instruction streams of the same total length *)
+  let rng = Random.State.make [| 2 |] in
+  let random_tests =
+    List.init 4 (fun _ -> test_of_program chip (random_program rng 16))
+  in
+  Printf.printf "random programs         (%3d cycles): %5.1f%% coverage\n"
+    (Atpg.Pattern.total_vectors random_tests) (coverage random_tests);
+
+  (* (c) FACTOR: transformed-module ATPG, translated to chip level *)
+  let session = Factor.Compose.create_session () in
+  let spec = List.hd Arm.Rtl.muts in
+  let stats =
+    Factor.Compose.compositional session env ~mut_path:spec.Factor.Flow.ms_path
+  in
+  let tf =
+    Factor.Transform.build env stats.Factor.Compose.cs_slice
+      ~mut_path:spec.Factor.Flow.ms_path
+  in
+  let tfc = tf.Factor.Transform.tf_circuit in
+  let tf_faults =
+    Atpg.Fault.collapse tfc
+      (Atpg.Fault.all ~within:spec.Factor.Flow.ms_path tfc)
+  in
+  let r =
+    Atpg.Gen.run tfc
+      { Atpg.Gen.default_config with g_piers = Factor.Pier.identify tfc }
+      tf_faults
+  in
+  let translated =
+    Factor.Translate.translate_all ~chip ~transformed:tfc r.Atpg.Gen.r_tests
+  in
+  (* PIER loads are honoured by simulating with loadable registers *)
+  let piers = Factor.Pier.identify chip in
+  let flags =
+    Atpg.Fsim.run chip
+      ~observe:{ Atpg.Fsim.ob_pos = true; ob_pier_ffs = piers }
+      ~faults translated
+  in
+  let factor_cov =
+    100.0
+    *. float_of_int (Array.to_list flags |> List.filter Fun.id |> List.length)
+    /. float_of_int (List.length faults)
+  in
+  Printf.printf "FACTOR translated tests (%3d cycles): %5.1f%% coverage\n"
+    (Atpg.Pattern.total_vectors translated) factor_cov

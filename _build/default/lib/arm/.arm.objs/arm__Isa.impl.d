@@ -1,0 +1,1 @@
+lib/arm/isa.ml: List Printf

@@ -1,0 +1,1 @@
+lib/arm/rtl.mli: Factor Verilog

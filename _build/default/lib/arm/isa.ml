@@ -1,0 +1,147 @@
+(** Assembler / disassembler for the benchmark processor's 16-bit
+    instruction set.  Encoding: [15:12] opcode, [11:9] rd, [8:6] rn,
+    [5:3] rm, [2:0] imm3; branches use [7:0] as a signed offset. *)
+
+type reg = int  (** 0..7 *)
+
+type instruction =
+  | Add of reg * reg * reg      (** rd := rn + rm, sets flags *)
+  | Mva of reg * reg            (** rd := rn *)
+  | Sub of reg * reg * reg      (** rd := rn - rm, sets flags *)
+  | Cmp of reg * reg            (** flags := rn - rm *)
+  | And of reg * reg * reg
+  | Orr of reg * reg * reg
+  | Eor of reg * reg * reg
+  | Mov of reg * reg            (** rd := rm *)
+  | Mvn of reg * reg            (** rd := ~rm *)
+  | Lsl of reg * reg * int      (** rd := rm << imm3 *)
+  | Lsr of reg * reg * int      (** rd := rm >> imm3 *)
+  | Ldr of reg * reg * int      (** rd := mem[rn + imm3] *)
+  | Str of reg * reg * int      (** mem[rn + imm3] := rm *)
+  | B of int                    (** pc := pc + offset (signed 8-bit) *)
+  | Beq of int                  (** branch if the zero flag is set *)
+  | Swi                         (** software interrupt *)
+
+let nop = Mov (0, 0)
+
+let check_reg r ctx =
+  if r < 0 || r > 7 then invalid_arg (ctx ^ ": register out of range")
+
+let check_imm v ctx =
+  if v < 0 || v > 7 then invalid_arg (ctx ^ ": immediate out of range")
+
+let pack ~op ~rd ~rn ~rm ~imm =
+  (op lsl 12) lor (rd lsl 9) lor (rn lsl 6) lor (rm lsl 3) lor imm
+
+(** [encode i] produces the 16-bit word for [i].
+    @raise Invalid_argument on out-of-range registers or immediates. *)
+let encode i =
+  match i with
+  | Add (rd, rn, rm) ->
+    check_reg rd "add"; check_reg rn "add"; check_reg rm "add";
+    pack ~op:0 ~rd ~rn ~rm ~imm:0
+  | Mva (rd, rn) ->
+    check_reg rd "mva"; check_reg rn "mva";
+    pack ~op:1 ~rd ~rn ~rm:0 ~imm:0
+  | Sub (rd, rn, rm) ->
+    check_reg rd "sub"; check_reg rn "sub"; check_reg rm "sub";
+    pack ~op:2 ~rd ~rn ~rm ~imm:0
+  | Cmp (rn, rm) ->
+    check_reg rn "cmp"; check_reg rm "cmp";
+    pack ~op:3 ~rd:0 ~rn ~rm ~imm:0
+  | And (rd, rn, rm) ->
+    check_reg rd "and"; check_reg rn "and"; check_reg rm "and";
+    pack ~op:4 ~rd ~rn ~rm ~imm:0
+  | Orr (rd, rn, rm) ->
+    check_reg rd "orr"; check_reg rn "orr"; check_reg rm "orr";
+    pack ~op:5 ~rd ~rn ~rm ~imm:0
+  | Eor (rd, rn, rm) ->
+    check_reg rd "eor"; check_reg rn "eor"; check_reg rm "eor";
+    pack ~op:6 ~rd ~rn ~rm ~imm:0
+  | Mov (rd, rm) ->
+    check_reg rd "mov"; check_reg rm "mov";
+    pack ~op:7 ~rd ~rn:0 ~rm ~imm:0
+  | Mvn (rd, rm) ->
+    check_reg rd "mvn"; check_reg rm "mvn";
+    pack ~op:8 ~rd ~rn:0 ~rm ~imm:0
+  | Lsl (rd, rm, imm) ->
+    check_reg rd "lsl"; check_reg rm "lsl"; check_imm imm "lsl";
+    pack ~op:9 ~rd ~rn:0 ~rm ~imm
+  | Lsr (rd, rm, imm) ->
+    check_reg rd "lsr"; check_reg rm "lsr"; check_imm imm "lsr";
+    pack ~op:10 ~rd ~rn:0 ~rm ~imm
+  | Ldr (rd, rn, imm) ->
+    check_reg rd "ldr"; check_reg rn "ldr"; check_imm imm "ldr";
+    pack ~op:11 ~rd ~rn ~rm:0 ~imm
+  | Str (rm, rn, imm) ->
+    check_reg rm "str"; check_reg rn "str"; check_imm imm "str";
+    pack ~op:12 ~rd:0 ~rn ~rm ~imm
+  | B offset -> (13 lsl 12) lor (offset land 255)
+  | Beq offset -> (14 lsl 12) lor (offset land 255)
+  | Swi -> 15 lsl 12
+
+(** [decode w] inverts {!encode} (unknown opcodes decode as [Swi]). *)
+let decode w =
+  let op = (w lsr 12) land 15 in
+  let rd = (w lsr 9) land 7 in
+  let rn = (w lsr 6) land 7 in
+  let rm = (w lsr 3) land 7 in
+  let imm = w land 7 in
+  let off = w land 255 in
+  match op with
+  | 0 -> Add (rd, rn, rm)
+  | 1 -> Mva (rd, rn)
+  | 2 -> Sub (rd, rn, rm)
+  | 3 -> Cmp (rn, rm)
+  | 4 -> And (rd, rn, rm)
+  | 5 -> Orr (rd, rn, rm)
+  | 6 -> Eor (rd, rn, rm)
+  | 7 -> Mov (rd, rm)
+  | 8 -> Mvn (rd, rm)
+  | 9 -> Lsl (rd, rm, imm)
+  | 10 -> Lsr (rd, rm, imm)
+  | 11 -> Ldr (rd, rn, imm)
+  | 12 -> Str (rm, rn, imm)
+  | 13 -> B off
+  | 14 -> Beq off
+  | _ -> Swi
+
+let to_string i =
+  match i with
+  | Add (d, n, m) -> Printf.sprintf "add r%d, r%d, r%d" d n m
+  | Mva (d, n) -> Printf.sprintf "mva r%d, r%d" d n
+  | Sub (d, n, m) -> Printf.sprintf "sub r%d, r%d, r%d" d n m
+  | Cmp (n, m) -> Printf.sprintf "cmp r%d, r%d" n m
+  | And (d, n, m) -> Printf.sprintf "and r%d, r%d, r%d" d n m
+  | Orr (d, n, m) -> Printf.sprintf "orr r%d, r%d, r%d" d n m
+  | Eor (d, n, m) -> Printf.sprintf "eor r%d, r%d, r%d" d n m
+  | Mov (d, m) -> Printf.sprintf "mov r%d, r%d" d m
+  | Mvn (d, m) -> Printf.sprintf "mvn r%d, r%d" d m
+  | Lsl (d, m, i) -> Printf.sprintf "lsl r%d, r%d, #%d" d m i
+  | Lsr (d, m, i) -> Printf.sprintf "lsr r%d, r%d, #%d" d m i
+  | Ldr (d, n, i) -> Printf.sprintf "ldr r%d, [r%d + %d]" d n i
+  | Str (m, n, i) -> Printf.sprintf "str r%d, [r%d + %d]" m n i
+  | B o -> Printf.sprintf "b %+d" (if o > 127 then o - 256 else o)
+  | Beq o -> Printf.sprintf "beq %+d" (if o > 127 then o - 256 else o)
+  | Swi -> "swi"
+
+(** A program cycle: the instruction on the bus and the value driven on
+    [mem_rdata] that cycle. *)
+type cycle = {
+  cy_inst : instruction;
+  cy_rdata : int;
+}
+
+let cycle ?(rdata = 0) inst = { cy_inst = inst; cy_rdata = rdata }
+
+(** [load_register ~rd value] is the two-cycle idiom that brings [value]
+    from memory into register [rd]: an LDR followed by the data cycle —
+    the "load instruction" realization of PIER controllability. *)
+let load_register ~rd value =
+  [ cycle (Ldr (rd, 0, 0)); cycle ~rdata:value nop ]
+
+(** [setup_registers assignments] loads each (register, value) pair and
+    settles the pipeline. *)
+let setup_registers assignments =
+  List.concat_map (fun (rd, v) -> load_register ~rd v) assignments
+  @ [ cycle nop ]

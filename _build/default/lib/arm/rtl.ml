@@ -1,0 +1,1168 @@
+(** A 16-bit ARM-flavoured pipelined processor used as the benchmark
+    design, standing in for the ARM-2 Verilog model of the paper (a class
+    project we do not have).  The module cast matches Table 1:
+
+    - [arm_alu] — 13 single-bit control inputs, 10 of which the decoder
+      drives with hard-coded values selected by the opcode (the
+      Section 4.2 testability finding);
+    - [regfile_struct] — a structural 8x16 register file, the biggest and
+      most deeply embedded module (level 3);
+    - [exc] — the exception/mode unit;
+    - [forward] — the operand forwarding unit.
+
+    Hierarchy: arm -> (ctrl_unit -> decode, exc) and
+    (datapath -> arm_alu, shifter, forward, regbank -> regfile_struct). *)
+
+let source = {|
+// ---------------------------------------------------------------
+// arm_alu: the execution ALU.  Thirteen 1-bit control inputs; the
+// first ten come from hard-coded decoder values.
+// ---------------------------------------------------------------
+module arm_alu (
+  input [15:0] op_a,
+  input [15:0] op_b,
+  input c_add,        // select the adder result
+  input c_logic,      // select the logic-unit result
+  input c_and,        // logic unit: and
+  input c_or,         // logic unit: or
+  input c_xor,        // logic unit: xor
+  input c_mova,       // pass operand a
+  input c_movb,       // pass (possibly inverted) operand b
+  input c_inv_b,      // invert operand b (sub / mvn / cmp)
+  input c_cin,        // force carry-in (two's complement subtract)
+  input c_use_cf,     // use the carry flag as carry-in (adc-style;
+                      // never exercised by this decoder revision)
+  input cond_pass,    // condition check passed (from exception unit)
+  input set_flags,    // update flags this cycle
+  input flag_c_in,    // current carry flag
+  output [15:0] result,
+  output flag_n,
+  output flag_z,
+  output flag_c,
+  output flag_v
+);
+  wire [15:0] b_eff;
+  wire cin_eff;
+  wire [16:0] sum;
+  wire [15:0] logic_out;
+  wire [15:0] alu_out;
+
+  assign b_eff = c_inv_b ? (~op_b) : op_b;
+  assign cin_eff = c_cin | (c_use_cf & flag_c_in);
+  assign sum = {1'b0, op_a} + {1'b0, b_eff} + {16'd0, cin_eff};
+  assign logic_out = c_and ? (op_a & b_eff)
+                   : (c_or ? (op_a | b_eff) : (op_a ^ b_eff));
+  assign alu_out = c_add ? sum[15:0]
+                 : (c_logic ? logic_out
+                 : (c_mova ? op_a
+                 : (c_movb ? b_eff : 16'd0)));
+  assign result = alu_out;
+  assign flag_n = alu_out[15] & set_flags & cond_pass;
+  assign flag_z = (alu_out == 16'd0) & set_flags & cond_pass;
+  assign flag_c = sum[16] & c_add & set_flags & cond_pass;
+  assign flag_v = (op_a[15] == b_eff[15]) & (alu_out[15] != op_a[15])
+                  & c_add & set_flags & cond_pass;
+endmodule
+
+// ---------------------------------------------------------------
+// shifter: barrel shifter for the second operand.
+// ---------------------------------------------------------------
+module shifter (
+  input [15:0] din,
+  input [3:0] shamt,
+  input sh_left,
+  input sh_en,
+  output [15:0] dout,
+  output sh_carry
+);
+  wire [15:0] left;
+  wire [15:0] right;
+  wire [15:0] shifted;
+  assign left = din << shamt;
+  assign right = din >> shamt;
+  assign shifted = sh_left ? left : right;
+  assign dout = sh_en ? shifted : din;
+  assign sh_carry = sh_en & (sh_left ? din[15] : din[0]);
+endmodule
+
+// ---------------------------------------------------------------
+// forward: operand forwarding unit.
+// ---------------------------------------------------------------
+module forward (
+  input [2:0] ex_rd,
+  input ex_we,
+  input [2:0] wb_rd,
+  input wb_we,
+  input [2:0] rn,
+  input [2:0] rm,
+  output [1:0] fwd_a,
+  output [1:0] fwd_b
+);
+  wire hit_ex_a;
+  wire hit_wb_a;
+  wire hit_ex_b;
+  wire hit_wb_b;
+  assign hit_ex_a = ex_we & (ex_rd == rn);
+  assign hit_wb_a = wb_we & (wb_rd == rn);
+  assign hit_ex_b = ex_we & (ex_rd == rm);
+  assign hit_wb_b = wb_we & (wb_rd == rm);
+  assign fwd_a = hit_ex_a ? 2'd1 : (hit_wb_a ? 2'd2 : 2'd0);
+  assign fwd_b = hit_ex_b ? 2'd1 : (hit_wb_b ? 2'd2 : 2'd0);
+endmodule
+
+// ---------------------------------------------------------------
+// regfile_struct: structural 8x16 register file, two read ports,
+// one write port.  The biggest and most deeply embedded module.
+// ---------------------------------------------------------------
+module regfile_struct (
+  input clk,
+  input we,
+  input [2:0] waddr,
+  input [15:0] wdata,
+  input [2:0] raddr1,
+  input [2:0] raddr2,
+  output [15:0] rdata1,
+  output [15:0] rdata2
+);
+  reg [15:0] r0;
+  reg [15:0] r1;
+  reg [15:0] r2;
+  reg [15:0] r3;
+  reg [15:0] r4;
+  reg [15:0] r5;
+  reg [15:0] r6;
+  reg [15:0] r7;
+  reg [15:0] mux1;
+  reg [15:0] mux2;
+
+  always @(posedge clk) begin
+    if (we) begin
+      case (waddr)
+        3'd0: r0 <= wdata;
+        3'd1: r1 <= wdata;
+        3'd2: r2 <= wdata;
+        3'd3: r3 <= wdata;
+        3'd4: r4 <= wdata;
+        3'd5: r5 <= wdata;
+        3'd6: r6 <= wdata;
+        3'd7: r7 <= wdata;
+      endcase
+    end
+  end
+
+  always @(*) begin
+    case (raddr1)
+      3'd0: mux1 = r0;
+      3'd1: mux1 = r1;
+      3'd2: mux1 = r2;
+      3'd3: mux1 = r3;
+      3'd4: mux1 = r4;
+      3'd5: mux1 = r5;
+      3'd6: mux1 = r6;
+      default: mux1 = r7;
+    endcase
+  end
+
+  always @(*) begin
+    case (raddr2)
+      3'd0: mux2 = r0;
+      3'd1: mux2 = r1;
+      3'd2: mux2 = r2;
+      3'd3: mux2 = r3;
+      3'd4: mux2 = r4;
+      3'd5: mux2 = r5;
+      3'd6: mux2 = r6;
+      default: mux2 = r7;
+    endcase
+  end
+
+  assign rdata1 = mux1;
+  assign rdata2 = mux2;
+endmodule
+
+// ---------------------------------------------------------------
+// regbank: register file plus write-through bypass.
+// ---------------------------------------------------------------
+module regbank (
+  input clk,
+  input we,
+  input [2:0] waddr,
+  input [15:0] wdata,
+  input [2:0] raddr1,
+  input [2:0] raddr2,
+  output [15:0] rdata1,
+  output [15:0] rdata2
+);
+  wire [15:0] raw1;
+  wire [15:0] raw2;
+  wire bypass1;
+  wire bypass2;
+  regfile_struct u_rf (
+    .clk(clk), .we(we), .waddr(waddr), .wdata(wdata),
+    .raddr1(raddr1), .raddr2(raddr2), .rdata1(raw1), .rdata2(raw2));
+  assign bypass1 = we & (waddr == raddr1);
+  assign bypass2 = we & (waddr == raddr2);
+  assign rdata1 = bypass1 ? wdata : raw1;
+  assign rdata2 = bypass2 ? wdata : raw2;
+endmodule
+
+// ---------------------------------------------------------------
+// decode: instruction decoder.  The ten ALU control outputs are
+// hard-coded per opcode -- the Section 4.2 testability case.
+// ---------------------------------------------------------------
+module decode (
+  input [15:0] inst,
+  input dbg_mode,
+  output reg c_add,
+  output reg c_logic,
+  output reg c_and,
+  output reg c_or,
+  output reg c_xor,
+  output reg c_mova,
+  output reg c_movb,
+  output reg c_inv_b,
+  output reg c_cin,
+  output reg c_use_cf,
+  output reg set_flags_d,
+  output reg is_branch,
+  output reg is_cond,
+  output reg is_mem,
+  output reg mem_write,
+  output reg reg_write,
+  output reg use_imm,
+  output reg is_swi,
+  output reg sh_en,
+  output reg sh_left,
+  output [2:0] rd,
+  output [2:0] rn,
+  output [2:0] rm,
+  output [3:0] opcode,
+  output [2:0] imm3
+);
+  assign opcode = inst[15:12];
+  assign rd = inst[11:9];
+  assign rn = inst[8:6];
+  assign rm = inst[5:3];
+  assign imm3 = inst[2:0];
+
+  always @(*) begin
+    c_add = 1'b0;
+    c_logic = 1'b0;
+    c_and = 1'b0;
+    c_or = 1'b0;
+    c_xor = 1'b0;
+    c_mova = 1'b0;
+    c_movb = 1'b0;
+    c_inv_b = 1'b0;
+    c_cin = 1'b0;
+    c_use_cf = 1'b0;
+    set_flags_d = 1'b0;
+    is_branch = 1'b0;
+    is_cond = 1'b0;
+    is_mem = 1'b0;
+    mem_write = 1'b0;
+    reg_write = 1'b0;
+    use_imm = 1'b0;
+    is_swi = 1'b0;
+    sh_en = 1'b0;
+    sh_left = 1'b0;
+    case (opcode)
+      4'd0: begin                    // ADD
+        c_add = 1'b1; reg_write = 1'b1; set_flags_d = 1'b1;
+      end
+      4'd1: begin                    // MVA rd, rn: pass operand a
+        c_mova = 1'b1; reg_write = 1'b1;
+      end
+      4'd2: begin                    // SUB
+        c_add = 1'b1; c_inv_b = 1'b1; c_cin = 1'b1;
+        reg_write = 1'b1; set_flags_d = 1'b1;
+      end
+      4'd3: begin                    // CMP
+        c_add = 1'b1; c_inv_b = 1'b1; c_cin = 1'b1; set_flags_d = 1'b1;
+      end
+      4'd4: begin                    // AND
+        c_logic = 1'b1; c_and = 1'b1; reg_write = 1'b1; set_flags_d = 1'b1;
+      end
+      4'd5: begin                    // ORR
+        c_logic = 1'b1; c_or = 1'b1; reg_write = 1'b1; set_flags_d = 1'b1;
+      end
+      4'd6: begin                    // EOR
+        c_logic = 1'b1; c_xor = 1'b1; reg_write = 1'b1; set_flags_d = 1'b1;
+      end
+      4'd7: begin                    // MOV
+        c_movb = 1'b1; reg_write = 1'b1;
+      end
+      4'd8: begin                    // MVN
+        c_movb = 1'b1; c_inv_b = 1'b1; reg_write = 1'b1;
+      end
+      4'd9: begin                    // LSL rd, rm, #imm
+        c_movb = 1'b1; sh_en = 1'b1; sh_left = 1'b1; reg_write = 1'b1;
+      end
+      4'd10: begin                   // LSR rd, rm, #imm
+        c_movb = 1'b1; sh_en = 1'b1; reg_write = 1'b1;
+      end
+      4'd11: begin                   // LDR
+        c_add = 1'b1; use_imm = 1'b1; is_mem = 1'b1; reg_write = 1'b1;
+      end
+      4'd12: begin                   // STR
+        c_add = 1'b1; use_imm = 1'b1; is_mem = 1'b1; mem_write = 1'b1;
+      end
+      4'd13: begin                   // B
+        is_branch = 1'b1;
+      end
+      4'd14: begin                   // BEQ
+        is_branch = 1'b1; is_cond = 1'b1;
+      end
+      default: begin                 // SWI / NOP
+        is_swi = 1'b1;
+      end
+    endcase
+    if (dbg_mode) begin
+      reg_write = 1'b0;
+      mem_write = 1'b0;
+    end
+  end
+endmodule
+
+// ---------------------------------------------------------------
+// exc: exception and mode unit (irq, swi, condition evaluation).
+// ---------------------------------------------------------------
+module exc (
+  input clk,
+  input rst,
+  input irq,
+  input is_swi,
+  input is_cond,
+  input flag_z,
+  output cond_pass,
+  output exc_take,
+  output [3:0] exc_vector,
+  output [1:0] mode
+);
+  reg [1:0] mode_r;
+  reg irq_pend;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      mode_r <= 2'd0;
+      irq_pend <= 1'b0;
+    end else begin
+      if (irq & (mode_r == 2'd0)) begin
+        irq_pend <= 1'b1;
+      end else begin
+        if (exc_take) begin
+          irq_pend <= 1'b0;
+        end
+      end
+      if (exc_take) begin
+        mode_r <= is_swi ? 2'd2 : 2'd1;
+      end else begin
+        if (rst) begin
+          mode_r <= 2'd0;
+        end
+      end
+    end
+  end
+
+  assign cond_pass = is_cond ? flag_z : 1'b1;
+  assign exc_take = irq_pend | is_swi;
+  assign exc_vector = is_swi ? 4'd8 : (irq_pend ? 4'd6 : 4'd0);
+  assign mode = mode_r;
+endmodule
+
+// ---------------------------------------------------------------
+// ctrl_unit: decoder plus exception unit plus pipeline control.
+// ---------------------------------------------------------------
+module ctrl_unit (
+  input clk,
+  input rst,
+  input irq,
+  input [15:0] inst,
+  input flag_z,
+  input dbg_mode,
+  output c_add,
+  output c_logic,
+  output c_and,
+  output c_or,
+  output c_xor,
+  output c_mova,
+  output c_movb,
+  output c_inv_b,
+  output c_cin,
+  output c_use_cf,
+  output cond_pass,
+  output set_flags,
+  output is_branch,
+  output take_branch,
+  output is_mem,
+  output mem_write,
+  output reg_write,
+  output use_imm,
+  output sh_en,
+  output sh_left,
+  output [2:0] rd,
+  output [2:0] rn,
+  output [2:0] rm,
+  output [2:0] imm3,
+  output exc_take,
+  output [3:0] exc_vector,
+  output [1:0] mode,
+  output [7:0] cnt_alu_ops,
+  output [7:0] cnt_mem_ops,
+  output [7:0] cnt_branches
+);
+  wire set_flags_d;
+  wire is_cond;
+  wire is_swi;
+  wire [3:0] opcode;
+
+  decode u_decode (
+    .inst(inst), .dbg_mode(dbg_mode),
+    .c_add(c_add), .c_logic(c_logic), .c_and(c_and), .c_or(c_or),
+    .c_xor(c_xor), .c_mova(c_mova), .c_movb(c_movb), .c_inv_b(c_inv_b),
+    .c_cin(c_cin), .c_use_cf(c_use_cf),
+    .set_flags_d(set_flags_d), .is_branch(is_branch), .is_cond(is_cond),
+    .is_mem(is_mem), .mem_write(mem_write), .reg_write(reg_write),
+    .use_imm(use_imm), .is_swi(is_swi), .sh_en(sh_en), .sh_left(sh_left),
+    .rd(rd), .rn(rn), .rm(rm), .opcode(opcode), .imm3(imm3));
+
+  exc u_exc (
+    .clk(clk), .rst(rst), .irq(irq), .is_swi(is_swi), .is_cond(is_cond),
+    .flag_z(flag_z),
+    .cond_pass(cond_pass), .exc_take(exc_take), .exc_vector(exc_vector),
+    .mode(mode));
+
+  iclass_counter u_iclass (
+    .clk(clk), .rst(rst), .opcode(opcode),
+    .cnt_alu_ops(cnt_alu_ops), .cnt_mem_ops(cnt_mem_ops),
+    .cnt_branches(cnt_branches));
+
+  assign set_flags = set_flags_d & (~exc_take);
+  assign take_branch = is_branch & cond_pass & (~exc_take);
+endmodule
+
+
+// ---------------------------------------------------------------
+// perf_counters: retirement/shift/stall statistics inside the
+// datapath.  Outputs go to dedicated pins only, so fine-grained
+// extraction prunes the whole unit; the conventional flow keeps it
+// as part of the full datapath.
+// ---------------------------------------------------------------
+module perf_counters (
+  input clk,
+  input rst,
+  input ev_retire,
+  input ev_shift,
+  input ev_mem,
+  output [15:0] perf_retired,
+  output [15:0] perf_shifted,
+  output [15:0] perf_mem
+);
+  reg [15:0] cnt_retire;
+  reg [15:0] cnt_shift;
+  reg [15:0] cnt_mem;
+  always @(posedge clk) begin
+    if (rst) begin
+      cnt_retire <= 16'd0;
+      cnt_shift <= 16'd0;
+      cnt_mem <= 16'd0;
+    end else begin
+      if (ev_retire) begin
+        cnt_retire <= cnt_retire + 16'd1;
+      end
+      if (ev_shift) begin
+        cnt_shift <= cnt_shift + 16'd1;
+      end
+      if (ev_mem) begin
+        cnt_mem <= cnt_mem + 16'd1;
+      end
+    end
+  end
+  assign perf_retired = cnt_retire;
+  assign perf_shifted = cnt_shift;
+  assign perf_mem = cnt_mem;
+endmodule
+
+// ---------------------------------------------------------------
+// dbg_bank: debug snapshot registers, write-enabled only in debug
+// mode (tied off at the top level).
+// ---------------------------------------------------------------
+module dbg_bank (
+  input clk,
+  input rst,
+  input dbg_en,
+  input [15:0] snap_a,
+  input [15:0] snap_b,
+  output [15:0] dbg_a,
+  output [15:0] dbg_b
+);
+  reg [15:0] reg_a;
+  reg [15:0] reg_b;
+  always @(posedge clk) begin
+    if (rst) begin
+      reg_a <= 16'd0;
+      reg_b <= 16'd0;
+    end else begin
+      if (dbg_en) begin
+        reg_a <= snap_a;
+        reg_b <= snap_b;
+      end
+    end
+  end
+  assign dbg_a = reg_a;
+  assign dbg_b = reg_b;
+endmodule
+
+// ---------------------------------------------------------------
+// iclass_counter: per-class instruction statistics inside the
+// control unit, reported on dedicated status pins.
+// ---------------------------------------------------------------
+module iclass_counter (
+  input clk,
+  input rst,
+  input [3:0] opcode,
+  output [7:0] cnt_alu_ops,
+  output [7:0] cnt_mem_ops,
+  output [7:0] cnt_branches
+);
+  reg [7:0] c_alu;
+  reg [7:0] c_mem;
+  reg [7:0] c_br;
+  always @(posedge clk) begin
+    if (rst) begin
+      c_alu <= 8'd0;
+      c_mem <= 8'd0;
+      c_br <= 8'd0;
+    end else begin
+      if (opcode < 4'd11) begin
+        c_alu <= c_alu + 8'd1;
+      end else begin
+        if (opcode < 4'd13) begin
+          c_mem <= c_mem + 8'd1;
+        end else begin
+          c_br <= c_br + 8'd1;
+        end
+      end
+    end
+  end
+  assign cnt_alu_ops = c_alu;
+  assign cnt_mem_ops = c_mem;
+  assign cnt_branches = c_br;
+endmodule
+
+// ---------------------------------------------------------------
+// watchdog: free-running down-counter with a programmable reload,
+// fully independent of the core.
+// ---------------------------------------------------------------
+module watchdog (
+  input clk,
+  input rst,
+  input wd_kick,
+  input [7:0] wd_reload,
+  output wd_bark,
+  output [15:0] wd_count
+);
+  reg [15:0] counter;
+  reg barked;
+  always @(posedge clk) begin
+    if (rst) begin
+      counter <= 16'd65535;
+      barked <= 1'b0;
+    end else begin
+      if (wd_kick) begin
+        counter <= {wd_reload, 8'd255};
+        barked <= 1'b0;
+      end else begin
+        if (counter == 16'd0) begin
+          barked <= 1'b1;
+        end else begin
+          counter <= counter - 16'd1;
+        end
+      end
+    end
+  end
+  assign wd_bark = barked;
+  assign wd_count = counter;
+endmodule
+
+// ---------------------------------------------------------------
+// uart_tx: 8n1 serial transmitter with its own baud divider,
+// independent of the core.
+// ---------------------------------------------------------------
+module uart_tx (
+  input clk,
+  input rst,
+  input tx_start,
+  input [7:0] tx_data,
+  input [7:0] baud_div,
+  output tx_line,
+  output tx_busy
+);
+  reg [9:0] shifter_r;
+  reg [3:0] bits_left;
+  reg [7:0] baud_cnt;
+  reg busy;
+  always @(posedge clk) begin
+    if (rst) begin
+      shifter_r <= 10'd1023;
+      bits_left <= 4'd0;
+      baud_cnt <= 8'd0;
+      busy <= 1'b0;
+    end else begin
+      if (busy) begin
+        if (baud_cnt == 8'd0) begin
+          shifter_r <= {1'b1, shifter_r[9:1]};
+          baud_cnt <= baud_div;
+          if (bits_left == 4'd0) begin
+            busy <= 1'b0;
+          end else begin
+            bits_left <= bits_left - 4'd1;
+          end
+        end else begin
+          baud_cnt <= baud_cnt - 8'd1;
+        end
+      end else begin
+        if (tx_start) begin
+          shifter_r <= {1'b1, tx_data, 1'b0};
+          bits_left <= 4'd9;
+          baud_cnt <= baud_div;
+          busy <= 1'b1;
+        end
+      end
+    end
+  end
+  assign tx_line = shifter_r[0];
+  assign tx_busy = busy;
+endmodule
+
+// ---------------------------------------------------------------
+// mac_unit: a 16x16 multiply-accumulate coprocessor with its own
+// operand pins and result pins, independent of the core pipeline.
+// ---------------------------------------------------------------
+module mac_unit (
+  input clk,
+  input rst,
+  input mac_en,
+  input mac_clr,
+  input [15:0] mac_a,
+  input [15:0] mac_b,
+  output [15:0] mac_hi,
+  output [15:0] mac_lo
+);
+  reg [31:0] acc;
+  wire [31:0] product;
+  assign product = {16'd0, mac_a} * {16'd0, mac_b};
+  always @(posedge clk) begin
+    if (rst) begin
+      acc <= 32'd0;
+    end else begin
+      if (mac_clr) begin
+        acc <= 32'd0;
+      end else begin
+        if (mac_en) begin
+          acc <= acc + product;
+        end
+      end
+    end
+  end
+  assign mac_hi = acc[31:16];
+  assign mac_lo = acc[15:0];
+endmodule
+
+
+// ---------------------------------------------------------------
+// crc32_unit: bytewise CRC-32 engine on its own input port.
+// ---------------------------------------------------------------
+module crc32_unit (
+  input clk,
+  input rst,
+  input crc_en,
+  input [7:0] crc_data,
+  output [31:0] crc_value
+);
+  reg [31:0] crc;
+  wire [31:0] stage0;
+  wire [31:0] x;
+  assign x = crc ^ {24'd0, crc_data};
+  // one table-less round: shift by 8 with polynomial folding of the
+  // low byte (four xor taps per bit, expanded by the synthesizer)
+  assign stage0 = (crc >> 8)
+                ^ ({24'd0, x[7:0]} << 24 >> 24)
+                ^ ({24'd0, x[7:0]} << 4)
+                ^ ({24'd0, x[7:0]} << 11)
+                ^ ({24'd0, x[7:0]} << 19)
+                ^ ({24'd0, x[7:0]} << 26);
+  always @(posedge clk) begin
+    if (rst) begin
+      crc <= 32'd4294967295;
+    end else begin
+      if (crc_en) begin
+        crc <= stage0;
+      end
+    end
+  end
+  assign crc_value = crc;
+endmodule
+
+// ---------------------------------------------------------------
+// pwm_gen: two pulse-width channels with independent duty registers.
+// ---------------------------------------------------------------
+module pwm_gen (
+  input clk,
+  input rst,
+  input [7:0] duty_a,
+  input [7:0] duty_b,
+  output pwm_a,
+  output pwm_b,
+  output [7:0] pwm_phase
+);
+  reg [7:0] phase;
+  always @(posedge clk) begin
+    if (rst) phase <= 8'd0;
+    else phase <= phase + 8'd1;
+  end
+  assign pwm_a = phase < duty_a;
+  assign pwm_b = phase < duty_b;
+  assign pwm_phase = phase;
+endmodule
+
+// ---------------------------------------------------------------
+// addr_gen: DMA-style address generator with stride and wrap.
+// ---------------------------------------------------------------
+module addr_gen (
+  input clk,
+  input rst,
+  input ag_start,
+  input ag_step,
+  input [15:0] ag_base,
+  input [7:0] ag_stride,
+  input [15:0] ag_limit,
+  output [15:0] ag_addr,
+  output ag_wrapped
+);
+  reg [15:0] cursor;
+  reg wrapped;
+  always @(posedge clk) begin
+    if (rst) begin
+      cursor <= 16'd0;
+      wrapped <= 1'b0;
+    end else begin
+      if (ag_start) begin
+        cursor <= ag_base;
+        wrapped <= 1'b0;
+      end else begin
+        if (ag_step) begin
+          if (cursor >= ag_limit) begin
+            cursor <= ag_base;
+            wrapped <= 1'b1;
+          end else begin
+            cursor <= cursor + {8'd0, ag_stride};
+          end
+        end
+      end
+    end
+  end
+  assign ag_addr = cursor;
+  assign ag_wrapped = wrapped;
+endmodule
+
+// ---------------------------------------------------------------
+// gpio_ctrl: 16-bit GPIO with direction and interrupt-on-change.
+// ---------------------------------------------------------------
+module gpio_ctrl (
+  input clk,
+  input rst,
+  input [15:0] gpio_in,
+  input [15:0] gpio_dir,
+  input [15:0] gpio_out_val,
+  output [15:0] gpio_out,
+  output gpio_change
+);
+  reg [15:0] sampled;
+  reg change;
+  always @(posedge clk) begin
+    if (rst) begin
+      sampled <= 16'd0;
+      change <= 1'b0;
+    end else begin
+      sampled <= gpio_in;
+      change <= (sampled != gpio_in);
+    end
+  end
+  assign gpio_out = (gpio_dir & gpio_out_val) | ((~gpio_dir) & sampled);
+  assign gpio_change = change;
+endmodule
+
+// ---------------------------------------------------------------
+// trace_unit: compresses the program counter stream onto trace
+// pins (branch-delta encoding with a saturation counter).
+// ---------------------------------------------------------------
+module trace_unit (
+  input clk,
+  input rst,
+  input [15:0] pc_in,
+  input trace_en,
+  output [15:0] trace_word,
+  output trace_valid,
+  output [31:0] crc_value,
+  output pwm_a,
+  output pwm_b,
+  output [7:0] pwm_phase,
+  output [15:0] ag_addr,
+  output ag_wrapped,
+  output [15:0] gpio_out,
+  output gpio_change
+);
+  reg [15:0] last_pc;
+  reg [15:0] word;
+  reg valid;
+  wire [15:0] delta;
+  assign delta = pc_in - last_pc;
+  always @(posedge clk) begin
+    if (rst) begin
+      last_pc <= 16'd0;
+      word <= 16'd0;
+      valid <= 1'b0;
+    end else begin
+      last_pc <= pc_in;
+      if (trace_en & (delta != 16'd1)) begin
+        word <= pc_in;
+        valid <= 1'b1;
+      end else begin
+        valid <= 1'b0;
+      end
+    end
+  end
+  assign trace_word = word;
+  assign trace_valid = valid;
+endmodule
+
+// ---------------------------------------------------------------
+// datapath: register bank, forwarding, shifter and ALU, with an
+// EX/WB pipeline register.
+// ---------------------------------------------------------------
+module datapath (
+  input clk,
+  input rst,
+  input [15:0] inst_imm,
+  input c_add,
+  input c_logic,
+  input c_and,
+  input c_or,
+  input c_xor,
+  input c_mova,
+  input c_movb,
+  input c_inv_b,
+  input c_cin,
+  input c_use_cf,
+  input cond_pass,
+  input set_flags,
+  input use_imm,
+  input sh_en,
+  input sh_left,
+  input reg_write,
+  input is_mem,
+  input [2:0] rd,
+  input [2:0] rn,
+  input [2:0] rm,
+  input [3:0] shamt,
+  input [15:0] mem_rdata,
+  input mem_read_wb,
+  input dbg_mode,
+  output [15:0] alu_result,
+  output [15:0] store_data,
+  output [3:0] flags,
+  output flag_z_out,
+  output [15:0] perf_retired,
+  output [15:0] perf_shifted,
+  output [15:0] perf_mem,
+  output [15:0] dbg_a,
+  output [15:0] dbg_b
+);
+  wire [15:0] rf_rdata1;
+  wire [15:0] rf_rdata2;
+  wire [1:0] fwd_a;
+  wire [1:0] fwd_b;
+  wire [15:0] op_a;
+  wire [15:0] op_b_raw;
+  wire [15:0] op_b_sh;
+  wire [15:0] op_b;
+  wire [15:0] alu_out;
+  wire fn;
+  wire fz;
+  wire fc;
+  wire fv;
+  wire sh_carry;
+  reg [15:0] wb_value;
+  reg [2:0] wb_rd;
+  reg wb_we;
+  reg [3:0] flags_r;
+  wire [15:0] wb_data;
+  wire rf_we;
+
+  forward u_fwd (
+    .ex_rd(rd), .ex_we(reg_write), .wb_rd(wb_rd), .wb_we(wb_we),
+    .rn(rn), .rm(rm), .fwd_a(fwd_a), .fwd_b(fwd_b));
+
+  regbank u_regbank (
+    .clk(clk), .we(rf_we), .waddr(wb_rd), .wdata(wb_data),
+    .raddr1(rn), .raddr2(rm), .rdata1(rf_rdata1), .rdata2(rf_rdata2));
+
+  assign op_a = (fwd_a == 2'd2) ? wb_value : rf_rdata1;
+  assign op_b_raw = use_imm ? {13'd0, inst_imm[2:0]}
+                  : ((fwd_b == 2'd2) ? wb_value : rf_rdata2);
+
+  shifter u_shift (
+    .din(op_b_raw), .shamt(shamt), .sh_left(sh_left), .sh_en(sh_en),
+    .dout(op_b_sh), .sh_carry(sh_carry));
+  assign op_b = op_b_sh;
+
+  arm_alu u_alu (
+    .op_a(op_a), .op_b(op_b),
+    .c_add(c_add), .c_logic(c_logic), .c_and(c_and), .c_or(c_or),
+    .c_xor(c_xor), .c_mova(c_mova), .c_movb(c_movb), .c_inv_b(c_inv_b),
+    .c_cin(c_cin), .c_use_cf(c_use_cf),
+    .cond_pass(cond_pass), .set_flags(set_flags), .flag_c_in(flags_r[1]),
+    .result(alu_out),
+    .flag_n(fn), .flag_z(fz), .flag_c(fc), .flag_v(fv));
+
+  always @(posedge clk) begin
+    if (rst) begin
+      wb_value <= 16'd0;
+      wb_rd <= 3'd0;
+      wb_we <= 1'b0;
+      flags_r <= 4'd0;
+    end else begin
+      wb_value <= alu_out;
+      wb_rd <= rd;
+      wb_we <= reg_write & cond_pass;
+      if (set_flags) begin
+        flags_r <= {fn, fz, fc | sh_carry, fv};
+      end
+    end
+  end
+
+  perf_counters u_perf (
+    .clk(clk), .rst(rst),
+    .ev_retire(wb_we), .ev_shift(sh_en), .ev_mem(is_mem),
+    .perf_retired(perf_retired), .perf_shifted(perf_shifted),
+    .perf_mem(perf_mem));
+
+  dbg_bank u_dbg (
+    .clk(clk), .rst(rst), .dbg_en(dbg_mode),
+    .snap_a(alu_out), .snap_b(wb_value),
+    .dbg_a(dbg_a), .dbg_b(dbg_b));
+
+  assign wb_data = mem_read_wb ? mem_rdata : wb_value;
+  assign rf_we = wb_we;
+  assign alu_result = alu_out;
+  assign store_data = rf_rdata2;
+  assign flags = flags_r;
+  assign flag_z_out = flags_r[2];
+endmodule
+
+// ---------------------------------------------------------------
+// arm: top level with program counter and memory interface.
+// ---------------------------------------------------------------
+module arm (
+  input clk,
+  input rst,
+  input irq,
+  input [15:0] inst,
+  input [15:0] mem_rdata,
+  input wd_kick,
+  input [7:0] wd_reload,
+  input tx_start,
+  input [7:0] tx_data,
+  input [7:0] baud_div,
+  input mac_en,
+  input mac_clr,
+  input [15:0] mac_a,
+  input [15:0] mac_b,
+  input trace_en,
+  input crc_en,
+  input [7:0] crc_data,
+  input [7:0] duty_a,
+  input [7:0] duty_b,
+  input ag_start,
+  input ag_step,
+  input [15:0] ag_base,
+  input [7:0] ag_stride,
+  input [15:0] ag_limit,
+  input [15:0] gpio_in,
+  input [15:0] gpio_dir,
+  input [15:0] gpio_out_val,
+  output [15:0] pc_out,
+  output [15:0] mem_addr,
+  output [15:0] mem_wdata,
+  output mem_we,
+  output [3:0] flags_out,
+  output [15:0] perf_retired,
+  output [15:0] perf_shifted,
+  output [15:0] perf_mem,
+  output [15:0] dbg_a,
+  output [15:0] dbg_b,
+  output [7:0] cnt_alu_ops,
+  output [7:0] cnt_mem_ops,
+  output [7:0] cnt_branches,
+  output wd_bark,
+  output [15:0] wd_count,
+  output tx_line,
+  output tx_busy,
+  output [15:0] mac_hi,
+  output [15:0] mac_lo,
+  output [15:0] trace_word,
+  output trace_valid,
+  output [31:0] crc_value,
+  output pwm_a,
+  output pwm_b,
+  output [7:0] pwm_phase,
+  output [15:0] ag_addr,
+  output ag_wrapped,
+  output [15:0] gpio_out,
+  output gpio_change
+);
+  reg [15:0] pc;
+  reg mem_read_wb_r;
+  wire dbg_mode;
+  wire c_add;
+  wire c_logic;
+  wire c_and;
+  wire c_or;
+  wire c_xor;
+  wire c_mova;
+  wire c_movb;
+  wire c_inv_b;
+  wire c_cin;
+  wire c_use_cf;
+  wire cond_pass;
+  wire set_flags;
+  wire is_branch;
+  wire take_branch;
+  wire is_mem;
+  wire mem_write;
+  wire reg_write;
+  wire use_imm;
+  wire sh_en;
+  wire sh_left;
+  wire [2:0] rd;
+  wire [2:0] rn;
+  wire [2:0] rm;
+  wire [2:0] imm3;
+  wire exc_take;
+  wire [3:0] exc_vector;
+  wire [1:0] mode;
+  wire [15:0] alu_result;
+  wire [15:0] store_data;
+  wire [3:0] flags;
+  wire flag_z;
+  wire [15:0] branch_target;
+
+  // the exception vector and mode are architectural state observable
+  // only through the program counter redirect
+  assign dbg_mode = 1'b0;
+
+  ctrl_unit u_ctrl (
+    .clk(clk), .rst(rst), .irq(irq), .inst(inst), .flag_z(flag_z),
+    .dbg_mode(dbg_mode),
+    .c_add(c_add), .c_logic(c_logic), .c_and(c_and), .c_or(c_or),
+    .c_xor(c_xor), .c_mova(c_mova), .c_movb(c_movb), .c_inv_b(c_inv_b),
+    .c_cin(c_cin), .c_use_cf(c_use_cf),
+    .cond_pass(cond_pass), .set_flags(set_flags),
+    .is_branch(is_branch), .take_branch(take_branch),
+    .is_mem(is_mem), .mem_write(mem_write), .reg_write(reg_write),
+    .use_imm(use_imm), .sh_en(sh_en), .sh_left(sh_left),
+    .rd(rd), .rn(rn), .rm(rm), .imm3(imm3),
+    .exc_take(exc_take), .exc_vector(exc_vector), .mode(mode),
+    .cnt_alu_ops(cnt_alu_ops), .cnt_mem_ops(cnt_mem_ops),
+    .cnt_branches(cnt_branches));
+
+  datapath u_dpath (
+    .clk(clk), .rst(rst), .inst_imm(inst),
+    .c_add(c_add), .c_logic(c_logic), .c_and(c_and), .c_or(c_or),
+    .c_xor(c_xor), .c_mova(c_mova), .c_movb(c_movb), .c_inv_b(c_inv_b),
+    .c_cin(c_cin), .c_use_cf(c_use_cf),
+    .cond_pass(cond_pass), .set_flags(set_flags), .use_imm(use_imm),
+    .sh_en(sh_en), .sh_left(sh_left),
+    .reg_write(reg_write & (~dbg_mode)), .is_mem(is_mem),
+    .rd(rd), .rn(rn), .rm(rm), .shamt({1'b0, imm3}),
+    .mem_rdata(mem_rdata), .mem_read_wb(mem_read_wb_r),
+    .dbg_mode(dbg_mode),
+    .alu_result(alu_result), .store_data(store_data), .flags(flags),
+    .flag_z_out(flag_z),
+    .perf_retired(perf_retired), .perf_shifted(perf_shifted),
+    .perf_mem(perf_mem), .dbg_a(dbg_a), .dbg_b(dbg_b));
+
+  watchdog u_wdog (
+    .clk(clk), .rst(rst), .wd_kick(wd_kick), .wd_reload(wd_reload),
+    .wd_bark(wd_bark), .wd_count(wd_count));
+
+  uart_tx u_uart (
+    .clk(clk), .rst(rst), .tx_start(tx_start), .tx_data(tx_data),
+    .baud_div(baud_div), .tx_line(tx_line), .tx_busy(tx_busy));
+
+  mac_unit u_mac (
+    .clk(clk), .rst(rst), .mac_en(mac_en), .mac_clr(mac_clr),
+    .mac_a(mac_a), .mac_b(mac_b), .mac_hi(mac_hi), .mac_lo(mac_lo));
+
+  trace_unit u_trace (
+    .clk(clk), .rst(rst), .pc_in(pc), .trace_en(trace_en),
+    .trace_word(trace_word), .trace_valid(trace_valid));
+
+  crc32_unit u_crc (
+    .clk(clk), .rst(rst), .crc_en(crc_en), .crc_data(crc_data),
+    .crc_value(crc_value));
+
+  pwm_gen u_pwm (
+    .clk(clk), .rst(rst), .duty_a(duty_a), .duty_b(duty_b),
+    .pwm_a(pwm_a), .pwm_b(pwm_b), .pwm_phase(pwm_phase));
+
+  addr_gen u_ag (
+    .clk(clk), .rst(rst), .ag_start(ag_start), .ag_step(ag_step),
+    .ag_base(ag_base), .ag_stride(ag_stride), .ag_limit(ag_limit),
+    .ag_addr(ag_addr), .ag_wrapped(ag_wrapped));
+
+  gpio_ctrl u_gpio (
+    .clk(clk), .rst(rst), .gpio_in(gpio_in), .gpio_dir(gpio_dir),
+    .gpio_out_val(gpio_out_val), .gpio_out(gpio_out),
+    .gpio_change(gpio_change));
+
+  always @(posedge clk) begin
+    if (rst) begin
+      pc <= 16'd0;
+      mem_read_wb_r <= 1'b0;
+    end else begin
+      if (exc_take) begin
+        pc <= {12'd0, exc_vector};
+      end else begin
+        if (take_branch) begin
+          pc <= branch_target;
+        end else begin
+          pc <= pc + 16'd1;
+        end
+      end
+      mem_read_wb_r <= is_mem & (~mem_write);
+    end
+  end
+
+  assign branch_target = pc + {{8{inst[7]}}, inst[7:0]};
+  assign pc_out = pc;
+  assign mem_addr = alu_result;
+  assign mem_wdata = store_data;
+  assign mem_we = mem_write & cond_pass & (~exc_take);
+  assign flags_out = flags;
+endmodule
+|}
+
+(** The design, parsed. *)
+let design () = Verilog.Parser.parse_design source
+
+let top = "arm"
+
+(** The four modules under test of Table 1, with their instance paths. *)
+let muts =
+  [ { Factor.Flow.ms_name = "arm_alu"; ms_path = "u_dpath.u_alu" };
+    { Factor.Flow.ms_name = "regfile_struct";
+      ms_path = "u_dpath.u_regbank.u_rf" };
+    { Factor.Flow.ms_name = "exc"; ms_path = "u_ctrl.u_exc" };
+    { Factor.Flow.ms_name = "forward"; ms_path = "u_dpath.u_fwd" } ]

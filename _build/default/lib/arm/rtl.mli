@@ -1,0 +1,16 @@
+(** The benchmark design: a 16-bit ARM-flavoured pipelined processor with
+    the Table 1 module cast plus realistic peripheral and statistics
+    subsystems (see the module comment in the implementation for the full
+    inventory and hierarchy). *)
+
+(** The full Verilog source. *)
+val source : string
+
+(** The design, parsed. *)
+val design : unit -> Verilog.Ast.design
+
+(** Name of the top module ("arm"). *)
+val top : string
+
+(** The four modules under test of Table 1, with their instance paths. *)
+val muts : Factor.Flow.mut_spec list

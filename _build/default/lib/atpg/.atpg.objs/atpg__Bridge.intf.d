@@ -1,0 +1,1 @@
+lib/atpg/bridge.mli: Fsim Netlist Pattern Random

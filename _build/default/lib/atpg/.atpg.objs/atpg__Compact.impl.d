@@ -1,0 +1,1 @@
+lib/atpg/compact.ml: Array Fsim List Netlist Pattern

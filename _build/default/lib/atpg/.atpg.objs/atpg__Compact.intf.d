@@ -1,0 +1,1 @@
+lib/atpg/compact.mli: Fault Fsim Netlist Pattern

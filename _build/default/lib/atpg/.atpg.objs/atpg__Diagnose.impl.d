@@ -1,0 +1,1 @@
+lib/atpg/diagnose.ml: Array Bytes Fault Fsim Hashtbl List Netlist Option Pattern

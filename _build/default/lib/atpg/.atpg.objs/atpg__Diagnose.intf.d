@@ -1,0 +1,1 @@
+lib/atpg/diagnose.mli: Bytes Fault Fsim Netlist Pattern

@@ -1,0 +1,1 @@
+lib/atpg/fault.ml: Array Fun List Netlist Printf String

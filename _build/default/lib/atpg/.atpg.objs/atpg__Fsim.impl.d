@@ -1,0 +1,1 @@
+lib/atpg/fsim.ml: Array Fault Hashtbl Int64 List Netlist Option Pattern Sim

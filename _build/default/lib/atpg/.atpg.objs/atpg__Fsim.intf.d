@@ -1,0 +1,1 @@
+lib/atpg/fsim.mli: Fault Netlist Pattern Sim

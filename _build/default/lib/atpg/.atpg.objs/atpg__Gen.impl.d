@@ -1,0 +1,1 @@
+lib/atpg/gen.ml: Array Fault Fsim Fun List Netlist Option Pattern Podem Random Simgen Sys

@@ -1,0 +1,1 @@
+lib/atpg/gen.mli: Fault Netlist Pattern

@@ -1,0 +1,1 @@
+lib/atpg/pattern.ml: Array Fun List Printf Random String

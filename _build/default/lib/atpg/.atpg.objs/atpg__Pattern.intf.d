@@ -1,0 +1,1 @@
+lib/atpg/pattern.mli: Random

@@ -1,0 +1,1 @@
+lib/atpg/podem.ml: Array Fault Fun Hashtbl List Netlist Pattern Printf Random

@@ -1,0 +1,1 @@
+lib/atpg/scoap.ml: Array Fault List Netlist

@@ -1,0 +1,1 @@
+lib/atpg/simgen.ml: Array Fault Fsim Fun List Netlist Pattern Random Sim Sys

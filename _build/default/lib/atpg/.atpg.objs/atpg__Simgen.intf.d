@@ -1,0 +1,1 @@
+lib/atpg/simgen.mli: Fault Netlist Pattern

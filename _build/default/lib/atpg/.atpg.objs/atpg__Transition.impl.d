@@ -1,0 +1,1 @@
+lib/atpg/transition.ml: Array Fault Fsim Hashtbl Int64 List Netlist Option Pattern Printf Sim

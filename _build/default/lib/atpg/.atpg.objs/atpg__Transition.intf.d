@@ -1,0 +1,1 @@
+lib/atpg/transition.mli: Fsim Netlist Pattern

@@ -1,0 +1,65 @@
+(** Static test compaction: reverse-order fault simulation.  Tests are
+    replayed in the reverse of their generation order with fault
+    dropping; a test that detects nothing new is discarded.  Because
+    deterministic tests generated late target the hard faults, replaying
+    them first lets them absorb the work of many early (random) tests —
+    the classic reverse-order compaction result. *)
+
+type result = {
+  cp_tests : Pattern.test list;   (** surviving tests, original order *)
+  cp_before : int;                (** test count before *)
+  cp_after : int;
+  cp_vectors_before : int;        (** total clock cycles before *)
+  cp_vectors_after : int;
+  cp_detected : int;              (** faults the surviving set detects *)
+}
+
+(** [run c ~observe ~faults tests] compacts [tests] while preserving the
+    detection of every fault in [faults] that the full set detects. *)
+let run c ~observe ~faults tests =
+  let order = Netlist.topological_order c in
+  let detected = Array.make (List.length faults) false in
+  let indexed = List.mapi (fun i f -> (i, f)) faults in
+  let keep = ref [] in
+  List.iter
+    (fun test ->
+      let remaining = List.filter (fun (i, _) -> not detected.(i)) indexed in
+      if remaining <> [] then begin
+        (* fault-simulate this single test against what is left *)
+        let rec batches news = function
+          | [] -> news
+          | l ->
+            let rec take k = function
+              | x :: rest when k > 0 ->
+                let (h, t) = take (k - 1) rest in
+                (x :: h, t)
+              | rest -> ([], rest)
+            in
+            let (batch, rest) = take 63 l in
+            let flags =
+              Fsim.run_batch c ~order ~faults:(List.map snd batch) ~observe
+                test
+            in
+            let news =
+              List.fold_left2
+                (fun news (i, _) hit ->
+                  if hit && not detected.(i) then begin
+                    detected.(i) <- true;
+                    news + 1
+                  end
+                  else news)
+                news batch flags
+            in
+            batches news rest
+        in
+        if batches 0 remaining > 0 then keep := test :: !keep
+      end)
+    (List.rev tests);
+  let kept = !keep in
+  { cp_tests = kept;
+    cp_before = List.length tests;
+    cp_after = List.length kept;
+    cp_vectors_before = Pattern.total_vectors tests;
+    cp_vectors_after = Pattern.total_vectors kept;
+    cp_detected =
+      Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 detected }

@@ -1,0 +1,18 @@
+(** Static test compaction by reverse-order fault simulation: tests are
+    replayed in the reverse of generation order with fault dropping, and
+    a test that detects nothing new is discarded. *)
+
+type result = {
+  cp_tests : Pattern.test list;  (** surviving tests, original order *)
+  cp_before : int;
+  cp_after : int;
+  cp_vectors_before : int;
+  cp_vectors_after : int;
+  cp_detected : int;  (** faults the surviving set detects *)
+}
+
+(** [run c ~observe ~faults tests] compacts [tests] while preserving the
+    detection of every fault the full set detects. *)
+val run :
+  Netlist.t -> observe:Fsim.observe -> faults:Fault.t list ->
+  Pattern.test list -> result

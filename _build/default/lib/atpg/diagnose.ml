@@ -1,0 +1,122 @@
+(** Cause-effect fault diagnosis: a fault dictionary maps every modeled
+    fault to its pass/fail signature over a test set; an observed failing
+    signature from the tester is then matched against the dictionary to
+    rank candidate defect sites. *)
+
+module N = Netlist
+
+type dictionary = {
+  di_circuit : N.t;
+  di_observe : Fsim.observe;
+  di_tests : Pattern.test list;
+  di_faults : Fault.t array;
+  di_signatures : Bytes.t array;
+      (** per fault: one byte per test, 1 = the test fails *)
+}
+
+(* Signature of one fault over the tests: fault simulation without
+   dropping (diagnosis needs the full signature, not first detection). *)
+let signatures c ~observe ~faults tests =
+  let order = N.topological_order c in
+  let nf = List.length faults in
+  let nt = List.length tests in
+  let sigs = Array.init nf (fun _ -> Bytes.make nt '\000') in
+  let indexed = List.mapi (fun i f -> (i, f)) faults in
+  List.iteri
+    (fun ti test ->
+      let rec batches = function
+        | [] -> ()
+        | l ->
+          let rec take k = function
+            | x :: rest when k > 0 ->
+              let (h, t) = take (k - 1) rest in
+              (x :: h, t)
+            | rest -> ([], rest)
+          in
+          let (batch, rest) = take 63 l in
+          let flags =
+            Fsim.run_batch c ~order ~faults:(List.map snd batch) ~observe test
+          in
+          List.iter2
+            (fun (fi, _) hit ->
+              if hit then Bytes.set sigs.(fi) ti '\001')
+            batch flags;
+          batches rest
+      in
+      batches indexed)
+    tests;
+  sigs
+
+(** [build c ~observe ~faults tests] precomputes the dictionary. *)
+let build c ~observe ~faults tests =
+  { di_circuit = c;
+    di_observe = observe;
+    di_tests = tests;
+    di_faults = Array.of_list faults;
+    di_signatures = signatures c ~observe ~faults tests }
+
+(** [observe_defect dict fault] produces the signature a tester would see
+    for a chip carrying [fault] — for experiments and tests. *)
+let observe_defect dict fault =
+  let sigs =
+    signatures dict.di_circuit ~observe:dict.di_observe ~faults:[ fault ]
+      dict.di_tests
+  in
+  sigs.(0)
+
+type candidate = {
+  ca_fault : Fault.t;
+  ca_matching : int;   (** tests where prediction and observation agree *)
+  ca_missed : int;     (** observed failures the fault does not predict *)
+  ca_extra : int;      (** predicted failures that did not occur *)
+}
+
+(** [diagnose dict observed] ranks the dictionary faults against an
+    observed signature: exact matches first, then by ascending
+    mismatch (missed failures weighted over extra ones, the usual
+    tie-break under timing/X effects). *)
+let diagnose dict (observed : Bytes.t) =
+  let nt = Bytes.length observed in
+  let score fi =
+    let s = dict.di_signatures.(fi) in
+    let matching = ref 0 and missed = ref 0 and extra = ref 0 in
+    for t = 0 to nt - 1 do
+      let predicted = Bytes.get s t = '\001' in
+      let seen = Bytes.get observed t = '\001' in
+      match (predicted, seen) with
+      | (true, true) | (false, false) -> incr matching
+      | (false, true) -> incr missed
+      | (true, false) -> incr extra
+    done;
+    { ca_fault = dict.di_faults.(fi);
+      ca_matching = !matching;
+      ca_missed = !missed;
+      ca_extra = !extra }
+  in
+  let candidates = List.init (Array.length dict.di_faults) score in
+  List.sort
+    (fun a b ->
+      compare
+        ((2 * a.ca_missed) + a.ca_extra, a.ca_fault.Fault.f_net)
+        ((2 * b.ca_missed) + b.ca_extra, b.ca_fault.Fault.f_net))
+    candidates
+
+(** Candidates that explain the observation exactly. *)
+let exact_matches dict observed =
+  List.filter
+    (fun c -> c.ca_missed = 0 && c.ca_extra = 0)
+    (diagnose dict observed)
+
+(** Diagnostic resolution of a test set: the average number of faults
+    sharing a signature (1.0 = every fault distinguishable). *)
+let resolution dict =
+  let table = Hashtbl.create 64 in
+  Array.iter
+    (fun s ->
+      let key = Bytes.to_string s in
+      Hashtbl.replace table key
+        (1 + Option.value (Hashtbl.find_opt table key) ~default:0))
+    dict.di_signatures;
+  let classes = Hashtbl.length table in
+  if classes = 0 then 1.0
+  else float_of_int (Array.length dict.di_faults) /. float_of_int classes

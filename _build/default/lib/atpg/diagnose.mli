@@ -1,0 +1,33 @@
+(** Cause-effect fault diagnosis: a fault dictionary maps every modeled
+    fault to its pass/fail signature over a test set; an observed failing
+    signature is matched against it to rank candidate defect sites. *)
+
+type dictionary
+
+(** [build c ~observe ~faults tests] precomputes the per-fault pass/fail
+    signatures. *)
+val build :
+  Netlist.t -> observe:Fsim.observe -> faults:Fault.t list ->
+  Pattern.test list -> dictionary
+
+(** The signature a tester would see for a chip carrying [fault] (one
+    byte per test, 1 = fail) — for experiments and tests. *)
+val observe_defect : dictionary -> Fault.t -> Bytes.t
+
+type candidate = {
+  ca_fault : Fault.t;
+  ca_matching : int;  (** tests where prediction and observation agree *)
+  ca_missed : int;    (** observed failures the fault does not predict *)
+  ca_extra : int;     (** predicted failures that did not occur *)
+}
+
+(** Rank every dictionary fault against an observed signature, best
+    explanation first. *)
+val diagnose : dictionary -> Bytes.t -> candidate list
+
+(** Candidates that explain the observation exactly. *)
+val exact_matches : dictionary -> Bytes.t -> candidate list
+
+(** Average number of faults sharing a signature (1.0 = fully
+    distinguishable). *)
+val resolution : dictionary -> float

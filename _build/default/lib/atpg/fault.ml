@@ -1,0 +1,66 @@
+(** Single stuck-at fault model over netlist nets (stem faults), with
+    inverter-chain equivalence collapsing. *)
+
+module N = Netlist
+
+type t = {
+  f_net : int;
+  f_stuck : bool;  (** the stuck-at value *)
+}
+
+let to_string c f =
+  let name =
+    match c.N.drv.(f.f_net) with
+    | N.Pi i -> c.N.pi_names.(i)
+    | N.Ff i -> c.N.ff_names.(i)
+    | _ ->
+      let origin = c.N.origin.(f.f_net) in
+      Printf.sprintf "net%d%s" f.f_net
+        (if origin = "" then "" else "@" ^ origin)
+  in
+  Printf.sprintf "%s/sa%d" name (if f.f_stuck then 1 else 0)
+
+(** [sites ?within c] lists fault sites: every live net except constants.
+    [within] restricts to nets whose origin starts with the given instance
+    path — the "faults in the module under test" selection. *)
+let sites ?within c =
+  let live = N.live_mask c in
+  let keep net =
+    live.(net)
+    && (match c.N.drv.(net) with N.C0 | N.C1 -> false | _ -> true)
+    && (match within with
+        | None -> true
+        | Some prefix ->
+          let o = c.N.origin.(net) in
+          String.equal o prefix
+          || (String.length o > String.length prefix
+              && String.sub o 0 (String.length prefix) = prefix
+              && (prefix = "" || o.[String.length prefix] = '.')))
+  in
+  List.filter keep (List.init (N.num_nets c) Fun.id)
+
+(** Full uncollapsed fault list: two faults per site. *)
+let all ?within c =
+  List.concat_map
+    (fun net -> [ { f_net = net; f_stuck = false }; { f_net = net; f_stuck = true } ])
+    (sites ?within c)
+
+(** Equivalence collapsing: an inverter output fault with a single-fanout
+    fanin is equivalent to the complementary fault on the fanin; keep the
+    fanin representative. *)
+let collapse c faults =
+  let fanout_count = Array.make (N.num_nets c) 0 in
+  Array.iter
+    (fun d ->
+      List.iter
+        (fun i -> fanout_count.(i) <- fanout_count.(i) + 1)
+        (N.fanins d))
+    c.N.drv;
+  Array.iter (fun d -> fanout_count.(d) <- fanout_count.(d) + 1) c.N.ff_d;
+  Array.iter (fun p -> fanout_count.(p) <- fanout_count.(p) + 1) c.N.pos;
+  let redundant f =
+    match c.N.drv.(f.f_net) with
+    | N.G1 (N.Inv, a) -> fanout_count.(a) = 1
+    | _ -> false
+  in
+  List.filter (fun f -> not (redundant f)) faults

@@ -1,0 +1,22 @@
+(** Single stuck-at fault model over netlist nets (stem faults). *)
+
+type t = {
+  f_net : int;
+  f_stuck : bool;  (** the stuck-at value *)
+}
+
+(** Human-readable fault name, using pin/register names where known and
+    the net origin otherwise. *)
+val to_string : Netlist.t -> t -> string
+
+(** [sites ?within c] lists fault sites: every live net except constants.
+    [within] restricts to nets whose origin is the given instance path or
+    below — "faults in the module under test". *)
+val sites : ?within:string -> Netlist.t -> int list
+
+(** Full fault list: two faults per site. *)
+val all : ?within:string -> Netlist.t -> t list
+
+(** Equivalence collapsing: inverter-output faults with a single-fanout
+    fanin collapse into the complementary fanin fault. *)
+val collapse : Netlist.t -> t list -> t list

@@ -1,0 +1,129 @@
+(** Parallel-fault sequential fault simulation: bit column 0 carries the
+    good circuit, columns 1..63 carry one faulty circuit each, all driven
+    by the same test sequence.  Flip-flops start at X (except loaded PIER
+    registers), so detection is conservative exactly like the pattern
+    translation the paper performs. *)
+
+module N = Netlist
+module L = Sim.Logic3
+
+type observe = {
+  ob_pos : bool;        (** observe primary outputs every cycle *)
+  ob_pier_ffs : int list;  (** flip-flops whose final state is observable *)
+}
+
+let default_observe = { ob_pos = true; ob_pier_ffs = [] }
+
+(* Per-net fault injection masks: (bit, stuck). *)
+let injection_table faults =
+  let table = Hashtbl.create 64 in
+  List.iteri
+    (fun i (f : Fault.t) ->
+      let bit = i + 1 in
+      let old = Option.value (Hashtbl.find_opt table f.f_net) ~default:[] in
+      Hashtbl.replace table f.f_net ((bit, f.f_stuck) :: old))
+    faults;
+  table
+
+let inject table net (v : L.t) : L.t =
+  match Hashtbl.find_opt table net with
+  | None -> v
+  | Some overrides ->
+    List.fold_left
+      (fun v (bit, stuck) -> L.set v bit (Some stuck))
+      v overrides
+
+(* Columns (other than 0) whose value provably differs from column 0. *)
+let detected_mask (v : L.t) : int64 =
+  match L.get v 0 with
+  | None -> 0L
+  | Some true -> Int64.logand v.L.lo (Int64.lognot 1L)
+  | Some false -> Int64.logand v.L.hi (Int64.lognot 1L)
+
+(** [run_batch c ~order ~faults ~observe test] simulates [test] against at
+    most 63 faults; returns a bool array aligned with [faults] marking the
+    detected ones. *)
+let run_batch c ~order ~faults ~observe (test : Pattern.test) =
+  let nf = List.length faults in
+  assert (nf <= 63);
+  let table = injection_table faults in
+  let values = Array.make (N.num_nets c) L.x in
+  let state = Array.make (N.num_ffs c) L.x in
+  List.iter
+    (fun (ff, v) -> state.(ff) <- (if v then L.one else L.zero))
+    test.Pattern.p_loads;
+  let detected = ref 0L in
+  let eval pi_vec =
+    Array.iter
+      (fun net ->
+        let v =
+          match c.N.drv.(net) with
+          | N.Pi i -> if pi_vec.(i) then L.one else L.zero
+          | N.Ff i -> state.(i)
+          | N.C0 -> L.zero
+          | N.C1 -> L.one
+          | N.G1 (N.Inv, a) -> L.v_not values.(a)
+          | N.G1 (N.Buff, a) -> values.(a)
+          | N.G2 (N.And, a, b) -> L.v_and values.(a) values.(b)
+          | N.G2 (N.Or, a, b) -> L.v_or values.(a) values.(b)
+          | N.G2 (N.Xor, a, b) -> L.v_xor values.(a) values.(b)
+          | N.G2 (N.Nand, a, b) -> L.v_not (L.v_and values.(a) values.(b))
+          | N.G2 (N.Nor, a, b) -> L.v_not (L.v_or values.(a) values.(b))
+          | N.G2 (N.Xnor, a, b) -> L.v_not (L.v_xor values.(a) values.(b))
+          | N.Mux (s, a, b) -> L.v_mux values.(s) values.(a) values.(b)
+        in
+        values.(net) <- inject table net v)
+      order
+  in
+  let frames = Array.length test.Pattern.p_vectors in
+  for f = 0 to frames - 1 do
+    eval test.Pattern.p_vectors.(f);
+    if observe.ob_pos then
+      Array.iter
+        (fun po -> detected := Int64.logor !detected (detected_mask values.(po)))
+        c.N.pos;
+    (* capture next state *)
+    Array.iteri (fun i d -> state.(i) <- values.(d)) c.N.ff_d;
+    if f = frames - 1 then
+      List.iter
+        (fun ff ->
+          detected := Int64.logor !detected (detected_mask state.(ff)))
+        observe.ob_pier_ffs
+  done;
+  List.mapi
+    (fun i _ ->
+      Int64.logand (Int64.shift_right_logical !detected (i + 1)) 1L = 1L)
+    faults
+
+(** [run c ~observe ~faults tests] fault-simulates every test with fault
+    dropping; returns per-fault detection flags aligned with [faults]. *)
+let run c ~observe ~faults tests =
+  let order = N.topological_order c in
+  let n = List.length faults in
+  let detected = Array.make n false in
+  let indexed = List.mapi (fun i f -> (i, f)) faults in
+  List.iter
+    (fun test ->
+      (* batch the still-undetected faults in groups of 63 *)
+      let remaining = List.filter (fun (i, _) -> not detected.(i)) indexed in
+      let rec batches = function
+        | [] -> ()
+        | l ->
+          let rec take k = function
+            | x :: rest when k > 0 ->
+              let (h, t) = take (k - 1) rest in
+              (x :: h, t)
+            | rest -> ([], rest)
+          in
+          let (batch, rest) = take 63 l in
+          let flags =
+            run_batch c ~order ~faults:(List.map snd batch) ~observe test
+          in
+          List.iter2
+            (fun (i, _) hit -> if hit then detected.(i) <- true)
+            batch flags;
+          batches rest
+      in
+      batches remaining)
+    tests;
+  detected

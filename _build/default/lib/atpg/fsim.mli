@@ -1,0 +1,27 @@
+(** Parallel-fault sequential fault simulation: bit column 0 carries the
+    good circuit, columns 1..63 one faulty circuit each.  Flip-flops
+    start at X except loaded PIER registers, so detection is exactly as
+    conservative as chip-level pattern translation requires. *)
+
+type observe = {
+  ob_pos : bool;           (** observe primary outputs every cycle *)
+  ob_pier_ffs : int list;  (** flip-flops whose final state is observable *)
+}
+
+val default_observe : observe
+
+(** Columns (other than 0) whose value provably differs from the good
+    circuit in column 0 — exposed for other parallel-fault analyses. *)
+val detected_mask : Sim.Logic3.t -> int64
+
+(** [run_batch c ~order ~faults ~observe test] simulates one test against
+    at most 63 faults; the result aligns with [faults]. *)
+val run_batch :
+  Netlist.t -> order:int array -> faults:Fault.t list -> observe:observe ->
+  Pattern.test -> bool list
+
+(** [run c ~observe ~faults tests] fault-simulates every test with fault
+    dropping; per-fault detection flags align with [faults]. *)
+val run :
+  Netlist.t -> observe:observe -> faults:Fault.t list -> Pattern.test list ->
+  bool array

@@ -1,0 +1,200 @@
+(** The test-generation engine: a saturating random phase, deterministic
+    PODEM with iterative frame deepening and randomized restarts, and a
+    simulation-based fallback for the faults PODEM aborts on — with fault
+    dropping throughout and per-fault/total CPU budgets.  The stand-in
+    for the commercial sequential ATPG tool of the paper. *)
+
+module N = Netlist
+
+type config = {
+  g_backtrack_limit : int;
+  g_max_frames : int;          (** deepest time-frame expansion tried *)
+  g_restarts : int;            (** randomized PODEM restarts per depth *)
+  g_random_sequences : int;    (** random sequences per saturation batch *)
+  g_random_batches : int;      (** maximum saturation batches *)
+  g_random_length : int;
+  g_fault_budget : float;      (** CPU seconds per fault, deterministic phase *)
+  g_total_budget : float;      (** CPU seconds for the whole run *)
+  g_piers : int list;          (** loadable/storable flip-flop indices *)
+  g_simgen_fallback : bool;    (** rescue aborted faults with {!Simgen} *)
+  g_seed : int;
+}
+
+let default_config = {
+  g_backtrack_limit = 200;
+  g_max_frames = 4;
+  g_restarts = 2;
+  g_random_sequences = 32;
+  g_random_batches = 16;
+  g_random_length = 4;
+  g_fault_budget = 1.0;
+  g_total_budget = 60.0;
+  g_piers = [];
+  g_simgen_fallback = true;
+  g_seed = 1;
+}
+
+type outcome = Detected | Untestable | Aborted_fault
+
+type result = {
+  r_total : int;
+  r_detected : int;
+  r_untestable : int;
+  r_aborted : int;
+  r_coverage : float;       (** percent detected *)
+  r_effectiveness : float;  (** percent detected or proven untestable *)
+  r_tests : Pattern.test list;
+  r_vectors : int;
+  r_time : float;           (** CPU seconds *)
+  r_outcomes : (Fault.t * outcome) list;
+}
+
+let coverage detected total =
+  if total = 0 then 100.0 else 100.0 *. float_of_int detected /. float_of_int total
+
+(** [run c cfg faults] generates tests targeting [faults] on circuit [c]. *)
+let run c cfg faults =
+  let t0 = Sys.time () in
+  let elapsed () = Sys.time () -. t0 in
+  let rng = Random.State.make [| cfg.g_seed |] in
+  let observe =
+    { Fsim.ob_pos = true; ob_pier_ffs = cfg.g_piers }
+  in
+  let n = List.length faults in
+  let fault_arr = Array.of_list faults in
+  let outcome = Array.make n None in
+  let tests = ref [] in
+  (* -------- phase 1: random sequences until saturation ------------ *)
+  let remaining_faults () =
+    List.filteri (fun i _ -> outcome.(i) = None) faults
+  in
+  let remaining_idx () =
+    List.filteri (fun _ i -> outcome.(i) = None)
+      (List.init n Fun.id)
+  in
+  let batch = ref 0 in
+  let saturated = ref false in
+  while (not !saturated)
+        && !batch < cfg.g_random_batches
+        && elapsed () < cfg.g_total_budget
+        && remaining_faults () <> [] do
+    incr batch;
+    let random_tests =
+      List.init cfg.g_random_sequences (fun _ ->
+          Pattern.random ~rng ~num_pis:(N.num_pis c)
+            ~frames:cfg.g_random_length ~piers:cfg.g_piers)
+    in
+    let idx = remaining_idx () in
+    let flags = Fsim.run c ~observe ~faults:(remaining_faults ()) random_tests in
+    let news = ref 0 in
+    List.iteri
+      (fun k i ->
+        if flags.(k) then begin
+          outcome.(i) <- Some Detected;
+          incr news
+        end)
+      idx;
+    if !news > 0 then tests := random_tests @ !tests else saturated := true
+  done;
+  (* -------- phase 2: deterministic, iterative deepening ---------- *)
+  let remaining i = outcome.(i) = None in
+  for i = 0 to n - 1 do
+    if remaining i && elapsed () < cfg.g_total_budget then begin
+      let fault = fault_arr.(i) in
+      let fault_t0 = Sys.time () in
+      let rec attempts frames try_no =
+        if try_no > cfg.g_restarts then Podem.Aborted
+        else if Sys.time () -. fault_t0 > cfg.g_fault_budget then Podem.Aborted
+        else
+          let pcfg =
+            { Podem.frames;
+              backtrack_limit = cfg.g_backtrack_limit;
+              piers = cfg.g_piers;
+              seed = (cfg.g_seed * 31) + try_no }
+          in
+          match Podem.run c pcfg fault with
+          | Podem.Detected t -> Podem.Detected t
+          | Podem.Exhausted -> Podem.Exhausted
+          | Podem.Aborted -> attempts frames (try_no + 1)
+      in
+      let rec deepen frames last =
+        if frames > cfg.g_max_frames then last
+        else if Sys.time () -. fault_t0 > cfg.g_fault_budget then Podem.Aborted
+        else
+          match attempts frames 1 with
+          | Podem.Detected t -> Podem.Detected t
+          | Podem.Exhausted -> deepen (frames + 1) Podem.Exhausted
+          | Podem.Aborted -> deepen (frames + 1) Podem.Aborted
+      in
+      match deepen 1 Podem.Exhausted with
+      | Podem.Detected test ->
+        tests := test :: !tests;
+        (* confirm and drop: simulate against all remaining faults *)
+        let rem_idx =
+          List.filter (fun j -> remaining j) (List.init n Fun.id)
+        in
+        let rem_faults = List.map (fun j -> fault_arr.(j)) rem_idx in
+        let flags = Fsim.run c ~observe ~faults:rem_faults [ test ] in
+        List.iteri
+          (fun k j -> if flags.(k) then outcome.(j) <- Some Detected)
+          rem_idx;
+        (* the targeted fault must at least be marked: PODEM guarantees
+           detection under the same X-initial model the simulator uses *)
+        if outcome.(i) = None then outcome.(i) <- Some Detected
+      | Podem.Exhausted -> outcome.(i) <- Some Untestable
+      | Podem.Aborted -> outcome.(i) <- Some Aborted_fault
+    end
+  done;
+  (* -------- phase 3: simulation-based rescue of aborted faults ---- *)
+  if cfg.g_simgen_fallback then begin
+    let simgen_cfg =
+      { Simgen.default_config with
+        sg_piers = cfg.g_piers;
+        sg_frames = cfg.g_max_frames;
+        sg_max_frames = 4 * cfg.g_max_frames;
+        sg_seed = cfg.g_seed }
+    in
+    for i = 0 to n - 1 do
+      if outcome.(i) = Some Aborted_fault
+         && elapsed () < cfg.g_total_budget
+      then begin
+        match Simgen.run c simgen_cfg fault_arr.(i) with
+        | Some test ->
+          tests := test :: !tests;
+          let rem_idx =
+            List.filter
+              (fun j -> outcome.(j) = None || outcome.(j) = Some Aborted_fault)
+              (List.init n Fun.id)
+          in
+          let rem_faults = List.map (fun j -> fault_arr.(j)) rem_idx in
+          let flags = Fsim.run c ~observe ~faults:rem_faults [ test ] in
+          List.iteri
+            (fun k j -> if flags.(k) then outcome.(j) <- Some Detected)
+            rem_idx
+        | None -> ()
+      end
+    done
+  end;
+  (* anything skipped by the total budget counts as aborted *)
+  Array.iteri
+    (fun i o -> if o = None then outcome.(i) <- Some Aborted_fault)
+    outcome;
+  let count what =
+    Array.fold_left
+      (fun acc o -> if o = Some what then acc + 1 else acc)
+      0 outcome
+  in
+  let detected = count Detected in
+  let untestable = count Untestable in
+  let aborted = count Aborted_fault in
+  { r_total = n;
+    r_detected = detected;
+    r_untestable = untestable;
+    r_aborted = aborted;
+    r_coverage = coverage detected n;
+    r_effectiveness = coverage (detected + untestable) n;
+    r_tests = List.rev !tests;
+    r_vectors = Pattern.total_vectors !tests;
+    r_time = elapsed ();
+    r_outcomes =
+      Array.to_list (Array.mapi (fun i o -> (fault_arr.(i), Option.get o)) outcome) }

@@ -1,0 +1,38 @@
+(** The test-generation engine: a saturating random phase, deterministic
+    PODEM with iterative frame deepening and randomized restarts, and a
+    simulation-based fallback for aborted faults — the stand-in for the
+    commercial sequential ATPG tool of the paper. *)
+
+type config = {
+  g_backtrack_limit : int;
+  g_max_frames : int;        (** deepest time-frame expansion tried *)
+  g_restarts : int;          (** randomized PODEM restarts per depth *)
+  g_random_sequences : int;  (** random sequences per saturation batch *)
+  g_random_batches : int;    (** maximum saturation batches *)
+  g_random_length : int;     (** frames per random sequence *)
+  g_fault_budget : float;    (** CPU seconds per fault *)
+  g_total_budget : float;    (** CPU seconds for the whole run *)
+  g_piers : int list;        (** loadable/storable flip-flop indices *)
+  g_simgen_fallback : bool;  (** rescue aborted faults with {!Simgen} *)
+  g_seed : int;
+}
+
+val default_config : config
+
+type outcome = Detected | Untestable | Aborted_fault
+
+type result = {
+  r_total : int;
+  r_detected : int;
+  r_untestable : int;
+  r_aborted : int;
+  r_coverage : float;       (** percent detected *)
+  r_effectiveness : float;  (** percent detected or proven untestable *)
+  r_tests : Pattern.test list;
+  r_vectors : int;
+  r_time : float;           (** CPU seconds *)
+  r_outcomes : (Fault.t * outcome) list;
+}
+
+(** [run c cfg faults] generates tests targeting [faults] on [c]. *)
+val run : Netlist.t -> config -> Fault.t list -> result

@@ -1,0 +1,140 @@
+(** Test patterns: a test is a sequence of primary-input vectors applied
+    on consecutive clock cycles, plus initial load values for PIER
+    registers (registers the chip can load via load/store instructions). *)
+
+type test = {
+  p_vectors : bool array array;  (** per frame, one bool per primary input *)
+  p_loads : (int * bool) list;   (** PIER flip-flop index, loaded value *)
+}
+
+let num_frames t = Array.length t.p_vectors
+
+(** Render one test in the usual per-cycle bit-string form. *)
+let to_string t =
+  let frame v =
+    String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+  in
+  let loads =
+    match t.p_loads with
+    | [] -> ""
+    | ls ->
+      " loads:"
+      ^ String.concat ","
+          (List.map
+             (fun (i, v) -> Printf.sprintf "ff%d=%d" i (if v then 1 else 0))
+             ls)
+  in
+  String.concat " " (Array.to_list (Array.map frame t.p_vectors)) ^ loads
+
+(** [random ~rng ~num_pis ~frames] draws a random test sequence. *)
+let random ~rng ~num_pis ~frames ~piers =
+  { p_vectors =
+      Array.init frames (fun _ -> Array.init num_pis (fun _ -> Random.State.bool rng));
+    p_loads = List.map (fun i -> (i, Random.State.bool rng)) piers }
+
+(** Total vector count across a test set (the pattern-count statistic). *)
+let total_vectors tests =
+  List.fold_left (fun acc t -> acc + num_frames t) 0 tests
+
+(* ------------------------------------------------------------------ *)
+(* Vector-file format, for handing tests to a tester or another tool:
+   one test per block.
+
+     test
+     load 3 1
+     vec 0101...
+     vec 1100...
+     end
+*)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+(** [write_channel oc tests] emits the test set in the vector-file
+    format; [pi_names] become a header comment for humans. *)
+let write_channel ?(pi_names = [||]) oc tests =
+  if Array.length pi_names > 0 then begin
+    output_string oc "# pins:";
+    Array.iter (fun n -> output_string oc (" " ^ n)) pi_names;
+    output_string oc "\n"
+  end;
+  List.iter
+    (fun t ->
+      output_string oc "test\n";
+      List.iter
+        (fun (ff, v) ->
+          output_string oc
+            (Printf.sprintf "load %d %d\n" ff (if v then 1 else 0)))
+        t.p_loads;
+      Array.iter
+        (fun vec ->
+          output_string oc "vec ";
+          Array.iter
+            (fun b -> output_char oc (if b then '1' else '0'))
+            vec;
+          output_string oc "\n")
+        t.p_vectors;
+      output_string oc "end\n")
+    tests
+
+let write_file ?pi_names path tests =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> write_channel ?pi_names oc tests)
+
+(** [read_channel ic] parses a vector file back into tests.
+    @raise Parse_error on malformed input. *)
+let read_channel ic =
+  let tests = ref [] in
+  let vectors = ref [] and loads = ref [] in
+  let in_test = ref false in
+  let finish () =
+    tests :=
+      { p_vectors = Array.of_list (List.rev !vectors);
+        p_loads = List.rev !loads }
+      :: !tests;
+    vectors := [];
+    loads := [];
+    in_test := false
+  in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line = "" || (String.length line > 0 && line.[0] = '#') then ()
+       else if line = "test" then begin
+         if !in_test then raise (Parse_error "nested test block");
+         in_test := true
+       end
+       else if line = "end" then begin
+         if not !in_test then raise (Parse_error "end without test");
+         finish ()
+       end
+       else if String.length line > 4 && String.sub line 0 4 = "vec " then begin
+         let bits = String.sub line 4 (String.length line - 4) in
+         let vec =
+           Array.init (String.length bits) (fun i ->
+               match bits.[i] with
+               | '1' -> true
+               | '0' -> false
+               | c -> raise (Parse_error (Printf.sprintf "bad bit %C" c)))
+         in
+         vectors := vec :: !vectors
+       end
+       else if String.length line > 5 && String.sub line 0 5 = "load " then begin
+         match String.split_on_char ' ' line with
+         | [ _; ff; v ] ->
+           loads := (int_of_string ff, v = "1") :: !loads
+         | _ -> raise (Parse_error ("bad load line: " ^ line))
+       end
+       else raise (Parse_error ("unrecognized line: " ^ line))
+     done
+   with End_of_file ->
+     if !in_test then raise (Parse_error "unterminated test block"));
+  List.rev !tests
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> read_channel ic)

@@ -1,0 +1,34 @@
+(** Test patterns: a test is a sequence of primary-input vectors applied
+    on consecutive clock cycles, plus initial load values for PIER
+    registers. *)
+
+type test = {
+  p_vectors : bool array array;  (** per frame, one bool per primary input *)
+  p_loads : (int * bool) list;   (** PIER flip-flop index, loaded value *)
+}
+
+val num_frames : test -> int
+
+(** Per-cycle bit-string rendering. *)
+val to_string : test -> string
+
+(** [random ~rng ~num_pis ~frames ~piers] draws a random test. *)
+val random :
+  rng:Random.State.t -> num_pis:int -> frames:int -> piers:int list -> test
+
+(** Total vector (clock cycle) count across a test set. *)
+val total_vectors : test list -> int
+
+exception Parse_error of string
+
+(** Emit a test set in the textual vector-file format ([test] / [load ff
+    v] / [vec 0101...] / [end] blocks); [pi_names] become a header
+    comment. *)
+val write_channel : ?pi_names:string array -> out_channel -> test list -> unit
+
+val write_file : ?pi_names:string array -> string -> test list -> unit
+
+(** Parse a vector file back.  @raise Parse_error on malformed input. *)
+val read_channel : in_channel -> test list
+
+val read_file : string -> test list

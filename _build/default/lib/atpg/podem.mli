@@ -1,0 +1,26 @@
+(** PODEM test generation over a time-frame-expanded sequential circuit:
+    flip-flops chain frame state, frame-0 state is X except for PIER
+    registers (loadable pseudo inputs), PIER next-state at the last frame
+    is observable, and the fault is present in every frame.  The
+    backtrace is guided by SCOAP-like controllability costs with a
+    seedable jitter for randomized restarts. *)
+
+type outcome =
+  | Detected of Pattern.test
+  | Exhausted  (** search space exhausted at this unrolling depth *)
+  | Aborted    (** backtrack limit reached *)
+
+type config = {
+  frames : int;
+  backtrack_limit : int;
+  piers : int list;  (** loadable/storable flip-flop indices *)
+  seed : int;        (** randomizes tie-breaks; vary across restarts *)
+}
+
+val default_config : config
+
+(** Diagnostics hook: receives one line per search event when set. *)
+val debug_hook : (string -> unit) option ref
+
+(** [run c cfg fault] attempts to generate a test for [fault]. *)
+val run : Netlist.t -> config -> Fault.t -> outcome

@@ -1,0 +1,30 @@
+(** Simulation-based sequential test generation (CONTEST-style): evolves
+    candidate sequences by hill-climbing on a divergence cost measured by
+    concurrent good/faulty simulation.  An alternative engine to
+    {!Podem}'s time-frame search, compared in ablation A5. *)
+
+type config = {
+  sg_pool : int;         (** candidate sequences kept per fault *)
+  sg_generations : int;  (** improvement rounds per fault *)
+  sg_frames : int;       (** initial sequence length *)
+  sg_max_frames : int;   (** hard cap on sequence growth *)
+  sg_piers : int list;
+  sg_seed : int;
+}
+
+val default_config : config
+
+(** [run c cfg fault] evolves a test; [None] when the budget is exhausted
+    without detection. *)
+val run : Netlist.t -> config -> Fault.t -> Pattern.test option
+
+type result = {
+  sr_total : int;
+  sr_detected : int;
+  sr_coverage : float;
+  sr_tests : Pattern.test list;
+  sr_time : float;
+}
+
+(** Run over a fault list with fault dropping. *)
+val campaign : Netlist.t -> config -> Fault.t list -> result

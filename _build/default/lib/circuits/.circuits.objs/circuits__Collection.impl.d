@@ -1,0 +1,1 @@
+lib/circuits/collection.ml: Factor List String

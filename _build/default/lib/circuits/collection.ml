@@ -1,0 +1,730 @@
+(** A corpus of hierarchical benchmark designs in the supported Verilog
+    subset, used for regression sweeps of the whole FACTOR flow beyond
+    the ARM processor: every entry names modules under test embedded at
+    least one level down. *)
+
+type entry = {
+  e_name : string;
+  e_source : string;
+  e_top : string;
+  e_muts : Factor.Flow.mut_spec list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* gcd: a data-dominated FSM (Euclid's algorithm).                     *)
+(* ------------------------------------------------------------------ *)
+
+let gcd =
+  { e_name = "gcd";
+    e_top = "gcd_top";
+    e_muts =
+      [ { Factor.Flow.ms_name = "subtractor"; ms_path = "u_core.u_sub" };
+        { Factor.Flow.ms_name = "gcd_ctrl"; ms_path = "u_core.u_ctrl" } ];
+    e_source =
+      {|
+      module subtractor (input [7:0] a, b, output [7:0] diff, output a_ge_b);
+        assign a_ge_b = a >= b;
+        assign diff = a_ge_b ? (a - b) : (b - a);
+      endmodule
+
+      module gcd_ctrl (input clk, rst, input start, input equal,
+                       output reg busy, output reg done);
+        always @(posedge clk) begin
+          if (rst) begin
+            busy <= 1'b0;
+            done <= 1'b0;
+          end else begin
+            if (!busy) begin
+              done <= 1'b0;
+              if (start) busy <= 1'b1;
+            end else begin
+              if (equal) begin
+                busy <= 1'b0;
+                done <= 1'b1;
+              end
+            end
+          end
+        end
+      endmodule
+
+      module gcd_core (input clk, rst, input start, input [7:0] xin, yin,
+                       output [7:0] result, output done);
+        reg [7:0] x;
+        reg [7:0] y;
+        wire [7:0] diff;
+        wire a_ge_b;
+        wire busy;
+        wire equal;
+
+        subtractor u_sub (.a(x), .b(y), .diff(diff), .a_ge_b(a_ge_b));
+        gcd_ctrl u_ctrl (.clk(clk), .rst(rst), .start(start), .equal(equal),
+                         .busy(busy), .done(done));
+
+        assign equal = (x == y);
+
+        always @(posedge clk) begin
+          if (rst) begin
+            x <= 8'd0;
+            y <= 8'd0;
+          end else begin
+            if (!busy & start) begin
+              x <= xin;
+              y <= yin;
+            end else begin
+              if (busy & !equal) begin
+                if (a_ge_b) x <= diff; else y <= diff;
+              end
+            end
+          end
+        end
+        assign result = x;
+      endmodule
+
+      module gcd_top (input clk, rst, input start, input [7:0] xin, yin,
+                      output [7:0] result, output done, output [7:0] echo);
+        gcd_core u_core (.clk(clk), .rst(rst), .start(start), .xin(xin),
+                         .yin(yin), .result(result), .done(done));
+        // an unrelated echo path the extractor should prune
+        reg [7:0] echo_r;
+        always @(posedge clk) begin
+          if (rst) echo_r <= 8'd0; else echo_r <= yin;
+        end
+        assign echo = echo_r;
+      endmodule
+      |} }
+
+(* ------------------------------------------------------------------ *)
+(* fifo: synchronous FIFO controller with flags.                       *)
+(* ------------------------------------------------------------------ *)
+
+let fifo =
+  { e_name = "fifo";
+    e_top = "fifo_top";
+    e_muts =
+      [ { Factor.Flow.ms_name = "fifo_flags"; ms_path = "u_fifo.u_flags" };
+        { Factor.Flow.ms_name = "gray_counter"; ms_path = "u_fifo.u_wptr" } ];
+    e_source =
+      {|
+      module gray_counter (input clk, rst, input inc,
+                           output [3:0] count, output [3:0] gray);
+        reg [3:0] bin;
+        always @(posedge clk) begin
+          if (rst) bin <= 4'd0;
+          else begin
+            if (inc) bin <= bin + 4'd1;
+          end
+        end
+        assign count = bin;
+        assign gray = bin ^ (bin >> 1);
+      endmodule
+
+      module fifo_flags (input [3:0] wcount, rcount,
+                         output full, output empty, output [3:0] level);
+        assign level = wcount - rcount;
+        assign empty = (wcount == rcount);
+        assign full = (level == 4'd8);
+      endmodule
+
+      module fifo_ctrl (input clk, rst, input push, pop,
+                        output full, empty, output [3:0] waddr, raddr,
+                        output [3:0] level);
+        wire [3:0] wcount;
+        wire [3:0] rcount;
+        wire [3:0] wgray;
+        wire [3:0] rgray;
+        wire do_push;
+        wire do_pop;
+
+        assign do_push = push & (~full);
+        assign do_pop = pop & (~empty);
+
+        gray_counter u_wptr (.clk(clk), .rst(rst), .inc(do_push),
+                             .count(wcount), .gray(wgray));
+        gray_counter u_rptr (.clk(clk), .rst(rst), .inc(do_pop),
+                             .count(rcount), .gray(rgray));
+        fifo_flags u_flags (.wcount(wcount), .rcount(rcount),
+                            .full(full), .empty(empty), .level(level));
+        assign waddr = wcount & 4'd7;
+        assign raddr = rcount & 4'd7;
+      endmodule
+
+      module fifo_top (input clk, rst, input push, pop,
+                       output full, empty, output [3:0] waddr, raddr,
+                       output [3:0] level, output [7:0] busy_cycles);
+        fifo_ctrl u_fifo (.clk(clk), .rst(rst), .push(push), .pop(pop),
+                          .full(full), .empty(empty), .waddr(waddr),
+                          .raddr(raddr), .level(level));
+        // occupancy statistics, independent of the controller's cones
+        reg [7:0] busy;
+        always @(posedge clk) begin
+          if (rst) busy <= 8'd0;
+          else begin
+            if (push | pop) busy <= busy + 8'd1;
+          end
+        end
+        assign busy_cycles = busy;
+      endmodule
+      |} }
+
+(* ------------------------------------------------------------------ *)
+(* arbiter: round-robin arbiter with a priority core.                  *)
+(* ------------------------------------------------------------------ *)
+
+let arbiter =
+  { e_name = "arbiter";
+    e_top = "arb_top";
+    e_muts =
+      [ { Factor.Flow.ms_name = "priority_core"; ms_path = "u_arb.u_prio" } ];
+    e_source =
+      {|
+      module priority_core (input [3:0] req, input [1:0] last,
+                            output reg [1:0] grant, output reg any);
+        // rotating priority starting after "last"
+        reg [3:0] rot;
+        always @(*) begin
+          case (last)
+            2'd0: rot = {req[0], req[3], req[2], req[1]};
+            2'd1: rot = {req[1], req[0], req[3], req[2]};
+            2'd2: rot = {req[2], req[1], req[0], req[3]};
+            default: rot = {req[3], req[2], req[1], req[0]};
+          endcase
+          any = (req != 4'd0);
+          grant = 2'd0;
+          if (rot[0]) grant = last + 2'd1;
+          else begin
+            if (rot[1]) grant = last + 2'd2;
+            else begin
+              if (rot[2]) grant = last + 2'd3;
+              else begin
+                if (rot[3]) grant = last;
+              end
+            end
+          end
+        end
+      endmodule
+
+      module rr_arbiter (input clk, rst, input [3:0] req,
+                         output [1:0] grant, output valid);
+        reg [1:0] last;
+        wire [1:0] next_grant;
+        wire any;
+        priority_core u_prio (.req(req), .last(last), .grant(next_grant),
+                              .any(any));
+        always @(posedge clk) begin
+          if (rst) last <= 2'd3;
+          else begin
+            if (any) last <= next_grant;
+          end
+        end
+        assign grant = next_grant;
+        assign valid = any;
+      endmodule
+
+      module arb_top (input clk, rst, input [3:0] req,
+                      output [1:0] grant, output valid,
+                      output [7:0] grants_seen);
+        rr_arbiter u_arb (.clk(clk), .rst(rst), .req(req), .grant(grant),
+                          .valid(valid));
+        reg [7:0] seen;
+        always @(posedge clk) begin
+          if (rst) seen <= 8'd0;
+          else begin
+            if (valid) seen <= seen + 8'd1;
+          end
+        end
+        assign grants_seen = seen;
+      endmodule
+      |} }
+
+(* ------------------------------------------------------------------ *)
+(* traffic: the classic two-road light controller.                     *)
+(* ------------------------------------------------------------------ *)
+
+let traffic =
+  { e_name = "traffic";
+    e_top = "traffic_top";
+    e_muts =
+      [ { Factor.Flow.ms_name = "light_fsm"; ms_path = "u_ctl.u_fsm" } ];
+    e_source =
+      {|
+      module light_fsm (input clk, rst, input timer_done, input car_waiting,
+                        output reg [1:0] state);
+        // 0: main green, 1: main yellow, 2: side green, 3: side yellow
+        always @(posedge clk) begin
+          if (rst) state <= 2'd0;
+          else begin
+            case (state)
+              2'd0: begin
+                if (car_waiting & timer_done) state <= 2'd1;
+              end
+              2'd1: begin
+                if (timer_done) state <= 2'd2;
+              end
+              2'd2: begin
+                if (timer_done) state <= 2'd3;
+              end
+              default: begin
+                if (timer_done) state <= 2'd0;
+              end
+            endcase
+          end
+        end
+      endmodule
+
+      module interval_timer (input clk, rst, input [3:0] reload,
+                             input restart, output done);
+        reg [3:0] count;
+        always @(posedge clk) begin
+          if (rst) count <= 4'd15;
+          else begin
+            if (restart) count <= reload;
+            else begin
+              if (count != 4'd0) count <= count - 4'd1;
+            end
+          end
+        end
+        assign done = (count == 4'd0);
+      endmodule
+
+      module light_ctl (input clk, rst, input car_waiting,
+                        output [1:0] state, output [2:0] main_light,
+                        output [2:0] side_light);
+        wire timer_done;
+        wire [1:0] st;
+        reg restart;
+        reg [3:0] reload;
+        reg [1:0] prev;
+
+        light_fsm u_fsm (.clk(clk), .rst(rst), .timer_done(timer_done),
+                         .car_waiting(car_waiting), .state(st));
+        interval_timer u_tmr (.clk(clk), .rst(rst), .reload(reload),
+                              .restart(restart), .done(timer_done));
+
+        always @(posedge clk) begin
+          if (rst) prev <= 2'd0; else prev <= st;
+        end
+        always @(*) begin
+          restart = (prev != st);
+          case (st)
+            2'd0: reload = 4'd12;
+            2'd1: reload = 4'd3;
+            2'd2: reload = 4'd8;
+            default: reload = 4'd3;
+          endcase
+        end
+        assign state = st;
+        assign main_light = (st == 2'd0) ? 3'd1
+                          : ((st == 2'd1) ? 3'd2 : 3'd4);
+        assign side_light = (st == 2'd2) ? 3'd1
+                          : ((st == 2'd3) ? 3'd2 : 3'd4);
+      endmodule
+
+      module traffic_top (input clk, rst, input car_waiting,
+                          output [1:0] state, output [2:0] main_light,
+                          output [2:0] side_light);
+        light_ctl u_ctl (.clk(clk), .rst(rst), .car_waiting(car_waiting),
+                         .state(state), .main_light(main_light),
+                         .side_light(side_light));
+      endmodule
+      |} }
+
+(* ------------------------------------------------------------------ *)
+(* dma: a two-channel descriptor walker.                               *)
+(* ------------------------------------------------------------------ *)
+
+let dma =
+  { e_name = "dma";
+    e_top = "dma_top";
+    e_muts =
+      [ { Factor.Flow.ms_name = "chan_engine"; ms_path = "u_dma.u_ch0" };
+        { Factor.Flow.ms_name = "burst_counter"; ms_path = "u_dma.u_ch1.u_burst" } ];
+    e_source =
+      {|
+      module burst_counter (input clk, rst, input load, input [3:0] len,
+                            input advance, output active, output last_beat);
+        reg [3:0] remaining;
+        always @(posedge clk) begin
+          if (rst) remaining <= 4'd0;
+          else begin
+            if (load) remaining <= len;
+            else begin
+              if (advance & (remaining != 4'd0))
+                remaining <= remaining - 4'd1;
+            end
+          end
+        end
+        assign active = (remaining != 4'd0);
+        assign last_beat = (remaining == 4'd1);
+      endmodule
+
+      module chan_engine (input clk, rst, input start, input [7:0] base,
+                          input [3:0] len, input grant,
+                          output req, output [7:0] addr, output busy);
+        wire active;
+        wire last_beat;
+        reg [7:0] cursor;
+        reg running;
+
+        burst_counter u_burst (.clk(clk), .rst(rst), .load(start & (~running)),
+                               .len(len), .advance(grant), .active(active),
+                               .last_beat(last_beat));
+
+        always @(posedge clk) begin
+          if (rst) begin
+            cursor <= 8'd0;
+            running <= 1'b0;
+          end else begin
+            if (start & (~running)) begin
+              cursor <= base;
+              running <= 1'b1;
+            end else begin
+              if (grant & running) begin
+                cursor <= cursor + 8'd1;
+                if (last_beat) running <= 1'b0;
+              end
+            end
+          end
+        end
+        assign req = running & active;
+        assign addr = cursor;
+        assign busy = running;
+      endmodule
+
+      module dma_engine (input clk, rst,
+                         input start0, input [7:0] base0, input [3:0] len0,
+                         input start1, input [7:0] base1, input [3:0] len1,
+                         output [7:0] addr, output mem_req, output [1:0] status);
+        wire req0;
+        wire req1;
+        wire [7:0] addr0;
+        wire [7:0] addr1;
+        wire busy0;
+        wire busy1;
+        reg turn;
+
+        chan_engine u_ch0 (.clk(clk), .rst(rst), .start(start0), .base(base0),
+                           .len(len0), .grant(grant0), .req(req0),
+                           .addr(addr0), .busy(busy0));
+        chan_engine u_ch1 (.clk(clk), .rst(rst), .start(start1), .base(base1),
+                           .len(len1), .grant(grant1), .req(req1),
+                           .addr(addr1), .busy(busy1));
+
+        wire grant0;
+        wire grant1;
+        assign grant0 = req0 & ((~req1) | (~turn));
+        assign grant1 = req1 & ((~req0) | turn);
+
+        always @(posedge clk) begin
+          if (rst) turn <= 1'b0;
+          else begin
+            if (grant0) turn <= 1'b1;
+            else begin
+              if (grant1) turn <= 1'b0;
+            end
+          end
+        end
+        assign addr = grant0 ? addr0 : addr1;
+        assign mem_req = grant0 | grant1;
+        assign status = {busy1, busy0};
+      endmodule
+
+      module dma_top (input clk, rst,
+                      input start0, input [7:0] base0, input [3:0] len0,
+                      input start1, input [7:0] base1, input [3:0] len1,
+                      output [7:0] addr, output mem_req, output [1:0] status);
+        dma_engine u_dma (.clk(clk), .rst(rst),
+                          .start0(start0), .base0(base0), .len0(len0),
+                          .start1(start1), .base1(base1), .len1(len1),
+                          .addr(addr), .mem_req(mem_req), .status(status));
+      endmodule
+      |} }
+
+(* ------------------------------------------------------------------ *)
+(* scratchpad: a banked memory with command decoding (uses register
+   arrays and casez don't-care patterns).                              *)
+(* ------------------------------------------------------------------ *)
+
+let scratchpad =
+  { e_name = "scratchpad";
+    e_top = "pad_top";
+    e_muts =
+      [ { Factor.Flow.ms_name = "mem_bank"; ms_path = "u_pad.u_bank0" };
+        { Factor.Flow.ms_name = "cmd_decode"; ms_path = "u_pad.u_dec" } ];
+    e_source =
+      {|
+      module mem_bank (input clk, input we, input [2:0] addr,
+                       input [7:0] wdata, output [7:0] rdata);
+        reg [7:0] cells [0:7];
+        always @(posedge clk) begin
+          if (we) cells[addr] <= wdata;
+        end
+        assign rdata = cells[addr];
+      endmodule
+
+      module cmd_decode (input [7:0] cmd,
+                         output reg wr, output reg rd, output reg bank,
+                         output reg [2:0] addr);
+        always @(*) begin
+          wr = 1'b0;
+          rd = 1'b0;
+          bank = cmd[3];
+          addr = cmd[2:0];
+          casez (cmd)
+            8'b1???????: wr = 1'b1;
+            8'b01??????: rd = 1'b1;
+            default: rd = 1'b0;
+          endcase
+        end
+      endmodule
+
+      module scratch_pad (input clk, input [7:0] cmd, input [7:0] wdata,
+                          output [7:0] rdata, output busy);
+        wire wr;
+        wire rd;
+        wire bank;
+        wire [2:0] addr;
+        wire [7:0] r0;
+        wire [7:0] r1;
+
+        cmd_decode u_dec (.cmd(cmd), .wr(wr), .rd(rd), .bank(bank),
+                          .addr(addr));
+        mem_bank u_bank0 (.clk(clk), .we(wr & (~bank)), .addr(addr),
+                          .wdata(wdata), .rdata(r0));
+        mem_bank u_bank1 (.clk(clk), .we(wr & bank), .addr(addr),
+                          .wdata(wdata), .rdata(r1));
+        assign rdata = bank ? r1 : r0;
+        assign busy = wr | rd;
+      endmodule
+
+      module pad_top (input clk, input [7:0] cmd, input [7:0] wdata,
+                      output [7:0] rdata, output busy);
+        scratch_pad u_pad (.clk(clk), .cmd(cmd), .wdata(wdata),
+                           .rdata(rdata), .busy(busy));
+      endmodule
+      |} }
+
+(* ------------------------------------------------------------------ *)
+(* mcu8: an accumulator-based 8-bit microcontroller — a second full
+   processor benchmark, architecturally unlike the ARM model: casez
+   decoding, a memory-based register file, and a hardware call stack.  *)
+(* ------------------------------------------------------------------ *)
+
+let mcu8 =
+  { e_name = "mcu8";
+    e_top = "mcu8";
+    e_muts =
+      [ { Factor.Flow.ms_name = "alu8"; ms_path = "u_core.u_alu" };
+        { Factor.Flow.ms_name = "reg_file8"; ms_path = "u_core.u_regs" };
+        { Factor.Flow.ms_name = "call_stack"; ms_path = "u_core.u_stack" };
+        { Factor.Flow.ms_name = "mcu_decode"; ms_path = "u_core.u_dec" } ];
+    e_source =
+      {|
+      // 8-bit accumulator ALU with zero/carry flags.
+      module alu8 (input [2:0] op, input [7:0] a, b, input cin,
+                   output reg [7:0] y, output reg cout, output zero);
+        reg [8:0] wide;
+        always @(*) begin
+          wide = 9'd0;
+          case (op)
+            3'd0: wide = {1'b0, a} + {1'b0, b};
+            3'd1: wide = {1'b0, a} + {1'b0, b} + {8'd0, cin};
+            3'd2: wide = {1'b0, a} - {1'b0, b};
+            3'd3: wide = {1'b0, a & b};
+            3'd4: wide = {1'b0, a | b};
+            3'd5: wide = {1'b0, a ^ b};
+            3'd6: wide = {1'b0, b};
+            default: wide = {a, 1'b0};   // shift left through carry
+          endcase
+          y = wide[7:0];
+          cout = wide[8];
+        end
+        assign zero = (y == 8'd0);
+      endmodule
+
+      // Eight general registers built on a register array.
+      module reg_file8 (input clk, input we, input [2:0] sel,
+                        input [7:0] wdata, output [7:0] rdata);
+        reg [7:0] bank [0:7];
+        always @(posedge clk) begin
+          if (we) bank[sel] <= wdata;
+        end
+        assign rdata = bank[sel];
+      endmodule
+
+      // Four-deep hardware call stack.
+      module call_stack (input clk, rst, input push, pop,
+                         input [7:0] pc_in, output [7:0] pc_out,
+                         output empty, output full);
+        reg [7:0] slots [0:3];
+        reg [2:0] depth;
+        always @(posedge clk) begin
+          if (rst) depth <= 3'd0;
+          else begin
+            if (push & (~full)) begin
+              slots[depth[1:0]] <= pc_in;
+              depth <= depth + 3'd1;
+            end else begin
+              if (pop & (~empty)) depth <= depth - 3'd1;
+            end
+          end
+        end
+        assign empty = (depth == 3'd0);
+        assign full = (depth == 3'd4);
+        assign pc_out = slots[(depth - 3'd1) & 3'd3];
+      endmodule
+
+      // Instruction decoder: casez over the opcode byte.
+      module mcu_decode (input [7:0] opcode,
+                         output reg [2:0] alu_op,
+                         output reg use_imm,
+                         output reg acc_we,
+                         output reg reg_we,
+                         output reg is_jmp,
+                         output reg is_jnz,
+                         output reg is_call,
+                         output reg is_ret,
+                         output reg is_out,
+                         output [2:0] reg_sel);
+        assign reg_sel = opcode[2:0];
+        always @(*) begin
+          alu_op = 3'd6;
+          use_imm = 1'b0;
+          acc_we = 1'b0;
+          reg_we = 1'b0;
+          is_jmp = 1'b0;
+          is_jnz = 1'b0;
+          is_call = 1'b0;
+          is_ret = 1'b0;
+          is_out = 1'b0;
+          casez (opcode)
+            8'b0000_0000: acc_we = 1'b0;                    // nop
+            8'b0000_0001: begin acc_we = 1'b1; use_imm = 1'b1; end // lda #imm
+            8'b0001_0???: begin                              // lda r
+              acc_we = 1'b1;
+            end
+            8'b0001_1???: reg_we = 1'b1;                     // sta r
+            8'b0010_0???: begin alu_op = 3'd0; acc_we = 1'b1; end // add r
+            8'b0010_1???: begin alu_op = 3'd1; acc_we = 1'b1; end // adc r
+            8'b0011_0???: begin alu_op = 3'd2; acc_we = 1'b1; end // sub r
+            8'b0011_1???: begin alu_op = 3'd3; acc_we = 1'b1; end // and r
+            8'b0100_0???: begin alu_op = 3'd4; acc_we = 1'b1; end // or r
+            8'b0100_1???: begin alu_op = 3'd5; acc_we = 1'b1; end // xor r
+            8'b0101_0000: begin alu_op = 3'd7; acc_we = 1'b1; end // shl
+            8'b1000_0000: is_jmp = 1'b1;                     // jmp addr
+            8'b1000_0001: is_jnz = 1'b1;                     // jnz addr
+            8'b1000_0010: is_call = 1'b1;                    // call addr
+            8'b1000_0011: is_ret = 1'b1;                     // ret
+            8'b1100_0000: is_out = 1'b1;                     // out
+            default: acc_we = 1'b0;
+          endcase
+        end
+      endmodule
+
+      // The core: accumulator, flags, and the four units.
+      module mcu_core (input clk, rst,
+                       input [7:0] opcode, operand,
+                       input [7:0] pc_next,
+                       output take_jump,
+                       output [7:0] jump_target,
+                       output push_pc, pop_pc,
+                       output [7:0] acc_out,
+                       output [7:0] out_port,
+                       output out_strobe);
+        wire [2:0] alu_op;
+        wire use_imm;
+        wire acc_we;
+        wire reg_we;
+        wire is_jmp;
+        wire is_jnz;
+        wire is_call;
+        wire is_ret;
+        wire is_out;
+        wire [2:0] reg_sel;
+        wire [7:0] alu_y;
+        wire alu_cout;
+        wire alu_zero;
+        wire [7:0] reg_rdata;
+        wire [7:0] stack_pc;
+        wire stack_empty;
+        wire stack_full;
+        reg [7:0] acc;
+        reg carry;
+        reg zflag;
+
+        mcu_decode u_dec (.opcode(opcode), .alu_op(alu_op), .use_imm(use_imm),
+                          .acc_we(acc_we), .reg_we(reg_we), .is_jmp(is_jmp),
+                          .is_jnz(is_jnz), .is_call(is_call), .is_ret(is_ret),
+                          .is_out(is_out), .reg_sel(reg_sel));
+
+        reg_file8 u_regs (.clk(clk), .we(reg_we), .sel(reg_sel),
+                          .wdata(acc), .rdata(reg_rdata));
+
+        alu8 u_alu (.op(alu_op), .a(acc),
+                    .b(use_imm ? operand : reg_rdata), .cin(carry),
+                    .y(alu_y), .cout(alu_cout), .zero(alu_zero));
+
+        call_stack u_stack (.clk(clk), .rst(rst), .push(is_call),
+                            .pop(is_ret), .pc_in(pc_next),
+                            .pc_out(stack_pc), .empty(stack_empty),
+                            .full(stack_full));
+
+        always @(posedge clk) begin
+          if (rst) begin
+            acc <= 8'd0;
+            carry <= 1'b0;
+            zflag <= 1'b0;
+          end else begin
+            if (acc_we) begin
+              acc <= alu_y;
+              carry <= alu_cout;
+              zflag <= alu_zero;
+            end
+          end
+        end
+
+        assign take_jump = is_jmp | (is_jnz & (~zflag)) | is_call
+                         | (is_ret & (~stack_empty));
+        assign jump_target = is_ret ? stack_pc : operand;
+        assign push_pc = is_call & (~stack_full);
+        assign pop_pc = is_ret & (~stack_empty);
+        assign acc_out = acc;
+        assign out_port = acc;
+        assign out_strobe = is_out;
+      endmodule
+
+      // Top level: program counter and instruction interface.
+      module mcu8 (input clk, rst,
+                   input [7:0] opcode, operand,
+                   output [7:0] pc,
+                   output [7:0] acc,
+                   output [7:0] out_port,
+                   output out_strobe);
+        reg [7:0] pc_r;
+        wire take_jump;
+        wire [7:0] jump_target;
+        wire push_pc;
+        wire pop_pc;
+
+        mcu_core u_core (.clk(clk), .rst(rst), .opcode(opcode),
+                         .operand(operand), .pc_next(pc_r + 8'd1),
+                         .take_jump(take_jump), .jump_target(jump_target),
+                         .push_pc(push_pc), .pop_pc(pop_pc),
+                         .acc_out(acc), .out_port(out_port),
+                         .out_strobe(out_strobe));
+
+        always @(posedge clk) begin
+          if (rst) pc_r <= 8'd0;
+          else begin
+            if (take_jump) pc_r <= jump_target;
+            else pc_r <= pc_r + 8'd1;
+          end
+        end
+        assign pc = pc_r;
+      endmodule
+      |} }
+
+(** Every corpus entry. *)
+let all = [ gcd; fifo; arbiter; traffic; dma; scratchpad; mcu8 ]
+
+(** Look an entry up by name.  @raise Not_found if absent. *)
+let find name = List.find (fun e -> String.equal e.e_name name) all

@@ -1,0 +1,1 @@
+lib/design/chains.ml: Array Elaborate List Option Printf Set String Verilog

@@ -1,0 +1,1 @@
+lib/design/chains.mli: Elaborate Set Verilog

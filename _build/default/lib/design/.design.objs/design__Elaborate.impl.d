@@ -1,0 +1,1 @@
+lib/design/elaborate.ml: Array Fmt List Printf String Verilog

@@ -1,0 +1,1 @@
+lib/design/hierarchy.ml: Array Elaborate List Option Printf String Verilog

@@ -1,0 +1,1 @@
+lib/design/hierarchy.mli: Elaborate Verilog

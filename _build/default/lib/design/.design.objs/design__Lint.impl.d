@@ -1,0 +1,1 @@
+lib/design/lint.ml: Array Elaborate List Printf Verilog

@@ -1,0 +1,1 @@
+lib/design/lint.mli: Elaborate

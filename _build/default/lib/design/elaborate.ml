@@ -1,0 +1,415 @@
+(** Elaboration: resolves parameters to constants, unrolls for loops,
+    folds constant expressions, normalizes instance connections to named
+    form, and specializes modules per parameter binding.  The result is
+    the representation every downstream pass (chains, extraction,
+    synthesis) operates on. *)
+
+open Verilog.Ast
+module Sset = Verilog.Ast_util.Sset
+module Smap = Verilog.Ast_util.Smap
+
+exception Error of string
+
+let errorf fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type signal = {
+  sg_name : string;
+  sg_msb : int;
+  sg_lsb : int;
+  sg_reg : bool;
+  sg_dir : direction option;  (** [Some _] for ports *)
+  sg_words : int;             (** > 1 for register arrays (memories) *)
+  sg_addr_base : int;         (** lowest address of a register array *)
+}
+
+let signal_width s = s.sg_msb - s.sg_lsb + 1
+let is_memory s = s.sg_words > 1
+
+type clocking = Combinational | Clocked of string  (** posedge clock name *)
+
+type einstance = {
+  ei_module : string;  (** elaborated (specialized) module name *)
+  ei_name : string;
+  ei_conns : (string * expr option) list;  (** full port list, in order *)
+}
+
+type eitem =
+  | EI_assign of lvalue * expr
+  | EI_always of clocking * stmt list
+  | EI_instance of einstance
+  | EI_gate of gate_prim * string * lvalue * expr list
+
+type emodule = {
+  em_name : string;
+  em_ports : string list;
+  em_signals : signal Smap.t;
+  em_items : eitem array;
+}
+
+type edesign = {
+  ed_modules : emodule Smap.t;
+  ed_top : string;
+}
+
+let find_emodule ed name =
+  match Smap.find_opt name ed.ed_modules with
+  | Some m -> m
+  | None -> errorf "module %s not found in elaborated design" name
+
+let signal_of em name =
+  match Smap.find_opt name em.em_signals with
+  | Some s -> s
+  | None -> errorf "signal %s not declared in module %s" name em.em_name
+
+let port_dir em name =
+  match (signal_of em name).sg_dir with
+  | Some d -> d
+  | None -> errorf "%s is not a port of %s" name em.em_name
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Constant folding is width-aware so that folded results agree exactly
+   with what the bit-level evaluation of the unfolded expression would
+   produce: sized operands wrap at their common width, unsized ones at
+   32 bits. *)
+let rec fold_expr e =
+  let wrap width v =
+    match width with
+    | Some w when w < 62 -> v land ((1 lsl w) - 1)
+    | Some _ -> v
+    | None -> v land 0xFFFFFFFF
+  in
+  match e with
+  | E_const _ | E_masked _ | E_ident _ -> e
+  | E_bit (s, i) -> E_bit (s, fold_expr i)
+  | E_part (s, msb, lsb) -> E_part (s, fold_expr msb, fold_expr lsb)
+  | E_unop (op, a) ->
+    let a = fold_expr a in
+    (match a with
+     | E_const { value; width } ->
+       (match op with
+        | U_neg -> E_const { value = wrap width (-value); width }
+        | U_plus -> a
+        | U_lnot ->
+          E_const { value = (if wrap width value = 0 then 1 else 0);
+                    width = Some 1 }
+        | U_not | U_rand | U_ror | U_rxor | U_rnand | U_rnor | U_rxnor ->
+          E_unop (op, a))
+     | _ -> E_unop (op, a))
+  | E_binop (op, a, b) ->
+    let a = fold_expr a and b = fold_expr b in
+    (match (a, b) with
+     | (E_const ca, E_const cb) ->
+       (* the folding width: the widest sized operand, or unsized *)
+       let width =
+         match (ca.width, cb.width) with
+         | (Some x, Some y) -> Some (max x y)
+         | _ -> None
+       in
+       let va = wrap width ca.value and vb = wrap width cb.value in
+       let arith v = E_const { value = wrap width v; width } in
+       let bit v = E_const { value = v; width = Some 1 } in
+       (match op with
+        | B_add -> arith (va + vb)
+        | B_sub -> arith (va - vb)
+        | B_mul -> arith (va * vb)
+        | B_and -> arith (va land vb)
+        | B_or -> arith (va lor vb)
+        | B_xor -> arith (va lxor vb)
+        | B_shl ->
+          (* the amount is self-determined on its own width *)
+          let k = wrap cb.width cb.value in
+          arith (if k >= 62 then 0 else wrap ca.width ca.value lsl k)
+        | B_shr ->
+          let k = wrap cb.width cb.value in
+          arith (if k >= 62 then 0 else wrap ca.width ca.value lsr k)
+        | B_eq -> bit (if va = vb then 1 else 0)
+        | B_neq -> bit (if va <> vb then 1 else 0)
+        | B_lt -> bit (if va < vb then 1 else 0)
+        | B_le -> bit (if va <= vb then 1 else 0)
+        | B_gt -> bit (if va > vb then 1 else 0)
+        | B_ge -> bit (if va >= vb then 1 else 0)
+        | B_land -> bit (if va <> 0 && vb <> 0 then 1 else 0)
+        | B_lor -> bit (if va <> 0 || vb <> 0 then 1 else 0)
+        | B_xnor -> E_binop (op, a, b))
+     | _ -> E_binop (op, a, b))
+  | E_cond (c, t, f) ->
+    let c = fold_expr c in
+    (match c with
+     | E_const { value; width } ->
+       if wrap width value <> 0 then fold_expr t else fold_expr f
+     | _ -> E_cond (c, fold_expr t, fold_expr f))
+  | E_concat es -> E_concat (List.map fold_expr es)
+  | E_repl (n, es) -> E_repl (fold_expr n, List.map fold_expr es)
+
+let subst_fold env e =
+  fold_expr (Verilog.Ast_util.subst_expr env e)
+
+let const_env_of env =
+  (* environment of int values for eval_const *)
+  Smap.filter_map
+    (fun _ e -> match e with E_const { value; _ } -> Some value | _ -> None)
+    env
+
+let eval_to_int env ctx e =
+  let e = subst_fold env e in
+  match e with
+  | E_const { value; _ } -> value
+  | _ ->
+    (try Verilog.Ast_util.eval_const (const_env_of env) e
+     with Verilog.Ast_util.Not_constant _ ->
+       errorf "%s: expression is not constant after elaboration" ctx)
+
+(* ------------------------------------------------------------------ *)
+(* Statement elaboration: substitute, fold, unroll for loops.          *)
+(* ------------------------------------------------------------------ *)
+
+let max_loop_iterations = 4096
+
+let rec elab_stmt env stmt : stmt list =
+  match stmt with
+  | S_blocking (lv, e) -> [ S_blocking (elab_lvalue env lv, subst_fold env e) ]
+  | S_nonblocking (lv, e) ->
+    [ S_nonblocking (elab_lvalue env lv, subst_fold env e) ]
+  | S_if (c, t, f) ->
+    let c = subst_fold env c in
+    (match c with
+     | E_const { value; _ } ->
+       (* statically-known branch: splice the live side *)
+       elab_stmts env (if value <> 0 then t else f)
+     | _ -> [ S_if (c, elab_stmts env t, elab_stmts env f) ])
+  | S_case (kind, subject, arms) ->
+    let subject = subst_fold env subject in
+    let arms =
+      List.map
+        (fun arm ->
+          { arm_patterns = List.map (subst_fold env) arm.arm_patterns;
+            arm_body = elab_stmts env arm.arm_body })
+        arms
+    in
+    [ S_case (kind, subject, arms) ]
+  | S_for f ->
+    let init = eval_to_int env "for initializer" f.for_init in
+    let rec unroll value count acc =
+      if count > max_loop_iterations then
+        errorf "for loop on %s exceeds %d iterations" f.for_var
+          max_loop_iterations;
+      let env = Smap.add f.for_var (E_const { width = None; value }) env in
+      let live = eval_to_int env "for condition" f.for_cond in
+      if live = 0 then List.rev acc
+      else begin
+        let body = elab_stmts env f.for_body in
+        let next = eval_to_int env "for step" f.for_step in
+        unroll next (count + 1) (List.rev_append body acc)
+      end
+    in
+    unroll init 0 []
+
+and elab_stmts env stmts = List.concat_map (elab_stmt env) stmts
+
+and elab_lvalue env lv =
+  match lv with
+  | L_ident _ -> lv
+  | L_bit (s, i) -> L_bit (s, subst_fold env i)
+  | L_part (s, msb, lsb) ->
+    L_part (s, subst_fold env msb, subst_fold env lsb)
+  | L_concat lvs -> L_concat (List.map (elab_lvalue env) lvs)
+
+let elab_clocking em_name events body =
+  let edges =
+    List.filter_map
+      (function Ev_posedge s -> Some s | _ -> None)
+      events
+  in
+  let negedges = List.exists (function Ev_negedge _ -> true | _ -> false) events in
+  if negedges then
+    errorf "%s: negedge clocking is outside the supported subset" em_name;
+  match edges with
+  | [] ->
+    (* combinational: star or explicit level sensitivity list *)
+    (Combinational, body)
+  | [ clk ] -> (Clocked clk, body)
+  | _ -> errorf "%s: multiple clock edges in one always block" em_name
+
+(* ------------------------------------------------------------------ *)
+(* Module elaboration.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Specialized module name for a parameter binding. *)
+let specialized_name base overrides =
+  if overrides = [] then base
+  else
+    let part (n, v) = Printf.sprintf "%s%d" n v in
+    base ^ "_p_" ^ String.concat "_" (List.map part overrides)
+
+type elab_ctx = {
+  source : design;
+  mutable done_ : emodule Smap.t;
+}
+
+let rec elab_module ctx base_name (overrides : (string * int) list) =
+  let name = specialized_name base_name overrides in
+  match Smap.find_opt name ctx.done_ with
+  | Some em -> em
+  | None ->
+    let m =
+      try Verilog.Ast.find_module ctx.source base_name
+      with Not_found -> errorf "module %s is not defined" base_name
+    in
+    (* 1. parameter environment *)
+    let env = ref Smap.empty in
+    let add_param n v = env := Smap.add n (E_const { width = None; value = v }) !env in
+    List.iter
+      (fun item ->
+        match item with
+        | I_param (n, default) ->
+          let v =
+            match List.assoc_opt n overrides with
+            | Some v -> v
+            | None -> eval_to_int !env ("parameter " ^ n) default
+          in
+          add_param n v
+        | I_localparam (n, e) ->
+          add_param n (eval_to_int !env ("localparam " ^ n) e)
+        | _ -> ())
+      m.mod_items;
+    let env = !env in
+    (* 2. signal table *)
+    let signals = ref Smap.empty in
+    let declare name msb lsb is_reg dir =
+      let merged =
+        match Smap.find_opt name !signals with
+        | None ->
+          { sg_name = name; sg_msb = msb; sg_lsb = lsb; sg_reg = is_reg;
+            sg_dir = dir; sg_words = 1; sg_addr_base = 0 }
+        | Some old ->
+          (* e.g. "output y;" plus "reg [3:0] y;" *)
+          { old with
+            sg_msb = max old.sg_msb msb;
+            sg_lsb = min old.sg_lsb lsb;
+            sg_reg = old.sg_reg || is_reg;
+            sg_dir = (match dir with Some _ -> dir | None -> old.sg_dir) }
+      in
+      signals := Smap.add name merged !signals
+    in
+    let declare_memory name msb lsb a b =
+      let lo = min a b and hi = max a b in
+      signals :=
+        Smap.add name
+          { sg_name = name; sg_msb = msb; sg_lsb = lsb; sg_reg = true;
+            sg_dir = None; sg_words = hi - lo + 1; sg_addr_base = lo }
+          !signals
+    in
+    let resolve_range = function
+      | None -> (0, 0)
+      | Some { msb; lsb } ->
+        let m = eval_to_int env "range msb" msb in
+        let l = eval_to_int env "range lsb" lsb in
+        if l > m then errorf "%s: descending ranges only ([msb:lsb])" name;
+        (m, l)
+    in
+    List.iter
+      (fun item ->
+        match item with
+        | I_port (dir, net, range, names) ->
+          let (msb, lsb) = resolve_range range in
+          List.iter (fun n -> declare n msb lsb (net = Reg) (Some dir)) names
+        | I_net (net, range, names) ->
+          let (msb, lsb) = resolve_range range in
+          List.iter
+            (fun n ->
+              if not (Smap.mem n env) then
+                declare n msb lsb (net = Reg) None)
+            names
+        | I_memory (range, arr, names) ->
+          let (msb, lsb) = resolve_range range in
+          let a = eval_to_int env "array bound" arr.msb in
+          let b = eval_to_int env "array bound" arr.lsb in
+          List.iter (fun n -> declare_memory n msb lsb a b) names
+        | _ -> ())
+      m.mod_items;
+    (* 3. items *)
+    let items = ref [] in
+    let emit i = items := i :: !items in
+    List.iter
+      (fun item ->
+        match item with
+        | I_port _ | I_net _ | I_memory _ | I_param _ | I_localparam _ -> ()
+        | I_assign (lv, e) ->
+          emit (EI_assign (elab_lvalue env lv, subst_fold env e))
+        | I_always (events, body) ->
+          let body = elab_stmts env body in
+          let (clocking, body) = elab_clocking m.mod_name events body in
+          emit (EI_always (clocking, body))
+        | I_gate (g, gname, out, inputs) ->
+          emit
+            (EI_gate (g, gname, elab_lvalue env out,
+                      List.map (subst_fold env) inputs))
+        | I_instance inst -> emit (EI_instance (elab_instance ctx env inst)))
+      m.mod_items;
+    let em =
+      { em_name = name;
+        em_ports = m.mod_ports;
+        em_signals = !signals;
+        em_items = Array.of_list (List.rev !items) }
+    in
+    ctx.done_ <- Smap.add name em ctx.done_;
+    em
+
+and elab_instance ctx env inst =
+  let child_overrides =
+    List.map
+      (fun (n, e) -> (n, eval_to_int env ("override " ^ n) e))
+      inst.inst_params
+  in
+  let child = elab_module ctx inst.inst_module child_overrides in
+  let conns =
+    match inst.inst_conns with
+    | Positional es ->
+      let es = List.map (fun e -> Some (subst_fold env e)) es in
+      let n_ports = List.length child.em_ports in
+      if List.length es <> n_ports then
+        errorf "instance %s of %s: %d connections for %d ports"
+          inst.inst_name inst.inst_module (List.length es) n_ports;
+      List.combine child.em_ports es
+    | Named given ->
+      List.map
+        (fun port ->
+          match List.assoc_opt port given with
+          | Some (Some e) -> (port, Some (subst_fold env e))
+          | Some None | None -> (port, None))
+        child.em_ports
+  in
+  { ei_module = child.em_name; ei_name = inst.inst_name; ei_conns = conns }
+
+(** [elaborate design ~top] elaborates [design] rooted at module [top].
+    @raise Error on undefined modules, non-constant parameter expressions,
+    unsupported constructs, or connection arity mismatches. *)
+let elaborate design ~top =
+  let ctx = { source = design; done_ = Smap.empty } in
+  let top_module = elab_module ctx top [] in
+  { ed_modules = ctx.done_; ed_top = top_module.em_name }
+
+(* ------------------------------------------------------------------ *)
+(* Queries used throughout the toolchain.                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Ports of an elaborated module with directions, in header order. *)
+let ports_of em =
+  List.map (fun p -> (p, port_dir em p)) em.em_ports
+
+let inputs_of em =
+  List.filter_map
+    (fun (p, d) -> if d = Input then Some p else None)
+    (ports_of em)
+
+let outputs_of em =
+  List.filter_map
+    (fun (p, d) -> if d = Output then Some p else None)
+    (ports_of em)
+
+(** Total port bit counts (PI/PO columns of Table 1). *)
+let port_bits em names =
+  List.fold_left (fun acc n -> acc + signal_width (signal_of em n)) 0 names

@@ -1,0 +1,1 @@
+lib/factor/compose.ml: Design Extract Hashtbl List Slice Sys Verilog

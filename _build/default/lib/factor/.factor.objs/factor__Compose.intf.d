@@ -1,0 +1,1 @@
+lib/factor/compose.mli: Design Extract Slice Verilog

@@ -1,0 +1,1 @@
+lib/factor/extract.ml: Array Design Hashtbl List Printf Slice String Verilog

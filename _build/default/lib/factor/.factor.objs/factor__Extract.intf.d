@@ -1,0 +1,1 @@
+lib/factor/extract.mli: Design Slice Verilog

@@ -1,0 +1,1 @@
+lib/factor/flow.ml: Atpg Compose Design List Netlist Pier Synth Transform

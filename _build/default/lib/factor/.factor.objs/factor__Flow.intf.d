@@ -1,0 +1,1 @@
+lib/factor/flow.mli: Atpg Compose Netlist Transform

@@ -1,0 +1,1 @@
+lib/factor/pier.ml: Array Fun List Netlist

@@ -1,0 +1,1 @@
+lib/factor/pier.mli: Netlist

@@ -1,0 +1,1 @@
+lib/factor/reconstruct.ml: Array Design List Slice Verilog

@@ -1,0 +1,1 @@
+lib/factor/reconstruct.mli: Design Slice Verilog

@@ -1,0 +1,1 @@
+lib/factor/slice.ml: Design List Option Verilog

@@ -1,0 +1,1 @@
+lib/factor/slice.mli: Design Verilog

@@ -1,0 +1,1 @@
+lib/factor/testability.ml: Array Buffer Compose Design Extract List Printf String Verilog

@@ -1,0 +1,1 @@
+lib/factor/testability.mli: Compose Extract

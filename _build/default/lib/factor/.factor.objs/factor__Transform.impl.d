@@ -1,0 +1,1 @@
+lib/factor/transform.ml: Array Compose Design Netlist Reconstruct String Synth Sys Verilog

@@ -1,0 +1,1 @@
+lib/factor/transform.mli: Compose Netlist Slice Verilog

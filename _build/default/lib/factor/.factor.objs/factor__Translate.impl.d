@@ -1,0 +1,1 @@
+lib/factor/translate.ml: Array Atpg Hashtbl List Netlist

@@ -1,0 +1,1 @@
+lib/factor/translate.mli: Atpg Netlist

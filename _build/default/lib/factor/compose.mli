@@ -1,0 +1,47 @@
+(** The two extraction flows of the paper: the conventional (pre-FACTOR)
+    level-1 methodology of Tables 2/5, and the compositional
+    level-by-level flow of Tables 3/6 whose per-level constraints are
+    cached in a session and reused across modules under test. *)
+
+type stats = {
+  cs_slice : Slice.t;
+  cs_dead_ends : Extract.dead_end list;
+  cs_reached_pi : bool;
+  cs_reached_po : bool;
+  cs_extraction_time : float;  (** CPU seconds *)
+  cs_cache_hits : int;
+  cs_cache_misses : int;
+  cs_stages : int;
+  cs_visited : int;
+}
+
+(** One elaborated-and-indexed design, reusable across extractions. *)
+type env = {
+  ed : Design.Elaborate.edesign;
+  tree : Design.Hierarchy.node;
+  chains : Design.Chains.t Verilog.Ast_util.Smap.t;
+}
+
+val make_env : Verilog.Ast.design -> top:string -> env
+
+(** @raise Not_found for an unknown instance path. *)
+val mut_node : env -> string -> Design.Hierarchy.node
+
+(** [conventional env ~mut_path] builds the MUT's ATPG view the way the
+    pre-composition methodology could: the MUT inside its *entire*
+    level-1 ancestor, with the ancestor's interface constraints extracted
+    in one coarse whole-design pass. *)
+val conventional : env -> mut_path:string -> stats
+
+type session
+
+(** A session owns the constraint cache; share one across modules under
+    test to reuse constraints the way the paper describes. *)
+val create_session : unit -> session
+
+(** [compositional session env ~mut_path] extracts the MUT's ATPG view
+    one hierarchy level at a time, composing per-level constraints and
+    reusing previously extracted ones (a request covered by a cached one
+    is a pure hit; otherwise only the missing interface signals are
+    extracted and merged). *)
+val compositional : session -> env -> mut_path:string -> stats

@@ -1,0 +1,49 @@
+(** The two recursive subroutines of the paper's Figure 3:
+    [find_source_logic] walks justification cones of module-under-test
+    inputs up the hierarchy, [find_prop_paths] walks observation cones of
+    its outputs down to the chip pins.  Empty def-use / use-def chains
+    are recorded as testability dead ends with a full signal trace. *)
+
+type dead_end = {
+  de_module : string;
+  de_signal : string;
+  de_kind : [ `Source | `Prop ];
+  de_trace : (string * string) list;  (** (module, signal) from the MUT out *)
+}
+
+val dead_end_to_string : dead_end -> string
+
+type result = {
+  rs_slice : Slice.t;
+  rs_dead_ends : dead_end list;
+  rs_boundary_sources : Verilog.Ast_util.Sset.t;
+      (** input ports of the stop module still requiring source logic *)
+  rs_boundary_props : Verilog.Ast_util.Sset.t;
+      (** output ports of the stop module still requiring propagation *)
+  rs_reached_pi : bool;
+  rs_reached_po : bool;
+  rs_visited_signals : int;  (** traversal-size statistic *)
+}
+
+type granularity =
+  | Coarse  (** whole always blocks / items — the conventional
+                methodology of Tupuri et al. *)
+  | Fine    (** individual leaf statements with their enclosing
+                conditionals — FACTOR's compositional refinement *)
+
+(** [run ~ed ~tree ~chains ~stop ~granularity ~node ~sources ~props]
+    extracts the constraints needed to justify [sources] (signals of
+    [node]'s module) and observe [props], walking the hierarchy but never
+    above [stop].  When [stop] is the tree root, reaching it records chip
+    pin accessibility; otherwise the still-open requests on [stop]'s
+    ports are returned as boundaries for the compositional flow. *)
+val run :
+  ed:Design.Elaborate.edesign ->
+  tree:Design.Hierarchy.node ->
+  chains:Design.Chains.t Verilog.Ast_util.Smap.t ->
+  stop:Design.Hierarchy.node ->
+  granularity:granularity ->
+  node:Design.Hierarchy.node ->
+  sources:string list ->
+  props:string list ->
+  result

@@ -1,0 +1,184 @@
+(** End-to-end flows producing the rows of every table in the paper's
+    evaluation: module characteristics (Table 1), transformed-module
+    construction with and without composition (Tables 2/3), raw test
+    generation (Table 4), and test generation on the transformed modules
+    (Tables 5/6). *)
+
+module N = Netlist
+module H = Design.Hierarchy
+
+type mut_spec = {
+  ms_name : string;  (** display name, e.g. "arm_alu" *)
+  ms_path : string;  (** instance path from the top, e.g. "u_core.u_dpath.u_alu" *)
+}
+
+type mode = Conventional | Compositional
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: module characteristics.                                    *)
+(* ------------------------------------------------------------------ *)
+
+type characteristics = {
+  ch_name : string;
+  ch_level : int;
+  ch_pi_bits : int;
+  ch_po_bits : int;
+  ch_module_gates : int;
+  ch_surrounding_gates : int;
+  ch_faults : int;  (** collapsed stuck-at faults inside the module *)
+}
+
+(** Synthesize the whole design once; reused by Tables 1 and 4. *)
+let full_circuit (env : Compose.env) =
+  let ed = env.Compose.ed in
+  let flat = Synth.Flatten.flatten ed ed.Design.Elaborate.ed_top in
+  (Synth.Lower.lower flat).Synth.Lower.circuit
+
+let characteristics env ~full spec =
+  let node = H.find_path env.Compose.tree spec.ms_path in
+  let em = Design.Elaborate.find_emodule env.Compose.ed node.H.nd_module in
+  let (inside, outside) = Transform.split_gates full ~mut_path:spec.ms_path in
+  let faults =
+    Atpg.Fault.collapse full (Atpg.Fault.all ~within:spec.ms_path full) |> List.length
+  in
+  { ch_name = spec.ms_name;
+    ch_level = node.H.nd_depth;
+    ch_pi_bits =
+      Design.Elaborate.port_bits em (Design.Elaborate.inputs_of em);
+    ch_po_bits =
+      Design.Elaborate.port_bits em (Design.Elaborate.outputs_of em);
+    ch_module_gates = inside;
+    ch_surrounding_gates = outside;
+    ch_faults = faults }
+
+(* ------------------------------------------------------------------ *)
+(* Tables 2/3: transformed module construction.                        *)
+(* ------------------------------------------------------------------ *)
+
+type transform_row = {
+  tr_name : string;
+  tr_standalone_faults : int;
+      (** collapsed fault count of the stand-alone MUT; the reference
+          universe for transformed-module coverage *)
+  tr_extraction_time : float;
+  tr_synthesis_time : float;
+  tr_surrounding_gates : int;
+  tr_reduction_pct : float;
+  tr_pi_bits : int;
+  tr_po_bits : int;
+  tr_cache_hits : int;
+  tr_stats : Compose.stats;
+  tr_transformed : Transform.t;
+}
+
+(** [transform env session mode spec ~surrounding_before] extracts the
+    constraints in the requested mode and synthesizes the transformed
+    module.  [session] is only consulted in [Compositional] mode. *)
+let standalone_fault_count env spec =
+  let node = H.find_path env.Compose.tree spec.ms_path in
+  let ed = env.Compose.ed in
+  let flat = Synth.Flatten.flatten ed node.H.nd_module in
+  let c = (Synth.Lower.lower flat).Synth.Lower.circuit in
+  List.length (Atpg.Fault.collapse c (Atpg.Fault.all c))
+
+let transform env session mode spec ~surrounding_before =
+  let stats =
+    match mode with
+    | Conventional -> Compose.conventional env ~mut_path:spec.ms_path
+    | Compositional ->
+      Compose.compositional session env ~mut_path:spec.ms_path
+  in
+  let tf = Transform.build env stats.Compose.cs_slice ~mut_path:spec.ms_path in
+  let reduction =
+    if surrounding_before = 0 then 0.0
+    else
+      100.0
+      *. float_of_int (surrounding_before - tf.Transform.tf_surrounding_gates)
+      /. float_of_int surrounding_before
+  in
+  { tr_name = spec.ms_name;
+    tr_standalone_faults = standalone_fault_count env spec;
+    tr_extraction_time = stats.Compose.cs_extraction_time;
+    tr_synthesis_time = tf.Transform.tf_synthesis_time;
+    tr_surrounding_gates = tf.Transform.tf_surrounding_gates;
+    tr_reduction_pct = reduction;
+    tr_pi_bits = tf.Transform.tf_pi_bits;
+    tr_po_bits = tf.Transform.tf_po_bits;
+    tr_cache_hits = stats.Compose.cs_cache_hits;
+    tr_stats = stats;
+    tr_transformed = tf }
+
+(* ------------------------------------------------------------------ *)
+(* Tables 4/5/6: test generation.                                      *)
+(* ------------------------------------------------------------------ *)
+
+type atpg_row = {
+  ar_name : string;
+  ar_coverage : float;
+  ar_effectiveness : float;
+  ar_testgen_time : float;
+  ar_total_time : float;  (** extraction + synthesis + test generation *)
+  ar_faults : int;
+  ar_vectors : int;
+  ar_result : Atpg.Gen.result;
+}
+
+(** Test generation on the stand-alone module (Table 4, columns 4-5). *)
+let standalone_atpg env spec cfg =
+  let node = H.find_path env.Compose.tree spec.ms_path in
+  let ed = env.Compose.ed in
+  let flat = Synth.Flatten.flatten ed node.H.nd_module in
+  let c = (Synth.Lower.lower flat).Synth.Lower.circuit in
+  let faults = Atpg.Fault.collapse c (Atpg.Fault.all c) in
+  let r = Atpg.Gen.run c cfg faults in
+  { ar_name = spec.ms_name;
+    ar_coverage = r.Atpg.Gen.r_coverage;
+    ar_effectiveness = r.Atpg.Gen.r_effectiveness;
+    ar_testgen_time = r.Atpg.Gen.r_time;
+    ar_total_time = r.Atpg.Gen.r_time;
+    ar_faults = r.Atpg.Gen.r_total;
+    ar_vectors = r.Atpg.Gen.r_vectors;
+    ar_result = r }
+
+(** Raw test generation at processor level, targeting the MUT's faults
+    (Table 4, columns 2-3). *)
+let processor_atpg ~full spec cfg =
+  let faults = Atpg.Fault.collapse full (Atpg.Fault.all ~within:spec.ms_path full) in
+  let r = Atpg.Gen.run full cfg faults in
+  { ar_name = spec.ms_name;
+    ar_coverage = r.Atpg.Gen.r_coverage;
+    ar_effectiveness = r.Atpg.Gen.r_effectiveness;
+    ar_testgen_time = r.Atpg.Gen.r_time;
+    ar_total_time = r.Atpg.Gen.r_time;
+    ar_faults = r.Atpg.Gen.r_total;
+    ar_vectors = r.Atpg.Gen.r_vectors;
+    ar_result = r }
+
+(** Test generation on a transformed module (Tables 5/6), with PIER
+    pseudo ports enabled.  Coverage is reported against the stand-alone
+    module's fault universe: faults whose sites the extracted constraints
+    tied away are untestable under functional constraints (the arm_alu
+    situation) — they lower the fault coverage but not the ATPG
+    effectiveness. *)
+let transformed_atpg (row : transform_row) cfg =
+  let c = row.tr_transformed.Transform.tf_circuit in
+  let piers = Pier.identify c in
+  let faults =
+    Atpg.Fault.collapse c
+      (Atpg.Fault.all ~within:row.tr_transformed.Transform.tf_mut_path c)
+  in
+  let cfg = { cfg with Atpg.Gen.g_piers = piers } in
+  let r = Atpg.Gen.run c cfg faults in
+  let universe = max row.tr_standalone_faults r.Atpg.Gen.r_total in
+  let constrained_away = universe - r.Atpg.Gen.r_total in
+  let pct n = 100.0 *. float_of_int n /. float_of_int (max 1 universe) in
+  { ar_name = row.tr_name;
+    ar_coverage = pct r.Atpg.Gen.r_detected;
+    ar_effectiveness =
+      pct (r.Atpg.Gen.r_detected + r.Atpg.Gen.r_untestable + constrained_away);
+    ar_testgen_time = r.Atpg.Gen.r_time;
+    ar_total_time =
+      row.tr_extraction_time +. row.tr_synthesis_time +. r.Atpg.Gen.r_time;
+    ar_faults = universe;
+    ar_vectors = r.Atpg.Gen.r_vectors;
+    ar_result = r }

@@ -1,0 +1,262 @@
+(** Reconstructs a self-contained Verilog design from a slice: kept
+    statements keep their enclosing conditional skeleton, kept instances
+    keep only connections to ports that survived in the child, and unused
+    ports disappear — this is how FACTOR "writes out the constraints in
+    the form of synthesizable Verilog netlists" while retaining the
+    original directory structure. *)
+
+open Verilog.Ast
+open Design.Elaborate
+module Ch = Design.Chains
+module Smap = Verilog.Ast_util.Smap
+module Sset = Verilog.Ast_util.Sset
+
+exception Error of string
+
+(* ------------------------------------------------------------------ *)
+(* Statement filtering.                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Keep a statement subtree only where it contains kept leaf paths. *)
+let rec filter_stmts kept path idx stmts =
+  match stmts with
+  | [] -> []
+  | stmt :: rest ->
+    let here = filter_stmt kept (path @ [ idx ]) stmt in
+    let rest = filter_stmts kept path (idx + 1) rest in
+    (match here with Some s -> s :: rest | None -> rest)
+
+and filter_stmt kept path stmt =
+  let is_kept = List.exists (fun p -> p = path) kept in
+  match stmt with
+  | S_blocking _ | S_nonblocking _ -> if is_kept then Some stmt else None
+  | S_if (c, t, f) ->
+    let t' = filter_stmts kept (path @ [ 0 ]) 0 t in
+    let f' = filter_stmts kept (path @ [ 1 ]) 0 f in
+    if t' = [] && f' = [] then None else Some (S_if (c, t', f'))
+  | S_case (k, subject, arms) ->
+    let arms' =
+      List.mapi
+        (fun arm_idx arm ->
+          let body = filter_stmts kept (path @ [ arm_idx ]) 0 arm.arm_body in
+          { arm with arm_body = body })
+        arms
+      |> List.filter (fun arm -> arm.arm_body <> [])
+    in
+    if arms' = [] then None else Some (S_case (k, subject, arms'))
+  | S_for _ -> raise (Error "for loop survived elaboration")
+
+(* Leaf paths kept for one item. *)
+let leaf_paths sites item_idx =
+  Ch.Site_set.fold
+    (fun s acc ->
+      if s.Ch.st_item = item_idx && s.Ch.st_path <> [] then s.Ch.st_path :: acc
+      else acc)
+    sites []
+
+(* ------------------------------------------------------------------ *)
+(* Module reconstruction.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let range_of_signal s =
+  if s.sg_msb = 0 && s.sg_lsb = 0 then None
+  else
+    Some
+      { msb = E_const { width = None; value = s.sg_msb };
+        lsb = E_const { width = None; value = s.sg_lsb } }
+
+let events_of = function
+  | Combinational -> [ Ev_star ]
+  | Clocked clk -> [ Ev_posedge clk ]
+
+(* Convert an elaborated item back to source AST. *)
+let item_of_eitem kept_ports eitem =
+  match eitem with
+  | EI_assign (lv, e) -> Some (I_assign (lv, e))
+  | EI_gate (g, n, out, ins) -> Some (I_gate (g, n, out, ins))
+  | EI_always (ck, body) -> Some (I_always (events_of ck, body))
+  | EI_instance inst ->
+    (match Smap.find_opt inst.ei_module kept_ports with
+     | None -> None  (* the child vanished entirely *)
+     | Some ports ->
+       let conns =
+         List.filter_map
+           (fun (port, conn) ->
+             if List.mem port ports then Some (port, conn) else None)
+           inst.ei_conns
+       in
+       Some
+         (I_instance
+            { inst_module = inst.ei_module; inst_name = inst.ei_name;
+              inst_params = []; inst_conns = Named conns }))
+
+let signals_of_item item =
+  let module U = Verilog.Ast_util in
+  let base = Sset.union (U.item_reads item) (U.item_writes item) in
+  match item with
+  | I_always (events, body) ->
+    let evs =
+      List.fold_left
+        (fun acc ev ->
+          match ev with
+          | Ev_posedge s | Ev_negedge s | Ev_level s -> Sset.add s acc
+          | Ev_star -> acc)
+        Sset.empty events
+    in
+    Sset.union evs (Sset.union (U.stmts_reads body) (U.stmts_writes body))
+  | I_instance inst ->
+    (match inst.inst_conns with
+     | Named conns ->
+       List.fold_left
+         (fun acc (_, v) ->
+           match v with Some e -> U.expr_reads e acc | None -> acc)
+         base conns
+     | Positional es ->
+       List.fold_left (fun acc e -> U.expr_reads e acc) base es)
+  | _ -> base
+
+(* Reconstruct one module given which child ports survive.  Returns the
+   module plus its own kept port list. *)
+let reconstruct_module em ~full ~sites ~kept_ports =
+  let raw_items =
+    if full then
+      Array.to_list em.em_items
+      |> List.filter_map (item_of_eitem kept_ports)
+    else
+      Array.to_list em.em_items
+      |> List.mapi (fun idx item -> (idx, item))
+      |> List.filter_map (fun (idx, item) ->
+             let whole = Ch.Site_set.mem { Ch.st_item = idx; st_path = [] } sites in
+             match item with
+             | EI_always (ck, body) ->
+               if whole then item_of_eitem kept_ports item
+               else begin
+                 match leaf_paths sites idx with
+                 | [] -> None
+                 | kept ->
+                   let body = filter_stmts kept [] 0 body in
+                   if body = [] then None
+                   else Some (I_always (events_of ck, body))
+               end
+             | _ -> if whole then item_of_eitem kept_ports item else None)
+  in
+  let referenced =
+    List.fold_left
+      (fun acc item -> Sset.union acc (signals_of_item item))
+      Sset.empty raw_items
+  in
+  let ports =
+    List.filter
+      (fun p -> full || Sset.mem p referenced)
+      em.em_ports
+  in
+  let port_items =
+    List.filter_map
+      (fun p ->
+        let s = signal_of em p in
+        match s.sg_dir with
+        | Some dir ->
+          Some
+            (I_port (dir, (if s.sg_reg then Reg else Wire),
+                     range_of_signal s, [ p ]))
+        | None -> None)
+      ports
+  in
+  let net_items =
+    Smap.fold
+      (fun name s acc ->
+        if Sset.mem name referenced && not (List.mem name ports) then
+          (if is_memory s then
+             I_memory
+               ( range_of_signal s,
+                 { msb = E_const { width = None; value = s.sg_addr_base };
+                   lsb =
+                     E_const
+                       { width = None;
+                         value = s.sg_addr_base + s.sg_words - 1 } },
+                 [ name ] )
+           else
+             I_net ((if s.sg_reg then Reg else Wire), range_of_signal s,
+                    [ name ]))
+          :: acc
+        else acc)
+      em.em_signals []
+  in
+  let m =
+    { mod_name = em.em_name;
+      mod_ports = ports;
+      mod_items = port_items @ List.rev net_items @ raw_items }
+  in
+  (m, ports)
+
+(* ------------------------------------------------------------------ *)
+(* Design reconstruction.                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Modules below a full module are themselves full. *)
+let full_closure ed slice =
+  let rec add acc name =
+    if Sset.mem name acc then acc
+    else
+      let acc = Sset.add name acc in
+      let em = find_emodule ed name in
+      Array.fold_left
+        (fun acc item ->
+          match item with
+          | EI_instance i -> add acc i.ei_module
+          | _ -> acc)
+        acc em.em_items
+  in
+  Sset.fold (fun name acc -> add acc name) slice.Slice.sl_full Sset.empty
+
+(* Instantiation order: children before parents so kept port lists are
+   known when a parent is reconstructed. *)
+let order_modules ed names =
+  let name_set = List.fold_left (fun a n -> Sset.add n a) Sset.empty names in
+  let visited = ref Sset.empty in
+  let result = ref [] in
+  let rec visit name =
+    if Sset.mem name name_set && not (Sset.mem name !visited) then begin
+      visited := Sset.add name !visited;
+      let em = find_emodule ed name in
+      Array.iter
+        (fun item ->
+          match item with
+          | EI_instance i -> visit i.ei_module
+          | _ -> ())
+        em.em_items;
+      result := name :: !result
+    end
+  in
+  List.iter visit names;
+  List.rev !result
+
+(** [design ~ed ~slice ~top] reconstructs a self-contained design from a
+    slice, rooted at [top] (usually the original top module).  Full
+    modules (the MUT and below) are emitted whole. *)
+let design ~ed ~slice ~top =
+  let full = full_closure ed slice in
+  let names =
+    List.sort_uniq compare (Slice.modules slice @ Sset.elements full @ [ top ])
+  in
+  let ordered = order_modules ed names in
+  let kept_ports = ref Smap.empty in
+  let modules =
+    List.filter_map
+      (fun name ->
+        let em = find_emodule ed name in
+        let is_full = Sset.mem name full in
+        let sites = Slice.sites_of slice name in
+        if (not is_full) && Ch.Site_set.is_empty sites && name <> top then
+          None
+        else begin
+          let (m, ports) =
+            reconstruct_module em ~full:is_full ~sites
+              ~kept_ports:!kept_ports
+          in
+          kept_ports := Smap.add name ports !kept_ports;
+          Some m
+        end)
+      ordered
+  in
+  ({ modules }, !kept_ports)

@@ -1,0 +1,14 @@
+(** Reconstructs a self-contained Verilog design from a slice: kept
+    statements keep their enclosing conditional skeleton, kept instances
+    keep only connections to surviving child ports, unused ports
+    disappear — how FACTOR "writes out the constraints in the form of
+    synthesizable Verilog netlists". *)
+
+exception Error of string
+
+(** [design ~ed ~slice ~top] reconstructs the sliced design rooted at
+    [top]; full modules (the MUT and below) are emitted whole.  Also
+    returns the kept port list per module. *)
+val design :
+  ed:Design.Elaborate.edesign -> slice:Slice.t -> top:string ->
+  Verilog.Ast.design * string list Verilog.Ast_util.Smap.t

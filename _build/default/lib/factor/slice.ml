@@ -1,0 +1,50 @@
+(** Slices: the constraint sets FACTOR accumulates per module definition.
+    A slice records which sites (items / leaf statements) of each module
+    are part of the extracted source or propagation logic.  Keeping the
+    slice per module *definition* (not per instance) is what lets the
+    compositional flow reuse constraints across instances and across
+    modules under test, mirroring the paper's "retains the original
+    directory structure" design. *)
+
+module Smap = Verilog.Ast_util.Smap
+module Site_set = Design.Chains.Site_set
+
+type t = {
+  sl_sites : Site_set.t Smap.t;  (** module name -> kept sites *)
+  sl_full : Verilog.Ast_util.Sset.t;
+      (** modules kept whole (the MUT and everything below it) *)
+}
+
+let empty = { sl_sites = Smap.empty; sl_full = Verilog.Ast_util.Sset.empty }
+
+let sites_of slice module_name =
+  Option.value (Smap.find_opt module_name slice.sl_sites)
+    ~default:Site_set.empty
+
+let mem slice module_name site =
+  Site_set.mem site (sites_of slice module_name)
+
+let add slice module_name site =
+  let sites = Site_set.add site (sites_of slice module_name) in
+  { slice with sl_sites = Smap.add module_name sites slice.sl_sites }
+
+let mark_full slice module_name =
+  { slice with sl_full = Verilog.Ast_util.Sset.add module_name slice.sl_full }
+
+let is_full slice module_name =
+  Verilog.Ast_util.Sset.mem module_name slice.sl_full
+
+let union a b =
+  { sl_sites =
+      Smap.union (fun _ x y -> Some (Site_set.union x y)) a.sl_sites b.sl_sites;
+    sl_full = Verilog.Ast_util.Sset.union a.sl_full b.sl_full }
+
+(** Total number of kept sites, a cheap slice-size metric. *)
+let cardinal slice =
+  Smap.fold (fun _ s acc -> acc + Site_set.cardinal s) slice.sl_sites 0
+
+(** Modules touched by the slice. *)
+let modules slice =
+  let from_sites = List.map fst (Smap.bindings slice.sl_sites) in
+  let from_full = Verilog.Ast_util.Sset.elements slice.sl_full in
+  List.sort_uniq compare (from_sites @ from_full)

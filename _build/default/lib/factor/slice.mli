@@ -1,0 +1,24 @@
+(** Slices: the constraint sets FACTOR accumulates per module definition
+    — which sites of each module belong to the extracted source or
+    propagation logic, plus which modules are kept whole (the MUT and
+    everything below it). *)
+
+type t = {
+  sl_sites : Design.Chains.Site_set.t Verilog.Ast_util.Smap.t;
+  sl_full : Verilog.Ast_util.Sset.t;
+}
+
+val empty : t
+
+val sites_of : t -> string -> Design.Chains.Site_set.t
+val mem : t -> string -> Design.Chains.site -> bool
+val add : t -> string -> Design.Chains.site -> t
+val mark_full : t -> string -> t
+val is_full : t -> string -> bool
+val union : t -> t -> t
+
+(** Total kept-site count: a cheap slice-size metric. *)
+val cardinal : t -> int
+
+(** Modules touched by the slice. *)
+val modules : t -> string list

@@ -1,0 +1,64 @@
+(** Plain-text table rendering for the benchmark harness, in the style of
+    the paper's tables. *)
+
+type align = Left | Right
+
+type column = {
+  col_title : string;
+  col_align : align;
+}
+
+let column ?(align = Right) title = { col_title = title; col_align = align }
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+(** [render ~title columns rows] renders an aligned table. *)
+let render ~title columns rows =
+  let buf = Buffer.create 1024 in
+  let ncols = List.length columns in
+  let widths = Array.make ncols 0 in
+  List.iteri
+    (fun i c -> widths.(i) <- String.length c.col_title)
+    columns;
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let line char =
+    Buffer.add_string buf
+      (String.concat "-+-"
+         (List.mapi (fun i _ -> String.make widths.(i) char) columns));
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf (title ^ "\n");
+  line '-';
+  Buffer.add_string buf
+    (String.concat " | "
+       (List.mapi (fun i c -> pad c.col_align widths.(i) c.col_title) columns));
+  Buffer.add_char buf '\n';
+  line '-';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat " | "
+           (List.mapi
+              (fun i cell ->
+                let align =
+                  (List.nth columns i).col_align
+                in
+                pad align widths.(i) cell)
+              row));
+      Buffer.add_char buf '\n')
+    rows;
+  line '-';
+  Buffer.contents buf
+
+let fsec t = Printf.sprintf "%.2f" t
+let fpct p = Printf.sprintf "%.1f" p

@@ -1,0 +1,15 @@
+(** Plain-text table rendering, in the style of the paper's tables. *)
+
+type align = Left | Right
+
+type column
+
+val column : ?align:align -> string -> column
+
+(** [render ~title columns rows] renders an aligned table with header and
+    rules. *)
+val render : title:string -> column list -> string list list -> string
+
+(** Formatting helpers: seconds with two decimals, percentages with one. *)
+val fsec : float -> string
+val fpct : float -> string

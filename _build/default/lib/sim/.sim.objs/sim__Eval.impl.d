@@ -1,0 +1,1 @@
+lib/sim/eval.ml: Array List Logic3 Netlist String

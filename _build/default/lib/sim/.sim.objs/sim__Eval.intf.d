@@ -1,0 +1,1 @@
+lib/sim/eval.mli: Logic3 Netlist

@@ -1,0 +1,1 @@
+lib/sim/logic3.ml: Int64 String

@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Array Buffer Char Eval List Logic3 Netlist Printf String

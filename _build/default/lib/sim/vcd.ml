@@ -1,0 +1,103 @@
+(** VCD (value change dump) output for the simulator: records primary
+    inputs, primary outputs and flip-flop states of pattern 0 over a run,
+    so traces can be inspected in any waveform viewer. *)
+
+module N = Netlist
+module L = Logic3
+
+type signal = {
+  vs_name : string;
+  vs_code : string;
+  vs_fetch : unit -> L.t;
+}
+
+type t = {
+  vcd_buf : Buffer.t;
+  vcd_signals : signal list;
+  mutable vcd_last : (string * char) list;  (** code -> last emitted *)
+  mutable vcd_time : int;
+}
+
+(* VCD identifier codes: printable characters from '!' *)
+let code_of_index i =
+  let base = 94 and first = 33 in
+  let rec go i acc =
+    let c = Char.chr (first + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let char_of_value v =
+  match v with Some true -> '1' | Some false -> '0' | None -> 'x'
+
+(** [create sim] prepares a dump of every PI, PO, and flip-flop of the
+    simulated circuit. *)
+let create (sim : Eval.t) =
+  let c = sim.Eval.circuit in
+  let signals = ref [] in
+  let n = ref 0 in
+  let add name fetch =
+    signals := { vs_name = name; vs_code = code_of_index !n; vs_fetch = fetch } :: !signals;
+    incr n
+  in
+  Array.iteri
+    (fun i name -> add ("pi." ^ name) (fun () -> Eval.value sim c.N.pis.(i)))
+    c.N.pi_names;
+  Array.iteri
+    (fun i name -> add ("po." ^ name) (fun () -> Eval.value sim c.N.pos.(i)))
+    c.N.po_names;
+  Array.iteri
+    (fun i name -> add ("ff." ^ name) (fun () -> Eval.value sim c.N.ff_q.(i)))
+    c.N.ff_names;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "$date reproduction run $end\n";
+  Buffer.add_string buf "$version factor-ocaml $end\n";
+  Buffer.add_string buf "$timescale 1ns $end\n";
+  Buffer.add_string buf "$scope module top $end\n";
+  let dump = { vcd_buf = buf; vcd_signals = List.rev !signals;
+               vcd_last = []; vcd_time = 0 } in
+  List.iter
+    (fun s ->
+      (* escape the dots for viewers that dislike hierarchy in names *)
+      let safe =
+        String.map (fun ch -> if ch = '.' || ch = '[' || ch = ']' then '_' else ch)
+          s.vs_name
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire 1 %s %s $end\n" s.vs_code safe))
+    dump.vcd_signals;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  dump
+
+(** [sample dump] records the current values (pattern 0) at the next
+    timestamp, emitting only changes. *)
+let sample dump =
+  let changes =
+    List.filter_map
+      (fun s ->
+        let v = char_of_value (L.get (s.vs_fetch ()) 0) in
+        match List.assoc_opt s.vs_code dump.vcd_last with
+        | Some prev when prev = v -> None
+        | _ -> Some (s.vs_code, v))
+      dump.vcd_signals
+  in
+  if changes <> [] then begin
+    Buffer.add_string dump.vcd_buf (Printf.sprintf "#%d\n" dump.vcd_time);
+    List.iter
+      (fun (code, v) ->
+        Buffer.add_string dump.vcd_buf (Printf.sprintf "%c%s\n" v code);
+        dump.vcd_last <-
+          (code, v) :: List.remove_assoc code dump.vcd_last)
+      changes
+  end;
+  dump.vcd_time <- dump.vcd_time + 1
+
+(** The dump accumulated so far, as VCD text. *)
+let contents dump = Buffer.contents dump.vcd_buf
+
+(** [write dump path] writes the dump to a file. *)
+let write dump path =
+  let oc = open_out path in
+  output_string oc (contents dump);
+  close_out oc

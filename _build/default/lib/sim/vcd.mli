@@ -1,0 +1,18 @@
+(** VCD (value change dump) output: records primary inputs, primary
+    outputs and flip-flop states of pattern 0, for waveform viewers. *)
+
+type t
+
+(** [create sim] prepares a dump of every PI, PO and flip-flop of the
+    simulated circuit. *)
+val create : Eval.t -> t
+
+(** [sample dump] records the current values at the next timestamp,
+    emitting only changes. *)
+val sample : t -> unit
+
+(** The dump accumulated so far, as VCD text. *)
+val contents : t -> string
+
+(** Write the dump to a file. *)
+val write : t -> string -> unit

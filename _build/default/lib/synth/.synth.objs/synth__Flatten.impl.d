@@ -1,0 +1,1 @@
+lib/synth/flatten.ml: Array Design Fmt List Verilog

@@ -1,0 +1,1 @@
+lib/synth/flatten.mli: Design Verilog

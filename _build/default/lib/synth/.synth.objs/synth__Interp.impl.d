@@ -1,0 +1,1 @@
+lib/synth/interp.ml: Array Design Flatten Fmt Hashtbl List Printf Verilog

@@ -1,0 +1,1 @@
+lib/synth/interp.mli: Flatten

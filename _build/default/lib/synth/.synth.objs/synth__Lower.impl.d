@@ -1,0 +1,1 @@
+lib/synth/lower.ml: Array Design Flatten Fmt List Netlist Option Printf Verilog

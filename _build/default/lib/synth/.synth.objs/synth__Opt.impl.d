@@ -1,0 +1,1 @@
+lib/synth/opt.ml: Array Int64 List Netlist Random Sim String

@@ -1,0 +1,28 @@
+(** Reference RTL interpreter: evaluates a flattened module directly at
+    the word level with no gate lowering — an independent implementation
+    of the language semantics used to cross-check the synthesizer.  All
+    signals (including state) start at zero. *)
+
+exception Error of string
+
+type t
+
+(** [create flat] builds an interpreter.
+    @raise Error on combinational cycles or unsupported constructs. *)
+val create : Flatten.flat -> t
+
+(** Drive a root input port. *)
+val set_input : t -> string -> int -> unit
+
+(** Recompute all combinational logic for the current inputs/state. *)
+val eval_comb : t -> unit
+
+(** [step t inputs] = set every input, then {!eval_comb}. *)
+val step : t -> (string * int) list -> unit
+
+(** Read any signal (typically a root output) after {!eval_comb}. *)
+val output : t -> string -> int
+
+(** Advance one clock cycle: run the clocked blocks against the settled
+    values, commit nonblocking updates, re-settle. *)
+val tick : t -> unit

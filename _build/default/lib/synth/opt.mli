@@ -1,0 +1,31 @@
+(** Standalone netlist optimization: rebuilds a finished netlist through
+    the simplifying constructors, optionally tying inputs to constants,
+    sweeping dead logic and dead state.  Includes a random-simulation
+    equivalence check. *)
+
+type stats = {
+  op_nets_before : int;
+  op_nets_after : int;
+  op_ffs_before : int;
+  op_ffs_after : int;
+}
+
+(** [rebuild ?tie c] reconstructs [c]; [tie] forces the named primary
+    inputs to constants.  Tied inputs survive as unused inputs so the
+    interface stays stable.  Dead cones behind constant selects are
+    never rebuilt. *)
+val rebuild : ?tie:(string * bool) list -> Netlist.t -> Netlist.t
+
+(** [optimize ?tie c] rebuilds and reports before/after statistics. *)
+val optimize : ?tie:(string * bool) list -> Netlist.t -> Netlist.t * stats
+
+(** [Equal] means no counter-example was found within the effort bound. *)
+type verdict = Equal | Differ of string
+
+(** [equivalent ?rounds ?cycles ~rng a b] drives both circuits with the
+    same random input sequences (matched by PI name) and compares the
+    outputs they share (matched by PO name); sequential circuits are
+    stepped [cycles] times per round from the all-X state. *)
+val equivalent :
+  ?rounds:int -> ?cycles:int -> rng:Random.State.t ->
+  Netlist.t -> Netlist.t -> verdict

@@ -1,0 +1,1 @@
+lib/verilog/ast_util.ml: Ast List Map Set String

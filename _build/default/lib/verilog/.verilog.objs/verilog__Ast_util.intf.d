@@ -1,0 +1,1 @@
+lib/verilog/ast_util.mli: Ast Map Set

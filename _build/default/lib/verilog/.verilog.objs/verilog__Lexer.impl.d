@@ -1,0 +1,1 @@
+lib/verilog/lexer.ml: Buffer Char List Printf String

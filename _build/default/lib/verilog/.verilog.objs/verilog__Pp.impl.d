@@ -1,0 +1,1 @@
+lib/verilog/pp.ml: Ast Fmt List String

@@ -1,0 +1,1 @@
+lib/verilog/pp.mli: Ast Format

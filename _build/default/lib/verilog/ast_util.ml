@@ -1,0 +1,186 @@
+(** Traversal helpers over the Verilog AST: signal read/write sets,
+    identifier substitution, constant evaluation of parameter
+    expressions. *)
+
+open Ast
+
+module Sset = Set.Make (String)
+module Smap = Map.Make (String)
+
+(** Names read by an expression (including names used inside selects). *)
+let rec expr_reads e acc =
+  match e with
+  | E_const _ | E_masked _ -> acc
+  | E_ident s -> Sset.add s acc
+  | E_bit (s, i) -> expr_reads i (Sset.add s acc)
+  | E_part (s, msb, lsb) -> expr_reads lsb (expr_reads msb (Sset.add s acc))
+  | E_unop (_, a) -> expr_reads a acc
+  | E_binop (_, a, b) -> expr_reads b (expr_reads a acc)
+  | E_cond (c, t, f) -> expr_reads f (expr_reads t (expr_reads c acc))
+  | E_concat es -> List.fold_left (fun acc e -> expr_reads e acc) acc es
+  | E_repl (n, es) ->
+    List.fold_left (fun acc e -> expr_reads e acc) (expr_reads n acc) es
+
+let expr_signals e = expr_reads e Sset.empty
+
+(** Base names written by an lvalue. *)
+let rec lvalue_writes lv acc =
+  match lv with
+  | L_ident s -> Sset.add s acc
+  | L_bit (s, _) -> Sset.add s acc
+  | L_part (s, _, _) -> Sset.add s acc
+  | L_concat lvs -> List.fold_left (fun acc lv -> lvalue_writes lv acc) acc lvs
+
+(** Names read by an lvalue's index expressions. *)
+let rec lvalue_index_reads lv acc =
+  match lv with
+  | L_ident _ -> acc
+  | L_bit (_, i) -> expr_reads i acc
+  | L_part (_, msb, lsb) -> expr_reads lsb (expr_reads msb acc)
+  | L_concat lvs ->
+    List.fold_left (fun acc lv -> lvalue_index_reads lv acc) acc lvs
+
+(** All names read anywhere in a statement (RHS, conditions, indices). *)
+let rec stmt_reads stmt acc =
+  match stmt with
+  | S_blocking (lv, e) | S_nonblocking (lv, e) ->
+    expr_reads e (lvalue_index_reads lv acc)
+  | S_if (c, t, e) ->
+    let acc = expr_reads c acc in
+    let acc = List.fold_left (fun acc s -> stmt_reads s acc) acc t in
+    List.fold_left (fun acc s -> stmt_reads s acc) acc e
+  | S_case (_, subject, arms) ->
+    let acc = expr_reads subject acc in
+    List.fold_left
+      (fun acc arm ->
+        let acc =
+          List.fold_left (fun acc p -> expr_reads p acc) acc arm.arm_patterns
+        in
+        List.fold_left (fun acc s -> stmt_reads s acc) acc arm.arm_body)
+      acc arms
+  | S_for f ->
+    let acc = expr_reads f.for_init acc in
+    let acc = expr_reads f.for_cond acc in
+    let acc = expr_reads f.for_step acc in
+    let acc = List.fold_left (fun acc s -> stmt_reads s acc) acc f.for_body in
+    Sset.remove f.for_var acc
+
+(** All names written anywhere in a statement. *)
+let rec stmt_writes stmt acc =
+  match stmt with
+  | S_blocking (lv, _) | S_nonblocking (lv, _) -> lvalue_writes lv acc
+  | S_if (_, t, e) ->
+    let acc = List.fold_left (fun acc s -> stmt_writes s acc) acc t in
+    List.fold_left (fun acc s -> stmt_writes s acc) acc e
+  | S_case (_, _, arms) ->
+    List.fold_left
+      (fun acc arm ->
+        List.fold_left (fun acc s -> stmt_writes s acc) acc arm.arm_body)
+      acc arms
+  | S_for f ->
+    let acc = List.fold_left (fun acc s -> stmt_writes s acc) acc f.for_body in
+    Sset.remove f.for_var acc
+
+let stmts_reads stmts =
+  List.fold_left (fun acc s -> stmt_reads s acc) Sset.empty stmts
+
+let stmts_writes stmts =
+  List.fold_left (fun acc s -> stmt_writes s acc) Sset.empty stmts
+
+(** Substitute identifiers by expressions (used for parameter resolution
+    and for-loop unrolling). *)
+let rec subst_expr env e =
+  match e with
+  | E_const _ | E_masked _ -> e
+  | E_ident s -> (match Smap.find_opt s env with Some e' -> e' | None -> e)
+  | E_bit (s, i) -> E_bit (s, subst_expr env i)
+  | E_part (s, msb, lsb) -> E_part (s, subst_expr env msb, subst_expr env lsb)
+  | E_unop (op, a) -> E_unop (op, subst_expr env a)
+  | E_binop (op, a, b) -> E_binop (op, subst_expr env a, subst_expr env b)
+  | E_cond (c, t, f) ->
+    E_cond (subst_expr env c, subst_expr env t, subst_expr env f)
+  | E_concat es -> E_concat (List.map (subst_expr env) es)
+  | E_repl (n, es) -> E_repl (subst_expr env n, List.map (subst_expr env) es)
+
+exception Not_constant of expr
+
+(** Evaluate a constant expression given bindings for parameter names.
+    @raise Not_constant when a free identifier remains. *)
+let rec eval_const env e =
+  match e with
+  | E_const { value; _ } -> value
+  | E_ident s ->
+    (match Smap.find_opt s env with
+     | Some v -> v
+     | None -> raise (Not_constant e))
+  | E_unop (op, a) ->
+    let v = eval_const env a in
+    (match op with
+     | U_neg -> -v
+     | U_plus -> v
+     | U_not -> lnot v
+     | U_lnot -> if v = 0 then 1 else 0
+     | U_rand | U_ror | U_rxor | U_rnand | U_rnor | U_rxnor ->
+       raise (Not_constant e))
+  | E_binop (op, a, b) ->
+    let va = eval_const env a and vb = eval_const env b in
+    (match op with
+     | B_add -> va + vb
+     | B_sub -> va - vb
+     | B_mul -> va * vb
+     | B_and -> va land vb
+     | B_or -> va lor vb
+     | B_xor -> va lxor vb
+     | B_xnor -> lnot (va lxor vb)
+     | B_eq -> if va = vb then 1 else 0
+     | B_neq -> if va <> vb then 1 else 0
+     | B_lt -> if va < vb then 1 else 0
+     | B_le -> if va <= vb then 1 else 0
+     | B_gt -> if va > vb then 1 else 0
+     | B_ge -> if va >= vb then 1 else 0
+     | B_shl -> va lsl vb
+     | B_shr -> va lsr vb
+     | B_land -> if va <> 0 && vb <> 0 then 1 else 0
+     | B_lor -> if va <> 0 || vb <> 0 then 1 else 0)
+  | E_cond (c, t, f) ->
+    if eval_const env c <> 0 then eval_const env t else eval_const env f
+  | E_bit _ | E_part _ | E_concat _ | E_repl _ | E_masked _ ->
+    raise (Not_constant e)
+
+(** Signals a module item reads (conditions, RHS, connections). *)
+let item_reads = function
+  | I_port _ | I_net _ | I_memory _ | I_param _ | I_localparam _ -> Sset.empty
+  | I_assign (lv, e) -> expr_reads e (lvalue_index_reads lv Sset.empty)
+  | I_always (events, body) ->
+    let acc = stmts_reads body in
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | Ev_posedge s | Ev_negedge s | Ev_level s -> Sset.add s acc
+        | Ev_star -> acc)
+      acc events
+  | I_instance inst ->
+    (* conservatively: all connected expressions are both read and written
+       depending on port direction, which the caller resolves; here we
+       return every name mentioned *)
+    (match inst.inst_conns with
+     | Positional es ->
+       List.fold_left (fun acc e -> expr_reads e acc) Sset.empty es
+     | Named conns ->
+       List.fold_left
+         (fun acc (_, v) ->
+           match v with Some e -> expr_reads e acc | None -> acc)
+         Sset.empty conns)
+  | I_gate (_, _, out, inputs) ->
+    List.fold_left
+      (fun acc e -> expr_reads e acc)
+      (lvalue_index_reads out Sset.empty)
+      inputs
+
+(** Signals a module item drives. *)
+let item_writes = function
+  | I_port _ | I_net _ | I_memory _ | I_param _ | I_localparam _ -> Sset.empty
+  | I_assign (lv, _) -> lvalue_writes lv Sset.empty
+  | I_always (_, body) -> stmts_writes body
+  | I_instance _ -> Sset.empty (* resolved against port directions *)
+  | I_gate (_, _, out, _) -> lvalue_writes out Sset.empty

@@ -1,0 +1,326 @@
+(** Hand-written lexer for the Verilog subset.  Produces a token stream
+    with line numbers for error reporting. *)
+
+type token =
+  | T_ident of string
+  | T_number of int option * int  (* width (if sized), value *)
+  | T_masked of int * int * int   (* width, value, care mask *)
+  | T_keyword of string
+  | T_lparen
+  | T_rparen
+  | T_lbracket
+  | T_rbracket
+  | T_lbrace
+  | T_rbrace
+  | T_semi
+  | T_comma
+  | T_colon
+  | T_dot
+  | T_hash
+  | T_at
+  | T_question
+  | T_eq          (* = *)
+  | T_le_assign   (* <= , also less-equal; parser disambiguates *)
+  | T_op of string
+  | T_eof
+
+exception Error of string * int  (** message, line *)
+
+let keywords =
+  [ "module"; "endmodule"; "input"; "output"; "inout"; "wire"; "reg";
+    "assign"; "always"; "begin"; "end"; "if"; "else"; "case"; "casex";
+    "casez"; "endcase"; "default"; "for"; "posedge"; "negedge"; "or";
+    "parameter"; "localparam"; "and"; "nand"; "nor"; "xor"; "xnor"; "not";
+    "buf"; "integer"; "initial" ]
+
+let is_keyword s = List.mem s keywords
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '$'
+let is_digit c = c >= '0' && c <= '9'
+
+let is_hex_digit c =
+  is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+type state = { src : string; mutable pos : int; mutable line : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (if st.pos < String.length st.src && st.src.[st.pos] = '\n' then
+     st.line <- st.line + 1);
+  st.pos <- st.pos + 1
+
+let error st msg = raise (Error (msg, st.line))
+
+let rec skip_space st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_space st
+  | Some '/' when peek2 st = Some '/' ->
+    let rec line_comment () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        line_comment ()
+    in
+    line_comment ();
+    skip_space st
+  | Some '/' when peek2 st = Some '*' ->
+    advance st;
+    advance st;
+    let rec block_comment () =
+      match peek st with
+      | None -> error st "unterminated block comment"
+      | Some '*' when peek2 st = Some '/' ->
+        advance st;
+        advance st
+      | Some _ ->
+        advance st;
+        block_comment ()
+    in
+    block_comment ();
+    skip_space st
+  | Some '`' ->
+    (* compiler directives (`timescale etc.) — skip to end of line *)
+    let rec directive () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        directive ()
+    in
+    directive ();
+    skip_space st
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  let rec go () =
+    match peek st with
+    | Some c when is_ident_char c ->
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  String.sub st.src start (st.pos - start)
+
+(* Digits of an unsigned decimal run, ignoring '_' separators. *)
+let lex_decimal st =
+  let buf = Buffer.create 8 in
+  let rec go () =
+    match peek st with
+    | Some c when is_digit c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+    | Some '_' ->
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  int_of_string (Buffer.contents buf)
+
+(* Binary digits allowing don't-cares; returns (value, care, any_dontcare). *)
+let lex_binary_masked st =
+  let value = ref 0 and care = ref 0 and bits = ref 0 and masked = ref false in
+  let rec go () =
+    match peek st with
+    | Some ('0' | '1' as c) ->
+      value := (!value lsl 1) lor (if c = '1' then 1 else 0);
+      care := (!care lsl 1) lor 1;
+      incr bits;
+      advance st;
+      go ()
+    | Some ('x' | 'X' | 'z' | 'Z' | '?') ->
+      value := !value lsl 1;
+      care := !care lsl 1;
+      masked := true;
+      incr bits;
+      advance st;
+      go ()
+    | Some '_' ->
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  if !bits = 0 then error st "empty binary literal";
+  (!value, !care, !masked)
+
+let lex_based_value st base =
+  let buf = Buffer.create 8 in
+  let valid c =
+    match base with
+    | 2 -> c = '0' || c = '1'
+    | 8 -> c >= '0' && c <= '7'
+    | 10 -> is_digit c
+    | 16 -> is_hex_digit c
+    | _ -> false
+  in
+  let rec go () =
+    match peek st with
+    | Some c when valid c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+    | Some '_' ->
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let digits = Buffer.contents buf in
+  if String.length digits = 0 then error st "empty based literal";
+  let digit_value c =
+    if is_digit c then Char.code c - Char.code '0'
+    else if c >= 'a' && c <= 'f' then Char.code c - Char.code 'a' + 10
+    else Char.code c - Char.code 'A' + 10
+  in
+  String.fold_left (fun acc c -> (acc * base) + digit_value c) 0 digits
+
+(* A number: either plain decimal, or [size]'[base]digits. *)
+let lex_number st =
+  let first = lex_decimal st in
+  match peek st with
+  | Some '\'' ->
+    advance st;
+    let base =
+      match peek st with
+      | Some ('b' | 'B') -> 2
+      | Some ('o' | 'O') -> 8
+      | Some ('d' | 'D') -> 10
+      | Some ('h' | 'H') -> 16
+      | _ -> error st "bad base in sized literal"
+    in
+    advance st;
+    if base = 2 then begin
+      let (value, care, masked) = lex_binary_masked st in
+      if masked then T_masked (first, value, care)
+      else T_number (Some first, value)
+    end
+    else T_number (Some first, lex_based_value st base)
+  | _ -> T_number (None, first)
+
+let lex_unsized_based st =
+  (* leading ' without size: '[base]digits *)
+  advance st;
+  let base =
+    match peek st with
+    | Some ('b' | 'B') -> 2
+    | Some ('o' | 'O') -> 8
+    | Some ('d' | 'D') -> 10
+    | Some ('h' | 'H') -> 16
+    | _ -> error st "bad base in literal"
+  in
+  advance st;
+  let value = lex_based_value st base in
+  T_number (None, value)
+
+let next_token st =
+  skip_space st;
+  let line = st.line in
+  let tok =
+    match peek st with
+    | None -> T_eof
+    | Some c when is_ident_start c ->
+      let id = lex_ident st in
+      if is_keyword id then T_keyword id else T_ident id
+    | Some c when is_digit c -> lex_number st
+    | Some '\'' -> lex_unsized_based st
+    | Some '(' -> advance st; T_lparen
+    | Some ')' -> advance st; T_rparen
+    | Some '[' -> advance st; T_lbracket
+    | Some ']' -> advance st; T_rbracket
+    | Some '{' -> advance st; T_lbrace
+    | Some '}' -> advance st; T_rbrace
+    | Some ';' -> advance st; T_semi
+    | Some ',' -> advance st; T_comma
+    | Some ':' -> advance st; T_colon
+    | Some '.' -> advance st; T_dot
+    | Some '#' -> advance st; T_hash
+    | Some '@' -> advance st; T_at
+    | Some '?' -> advance st; T_question
+    | Some '=' ->
+      advance st;
+      if peek st = Some '=' then (advance st; T_op "==") else T_eq
+    | Some '!' ->
+      advance st;
+      if peek st = Some '=' then (advance st; T_op "!=") else T_op "!"
+    | Some '<' ->
+      advance st;
+      if peek st = Some '=' then (advance st; T_le_assign)
+      else if peek st = Some '<' then (advance st; T_op "<<")
+      else T_op "<"
+    | Some '>' ->
+      advance st;
+      if peek st = Some '=' then (advance st; T_op ">=")
+      else if peek st = Some '>' then (advance st; T_op ">>")
+      else T_op ">"
+    | Some '&' ->
+      advance st;
+      if peek st = Some '&' then (advance st; T_op "&&") else T_op "&"
+    | Some '|' ->
+      advance st;
+      if peek st = Some '|' then (advance st; T_op "||") else T_op "|"
+    | Some '^' ->
+      advance st;
+      if peek st = Some '~' then (advance st; T_op "^~") else T_op "^"
+    | Some '~' ->
+      advance st;
+      (match peek st with
+       | Some '&' -> advance st; T_op "~&"
+       | Some '|' -> advance st; T_op "~|"
+       | Some '^' -> advance st; T_op "~^"
+       | _ -> T_op "~")
+    | Some '+' -> advance st; T_op "+"
+    | Some '-' -> advance st; T_op "-"
+    | Some '*' -> advance st; T_op "*"
+    | Some '/' -> advance st; T_op "/"
+    | Some '%' -> advance st; T_op "%"
+    | Some c -> error st (Printf.sprintf "unexpected character %C" c)
+  in
+  (tok, line)
+
+(** [tokenize src] lexes [src] into a list of (token, line) pairs ending in
+    [T_eof].
+    @raise Error on malformed input. *)
+let tokenize src =
+  let st = { src; pos = 0; line = 1 } in
+  let rec go acc =
+    let (tok, line) = next_token st in
+    match tok with
+    | T_eof -> List.rev ((tok, line) :: acc)
+    | _ -> go ((tok, line) :: acc)
+  in
+  go []
+
+let token_to_string = function
+  | T_ident s -> Printf.sprintf "identifier %S" s
+  | T_number (_, v) -> Printf.sprintf "number %d" v
+  | T_masked (w, v, _) -> Printf.sprintf "masked literal %d'b...%d" w v
+  | T_keyword k -> Printf.sprintf "keyword %S" k
+  | T_lparen -> "'('"
+  | T_rparen -> "')'"
+  | T_lbracket -> "'['"
+  | T_rbracket -> "']'"
+  | T_lbrace -> "'{'"
+  | T_rbrace -> "'}'"
+  | T_semi -> "';'"
+  | T_comma -> "','"
+  | T_colon -> "':'"
+  | T_dot -> "'.'"
+  | T_hash -> "'#'"
+  | T_at -> "'@'"
+  | T_question -> "'?'"
+  | T_eq -> "'='"
+  | T_le_assign -> "'<='"
+  | T_op s -> Printf.sprintf "operator %S" s
+  | T_eof -> "end of input"

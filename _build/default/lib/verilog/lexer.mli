@@ -1,0 +1,35 @@
+(** Lexer for the Verilog subset. *)
+
+type token =
+  | T_ident of string
+  | T_number of int option * int  (** width (for sized literals), value *)
+  | T_masked of int * int * int   (** width, value, care mask: a binary
+                                      literal with x/z/? digits *)
+  | T_keyword of string
+  | T_lparen
+  | T_rparen
+  | T_lbracket
+  | T_rbracket
+  | T_lbrace
+  | T_rbrace
+  | T_semi
+  | T_comma
+  | T_colon
+  | T_dot
+  | T_hash
+  | T_at
+  | T_question
+  | T_eq
+  | T_le_assign  (** [<=]: nonblocking assignment or less-equal *)
+  | T_op of string
+  | T_eof
+
+exception Error of string * int  (** message, line number *)
+
+(** [tokenize src] lexes [src] into (token, line) pairs ending in
+    [T_eof].  Line comments, block comments and compiler directives are
+    skipped.  @raise Error on malformed input. *)
+val tokenize : string -> (token * int) list
+
+(** Human-readable rendering for error messages. *)
+val token_to_string : token -> string

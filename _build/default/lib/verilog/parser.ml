@@ -1,0 +1,630 @@
+(** Recursive-descent parser for the Verilog subset.  Accepts both ANSI
+    (declarations in the header) and classic (declarations in the body)
+    port styles. *)
+
+open Ast
+
+exception Error of string * int  (** message, line *)
+
+type state = {
+  toks : (Lexer.token * int) array;
+  mutable idx : int;
+}
+
+let current st = fst st.toks.(st.idx)
+let current_line st = snd st.toks.(st.idx)
+let advance st = if st.idx < Array.length st.toks - 1 then st.idx <- st.idx + 1
+
+let error st msg =
+  raise (Error (Printf.sprintf "%s (found %s)" msg
+                  (Lexer.token_to_string (current st)),
+                current_line st))
+
+let expect st tok msg =
+  if current st = tok then advance st else error st msg
+
+let expect_ident st msg =
+  match current st with
+  | Lexer.T_ident s ->
+    advance st;
+    s
+  | _ -> error st msg
+
+let accept st tok = if current st = tok then (advance st; true) else false
+
+let accept_keyword st kw =
+  match current st with
+  | Lexer.T_keyword k when String.equal k kw ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_keyword st kw =
+  if not (accept_keyword st kw) then error st (Printf.sprintf "expected %S" kw)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let unop_of_string = function
+  | "~" -> Some U_not
+  | "!" -> Some U_lnot
+  | "-" -> Some U_neg
+  | "+" -> Some U_plus
+  | "&" -> Some U_rand
+  | "|" -> Some U_ror
+  | "^" -> Some U_rxor
+  | "~&" -> Some U_rnand
+  | "~|" -> Some U_rnor
+  | "~^" | "^~" -> Some U_rxnor
+  | _ -> None
+
+(* Binary operator precedence; higher binds tighter. *)
+let binop_prec = function
+  | B_lor -> 1
+  | B_land -> 2
+  | B_or -> 3
+  | B_xor | B_xnor -> 4
+  | B_and -> 5
+  | B_eq | B_neq -> 6
+  | B_lt | B_le | B_gt | B_ge -> 7
+  | B_shl | B_shr -> 8
+  | B_add | B_sub -> 9
+  | B_mul -> 10
+
+let binop_of_token = function
+  | Lexer.T_op "||" -> Some B_lor
+  | Lexer.T_op "&&" -> Some B_land
+  | Lexer.T_op "|" -> Some B_or
+  | Lexer.T_op "^" -> Some B_xor
+  | Lexer.T_op "~^" | Lexer.T_op "^~" -> Some B_xnor
+  | Lexer.T_op "&" -> Some B_and
+  | Lexer.T_op "==" -> Some B_eq
+  | Lexer.T_op "!=" -> Some B_neq
+  | Lexer.T_op "<" -> Some B_lt
+  | Lexer.T_le_assign -> Some B_le
+  | Lexer.T_op ">" -> Some B_gt
+  | Lexer.T_op ">=" -> Some B_ge
+  | Lexer.T_op "<<" -> Some B_shl
+  | Lexer.T_op ">>" -> Some B_shr
+  | Lexer.T_op "+" -> Some B_add
+  | Lexer.T_op "-" -> Some B_sub
+  | Lexer.T_op "*" -> Some B_mul
+  | _ -> None
+
+let rec parse_expr st = parse_cond st
+
+and parse_cond st =
+  let cond = parse_binary st 1 in
+  if accept st Lexer.T_question then begin
+    let then_e = parse_expr st in
+    expect st Lexer.T_colon "expected ':' in conditional expression";
+    let else_e = parse_expr st in
+    E_cond (cond, then_e, else_e)
+  end
+  else cond
+
+and parse_binary st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match binop_of_token (current st) with
+    | Some op when binop_prec op >= min_prec ->
+      advance st;
+      let rhs = parse_binary st (binop_prec op + 1) in
+      loop (E_binop (op, lhs, rhs))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  match current st with
+  | Lexer.T_op s ->
+    (match unop_of_string s with
+     | Some op ->
+       advance st;
+       E_unop (op, parse_unary st)
+     | None -> error st "expected expression")
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match current st with
+  | Lexer.T_number (width, value) ->
+    advance st;
+    E_const { width; value }
+  | Lexer.T_masked (w, value, care) ->
+    advance st;
+    E_masked { m_width = w; m_value = value; m_care = care }
+  | Lexer.T_ident name ->
+    advance st;
+    parse_select st name
+  | Lexer.T_lparen ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.T_rparen "expected ')'";
+    e
+  | Lexer.T_lbrace ->
+    advance st;
+    parse_concat_or_repl st
+  | _ -> error st "expected expression"
+
+and parse_select st name =
+  if accept st Lexer.T_lbracket then begin
+    let first = parse_expr st in
+    if accept st Lexer.T_colon then begin
+      let lsb = parse_expr st in
+      expect st Lexer.T_rbracket "expected ']'";
+      E_part (name, first, lsb)
+    end
+    else begin
+      expect st Lexer.T_rbracket "expected ']'";
+      E_bit (name, first)
+    end
+  end
+  else E_ident name
+
+and parse_concat_or_repl st =
+  (* After '{': either {e, e, ...} or {n{e, ...}} *)
+  let first = parse_expr st in
+  if current st = Lexer.T_lbrace then begin
+    advance st;
+    let elements = parse_expr_list st in
+    expect st Lexer.T_rbrace "expected '}' closing replication body";
+    expect st Lexer.T_rbrace "expected '}' closing replication";
+    E_repl (first, elements)
+  end
+  else begin
+    let rest = if accept st Lexer.T_comma then parse_expr_list st else [] in
+    expect st Lexer.T_rbrace "expected '}'";
+    E_concat (first :: rest)
+  end
+
+and parse_expr_list st =
+  let e = parse_expr st in
+  if accept st Lexer.T_comma then e :: parse_expr_list st else [ e ]
+
+(* ------------------------------------------------------------------ *)
+(* Lvalues.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_lvalue st =
+  match current st with
+  | Lexer.T_ident name ->
+    advance st;
+    if accept st Lexer.T_lbracket then begin
+      let first = parse_expr st in
+      if accept st Lexer.T_colon then begin
+        let lsb = parse_expr st in
+        expect st Lexer.T_rbracket "expected ']'";
+        L_part (name, first, lsb)
+      end
+      else begin
+        expect st Lexer.T_rbracket "expected ']'";
+        L_bit (name, first)
+      end
+    end
+    else L_ident name
+  | Lexer.T_lbrace ->
+    advance st;
+    let rec elements () =
+      let lv = parse_lvalue st in
+      if accept st Lexer.T_comma then lv :: elements () else [ lv ]
+    in
+    let lvs = elements () in
+    expect st Lexer.T_rbrace "expected '}'";
+    L_concat lvs
+  | _ -> error st "expected lvalue"
+
+(* ------------------------------------------------------------------ *)
+(* Statements.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parse_range st =
+  (* caller saw '[' *)
+  let msb = parse_expr st in
+  expect st Lexer.T_colon "expected ':' in range";
+  let lsb = parse_expr st in
+  expect st Lexer.T_rbracket "expected ']'";
+  { msb; lsb }
+
+let rec parse_stmt st =
+  match current st with
+  | Lexer.T_keyword "begin" ->
+    advance st;
+    let body = parse_stmt_list st in
+    expect_keyword st "end";
+    (* a bare block is spliced by the caller; represent as if(1) *)
+    (match body with
+     | [ s ] -> s
+     | _ -> S_if (E_const { width = Some 1; value = 1 }, body, []))
+  | Lexer.T_keyword "if" ->
+    advance st;
+    expect st Lexer.T_lparen "expected '(' after if";
+    let cond = parse_expr st in
+    expect st Lexer.T_rparen "expected ')'";
+    let then_branch = parse_block_or_stmt st in
+    let else_branch =
+      if accept_keyword st "else" then parse_block_or_stmt st else []
+    in
+    S_if (cond, then_branch, else_branch)
+  | Lexer.T_keyword ("case" | "casex" | "casez") ->
+    parse_case st
+  | Lexer.T_keyword "for" ->
+    parse_for st
+  | Lexer.T_ident _ | Lexer.T_lbrace ->
+    let lv = parse_lvalue st in
+    let stmt =
+      match current st with
+      | Lexer.T_eq ->
+        advance st;
+        S_blocking (lv, parse_expr st)
+      | Lexer.T_le_assign ->
+        advance st;
+        S_nonblocking (lv, parse_expr st)
+      | _ -> error st "expected '=' or '<='"
+    in
+    expect st Lexer.T_semi "expected ';'";
+    stmt
+  | _ -> error st "expected statement"
+
+and parse_block_or_stmt st =
+  if accept_keyword st "begin" then begin
+    let body = parse_stmt_list st in
+    expect_keyword st "end";
+    body
+  end
+  else [ parse_stmt st ]
+
+and parse_stmt_list st =
+  match current st with
+  | Lexer.T_keyword ("end" | "endcase") -> []
+  | _ ->
+    let s = parse_stmt st in
+    s :: parse_stmt_list st
+
+and parse_case st =
+  let kind =
+    match current st with
+    | Lexer.T_keyword "case" -> Case
+    | Lexer.T_keyword "casex" -> Casex
+    | Lexer.T_keyword "casez" -> Casez
+    | _ -> error st "expected case"
+  in
+  advance st;
+  expect st Lexer.T_lparen "expected '(' after case";
+  let subject = parse_expr st in
+  expect st Lexer.T_rparen "expected ')'";
+  let rec arms () =
+    match current st with
+    | Lexer.T_keyword "endcase" -> []
+    | Lexer.T_keyword "default" ->
+      advance st;
+      let _ = accept st Lexer.T_colon in
+      let body = parse_block_or_stmt st in
+      { arm_patterns = []; arm_body = body } :: arms ()
+    | _ ->
+      let patterns = parse_expr_list st in
+      expect st Lexer.T_colon "expected ':' after case pattern";
+      let body = parse_block_or_stmt st in
+      { arm_patterns = patterns; arm_body = body } :: arms ()
+  in
+  let all = arms () in
+  expect_keyword st "endcase";
+  S_case (kind, subject, all)
+
+and parse_for st =
+  advance st;
+  expect st Lexer.T_lparen "expected '(' after for";
+  let var = expect_ident st "expected loop variable" in
+  expect st Lexer.T_eq "expected '=' in for initializer";
+  let init = parse_expr st in
+  expect st Lexer.T_semi "expected ';'";
+  let cond = parse_expr st in
+  expect st Lexer.T_semi "expected ';'";
+  let var2 = expect_ident st "expected loop variable in step" in
+  if not (String.equal var var2) then
+    error st "for-loop step must assign the loop variable";
+  expect st Lexer.T_eq "expected '=' in for step";
+  let step = parse_expr st in
+  expect st Lexer.T_rparen "expected ')'";
+  let body = parse_block_or_stmt st in
+  S_for { for_var = var; for_init = init; for_cond = cond;
+          for_step = step; for_body = body }
+
+(* ------------------------------------------------------------------ *)
+(* Module items.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ident_list st =
+  let rec go () =
+    let id = expect_ident st "expected identifier" in
+    if accept st Lexer.T_comma then id :: go () else [ id ]
+  in
+  go ()
+
+let parse_direction st =
+  match current st with
+  | Lexer.T_keyword "input" -> advance st; Some Input
+  | Lexer.T_keyword "output" -> advance st; Some Output
+  | Lexer.T_keyword "inout" -> advance st; Some Inout
+  | _ -> None
+
+let parse_opt_net_type st =
+  match current st with
+  | Lexer.T_keyword "wire" -> advance st; Some Wire
+  | Lexer.T_keyword "reg" -> advance st; Some Reg
+  | _ -> None
+
+let parse_opt_range st =
+  if accept st Lexer.T_lbracket then Some (parse_range st) else None
+
+let parse_events st =
+  (* caller consumed '@' *)
+  expect st Lexer.T_lparen "expected '(' after '@'";
+  if accept st (Lexer.T_op "*") then begin
+    expect st Lexer.T_rparen "expected ')'";
+    [ Ev_star ]
+  end
+  else begin
+    let one () =
+      if accept_keyword st "posedge" then
+        Ev_posedge (expect_ident st "expected signal after posedge")
+      else if accept_keyword st "negedge" then
+        Ev_negedge (expect_ident st "expected signal after negedge")
+      else Ev_level (expect_ident st "expected signal in sensitivity list")
+    in
+    let rec go acc =
+      let ev = one () in
+      if accept_keyword st "or" || accept st Lexer.T_comma then
+        go (ev :: acc)
+      else List.rev (ev :: acc)
+    in
+    let events = go [] in
+    expect st Lexer.T_rparen "expected ')'";
+    events
+  end
+
+let gate_of_keyword = function
+  | "and" -> Some G_and
+  | "or" -> Some G_or
+  | "nand" -> Some G_nand
+  | "nor" -> Some G_nor
+  | "xor" -> Some G_xor
+  | "xnor" -> Some G_xnor
+  | "not" -> Some G_not
+  | "buf" -> Some G_buf
+  | _ -> None
+
+let parse_param_overrides st =
+  (* caller consumed '#'; expects (.N(v), ...) or (v, ...) unsupported *)
+  expect st Lexer.T_lparen "expected '(' after '#'";
+  let rec go () =
+    expect st Lexer.T_dot "expected '.' in parameter override";
+    let name = expect_ident st "expected parameter name" in
+    expect st Lexer.T_lparen "expected '('";
+    let value = parse_expr st in
+    expect st Lexer.T_rparen "expected ')'";
+    if accept st Lexer.T_comma then (name, value) :: go ()
+    else [ (name, value) ]
+  in
+  let overrides = go () in
+  expect st Lexer.T_rparen "expected ')'";
+  overrides
+
+let parse_instance st mod_name =
+  let params =
+    if accept st Lexer.T_hash then parse_param_overrides st else []
+  in
+  let inst_name = expect_ident st "expected instance name" in
+  expect st Lexer.T_lparen "expected '(' in instance";
+  let conns =
+    if current st = Lexer.T_dot then begin
+      let rec go () =
+        expect st Lexer.T_dot "expected '.'";
+        let port = expect_ident st "expected port name" in
+        expect st Lexer.T_lparen "expected '('";
+        let value =
+          if current st = Lexer.T_rparen then None else Some (parse_expr st)
+        in
+        expect st Lexer.T_rparen "expected ')'";
+        if accept st Lexer.T_comma then (port, value) :: go ()
+        else [ (port, value) ]
+      in
+      Named (go ())
+    end
+    else if current st = Lexer.T_rparen then Positional []
+    else Positional (parse_expr_list st)
+  in
+  expect st Lexer.T_rparen "expected ')' closing instance";
+  expect st Lexer.T_semi "expected ';'";
+  { inst_module = mod_name; inst_name; inst_params = params;
+    inst_conns = conns }
+
+let parse_item st : item list =
+  match current st with
+  | Lexer.T_keyword ("input" | "output" | "inout") ->
+    let dir = Option.get (parse_direction st) in
+    let net = Option.value (parse_opt_net_type st) ~default:Wire in
+    let range = parse_opt_range st in
+    let names = parse_ident_list st in
+    expect st Lexer.T_semi "expected ';'";
+    [ I_port (dir, net, range, names) ]
+  | Lexer.T_keyword ("wire" | "reg") ->
+    let net = Option.get (parse_opt_net_type st) in
+    let range = parse_opt_range st in
+    (* each name may carry an array range: reg [7:0] m [0:15]; *)
+    let rec names_with_arrays () =
+      let name = expect_ident st "expected identifier" in
+      let arr =
+        if accept st Lexer.T_lbracket then Some (parse_range st) else None
+      in
+      if accept st Lexer.T_comma then (name, arr) :: names_with_arrays ()
+      else [ (name, arr) ]
+    in
+    let entries = names_with_arrays () in
+    expect st Lexer.T_semi "expected ';'";
+    let plain =
+      List.filter_map (fun (n, a) -> if a = None then Some n else None) entries
+    in
+    let memories =
+      List.filter_map
+        (fun (n, a) -> match a with Some arr -> Some (n, arr) | None -> None)
+        entries
+    in
+    (if memories <> [] && net = Wire then
+       error st "array declarations must be reg");
+    (if plain = [] then [] else [ I_net (net, range, plain) ])
+    @ List.map (fun (n, arr) -> I_memory (range, arr, [ n ])) memories
+  | Lexer.T_keyword "integer" ->
+    advance st;
+    let names = parse_ident_list st in
+    expect st Lexer.T_semi "expected ';'";
+    [ I_net (Reg, Some { msb = E_const { width = None; value = 31 };
+                         lsb = E_const { width = None; value = 0 } },
+             names) ]
+  | Lexer.T_keyword "parameter" ->
+    advance st;
+    let rec go () =
+      let name = expect_ident st "expected parameter name" in
+      expect st Lexer.T_eq "expected '='";
+      let value = parse_expr st in
+      if accept st Lexer.T_comma then I_param (name, value) :: go ()
+      else [ I_param (name, value) ]
+    in
+    let items = go () in
+    expect st Lexer.T_semi "expected ';'";
+    items
+  | Lexer.T_keyword "localparam" ->
+    advance st;
+    let rec go () =
+      let name = expect_ident st "expected localparam name" in
+      expect st Lexer.T_eq "expected '='";
+      let value = parse_expr st in
+      if accept st Lexer.T_comma then I_localparam (name, value) :: go ()
+      else [ I_localparam (name, value) ]
+    in
+    let items = go () in
+    expect st Lexer.T_semi "expected ';'";
+    items
+  | Lexer.T_keyword "assign" ->
+    advance st;
+    let rec go () =
+      let lv = parse_lvalue st in
+      expect st Lexer.T_eq "expected '=' in assign";
+      let rhs = parse_expr st in
+      if accept st Lexer.T_comma then I_assign (lv, rhs) :: go ()
+      else [ I_assign (lv, rhs) ]
+    in
+    let items = go () in
+    expect st Lexer.T_semi "expected ';'";
+    items
+  | Lexer.T_keyword "always" ->
+    advance st;
+    expect st Lexer.T_at "expected '@' after always";
+    let events = parse_events st in
+    let body = parse_block_or_stmt st in
+    [ I_always (events, body) ]
+  | Lexer.T_keyword kw when gate_of_keyword kw <> None ->
+    let gate = Option.get (gate_of_keyword kw) in
+    advance st;
+    let name =
+      match current st with
+      | Lexer.T_ident n -> advance st; n
+      | _ -> "g"
+    in
+    expect st Lexer.T_lparen "expected '(' in gate instance";
+    let out = parse_lvalue st in
+    expect st Lexer.T_comma "expected ',' after gate output";
+    let inputs = parse_expr_list st in
+    expect st Lexer.T_rparen "expected ')'";
+    expect st Lexer.T_semi "expected ';'";
+    [ I_gate (gate, name, out, inputs) ]
+  | Lexer.T_ident mod_name ->
+    advance st;
+    [ I_instance (parse_instance st mod_name) ]
+  | _ -> error st "expected module item"
+
+(* ANSI header: module m (input [3:0] a, output reg b, ...);  A direction
+   keyword starts a fresh declaration segment; names without one inherit
+   the previous segment's direction/type/range. *)
+let parse_ansi_ports st =
+  let rec go cur acc_ports acc_items =
+    let seg =
+      match parse_direction st with
+      | Some dir ->
+        let net = Option.value (parse_opt_net_type st) ~default:Wire in
+        let range = parse_opt_range st in
+        (dir, net, range)
+      | None -> cur
+    in
+    let (dir, net, range) = seg in
+    let name = expect_ident st "expected port name" in
+    let item = I_port (dir, net, range, [ name ]) in
+    if accept st Lexer.T_comma then
+      go seg (name :: acc_ports) (item :: acc_items)
+    else (List.rev (name :: acc_ports), List.rev (item :: acc_items))
+  in
+  go (Input, Wire, None) [] []
+
+let parse_module st =
+  expect_keyword st "module";
+  let name = expect_ident st "expected module name" in
+  let params =
+    if accept st Lexer.T_hash then begin
+      expect st Lexer.T_lparen "expected '('";
+      expect_keyword st "parameter";
+      let rec go () =
+        let pname = expect_ident st "expected parameter name" in
+        expect st Lexer.T_eq "expected '='";
+        let value = parse_expr st in
+        if accept st Lexer.T_comma then begin
+          let _ = accept_keyword st "parameter" in
+          I_param (pname, value) :: go ()
+        end
+        else [ I_param (pname, value) ]
+      in
+      let ps = go () in
+      expect st Lexer.T_rparen "expected ')'";
+      ps
+    end
+    else []
+  in
+  let (ports, header_items) =
+    if accept st Lexer.T_lparen then begin
+      if current st = Lexer.T_rparen then (advance st; ([], []))
+      else begin
+        match current st with
+        | Lexer.T_keyword ("input" | "output" | "inout") ->
+          let (ports, items) = parse_ansi_ports st in
+          expect st Lexer.T_rparen "expected ')'";
+          (ports, items)
+        | _ ->
+          let ports = parse_ident_list st in
+          expect st Lexer.T_rparen "expected ')'";
+          (ports, [])
+      end
+    end
+    else ([], [])
+  in
+  expect st Lexer.T_semi "expected ';' after module header";
+  let rec items () =
+    if accept_keyword st "endmodule" then []
+    else begin
+      let is = parse_item st in
+      is @ items ()
+    end
+  in
+  let body = items () in
+  { mod_name = name; mod_ports = ports;
+    mod_items = params @ header_items @ body }
+
+(** [parse_design src] parses Verilog source text into a design.
+    @raise Error on syntax errors; @raise Lexer.Error on lexical errors. *)
+let parse_design src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; idx = 0 } in
+  let rec go acc =
+    match current st with
+    | Lexer.T_eof -> List.rev acc
+    | _ -> go (parse_module st :: acc)
+  in
+  { modules = go [] }

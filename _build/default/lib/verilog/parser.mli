@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the Verilog subset.  Both ANSI
+    (declarations in the header) and classic (declarations in the body)
+    port styles are accepted. *)
+
+exception Error of string * int  (** message, line number *)
+
+(** [parse_design src] parses Verilog source text into a design.
+    @raise Error on syntax errors.
+    @raise Lexer.Error on lexical errors. *)
+val parse_design : string -> Ast.design

@@ -1,0 +1,158 @@
+(** Verilog pretty-printer.  Emits parseable source for any AST our parser
+    accepts, so extracted constraints round-trip through the front end. *)
+
+open Ast
+
+let rec pp_expr fmt e =
+  (* Fully parenthesized except for atoms, so precedence never matters. *)
+  match e with
+  | E_const { width = None; value } -> Fmt.int fmt value
+  | E_const { width = Some w; value } -> Fmt.pf fmt "%d'd%d" w value
+  | E_masked m ->
+    let digits =
+      String.init m.m_width (fun i ->
+          let bit = m.m_width - 1 - i in
+          if (m.m_care lsr bit) land 1 = 0 then '?'
+          else if (m.m_value lsr bit) land 1 = 1 then '1'
+          else '0')
+    in
+    Fmt.pf fmt "%d'b%s" m.m_width digits
+  | E_ident s -> Fmt.string fmt s
+  | E_bit (s, i) -> Fmt.pf fmt "%s[%a]" s pp_expr i
+  | E_part (s, msb, lsb) -> Fmt.pf fmt "%s[%a:%a]" s pp_expr msb pp_expr lsb
+  | E_unop (op, a) -> Fmt.pf fmt "(%s%a)" (unop_to_string op) pp_expr a
+  | E_binop (op, a, b) ->
+    Fmt.pf fmt "(%a %s %a)" pp_expr a (binop_to_string op) pp_expr b
+  | E_cond (c, t, e) ->
+    Fmt.pf fmt "(%a ? %a : %a)" pp_expr c pp_expr t pp_expr e
+  | E_concat es -> Fmt.pf fmt "{%a}" Fmt.(list ~sep:(any ", ") pp_expr) es
+  | E_repl (n, es) ->
+    Fmt.pf fmt "{%a{%a}}" pp_expr n Fmt.(list ~sep:(any ", ") pp_expr) es
+
+let rec pp_lvalue fmt = function
+  | L_ident s -> Fmt.string fmt s
+  | L_bit (s, i) -> Fmt.pf fmt "%s[%a]" s pp_expr i
+  | L_part (s, msb, lsb) -> Fmt.pf fmt "%s[%a:%a]" s pp_expr msb pp_expr lsb
+  | L_concat lvs -> Fmt.pf fmt "{%a}" Fmt.(list ~sep:(any ", ") pp_lvalue) lvs
+
+let pp_range fmt { msb; lsb } = Fmt.pf fmt "[%a:%a]" pp_expr msb pp_expr lsb
+
+let pp_opt_range fmt = function
+  | None -> ()
+  | Some r -> Fmt.pf fmt "%a " pp_range r
+
+let rec pp_stmt indent fmt stmt =
+  let pad = String.make indent ' ' in
+  match stmt with
+  | S_blocking (lv, e) ->
+    Fmt.pf fmt "%s%a = %a;@." pad pp_lvalue lv pp_expr e
+  | S_nonblocking (lv, e) ->
+    Fmt.pf fmt "%s%a <= %a;@." pad pp_lvalue lv pp_expr e
+  | S_if (c, t, []) ->
+    Fmt.pf fmt "%sif (%a) begin@.%a%send@." pad pp_expr c
+      (pp_stmts (indent + 2)) t pad
+  | S_if (c, t, e) ->
+    Fmt.pf fmt "%sif (%a) begin@.%a%send else begin@.%a%send@." pad pp_expr c
+      (pp_stmts (indent + 2)) t pad (pp_stmts (indent + 2)) e pad
+  | S_case (kind, subject, arms) ->
+    let kw =
+      match kind with Case -> "case" | Casex -> "casex" | Casez -> "casez"
+    in
+    Fmt.pf fmt "%s%s (%a)@." pad kw pp_expr subject;
+    List.iter (pp_arm (indent + 2) fmt) arms;
+    Fmt.pf fmt "%sendcase@." pad
+  | S_for f ->
+    Fmt.pf fmt "%sfor (%s = %a; %a; %s = %a) begin@.%a%send@." pad f.for_var
+      pp_expr f.for_init pp_expr f.for_cond f.for_var pp_expr f.for_step
+      (pp_stmts (indent + 2)) f.for_body pad
+
+and pp_stmts indent fmt stmts = List.iter (pp_stmt indent fmt) stmts
+
+and pp_arm indent fmt arm =
+  let pad = String.make indent ' ' in
+  (match arm.arm_patterns with
+   | [] -> Fmt.pf fmt "%sdefault: begin@." pad
+   | ps -> Fmt.pf fmt "%s%a: begin@." pad Fmt.(list ~sep:(any ", ") pp_expr) ps);
+  pp_stmts (indent + 2) fmt arm.arm_body;
+  Fmt.pf fmt "%send@." pad
+
+let pp_event fmt = function
+  | Ev_posedge s -> Fmt.pf fmt "posedge %s" s
+  | Ev_negedge s -> Fmt.pf fmt "negedge %s" s
+  | Ev_level s -> Fmt.string fmt s
+  | Ev_star -> Fmt.string fmt "*"
+
+let direction_to_string = function
+  | Input -> "input"
+  | Output -> "output"
+  | Inout -> "inout"
+
+let net_type_to_string = function Wire -> "wire" | Reg -> "reg"
+
+let pp_item fmt = function
+  | I_port (dir, net, range, names) ->
+    let nt = match net with Wire -> "" | Reg -> " reg" in
+    Fmt.pf fmt "  %s%s %a%a;@." (direction_to_string dir) nt pp_opt_range
+      range
+      Fmt.(list ~sep:(any ", ") string)
+      names
+  | I_net (net, range, names) ->
+    Fmt.pf fmt "  %s %a%a;@." (net_type_to_string net) pp_opt_range range
+      Fmt.(list ~sep:(any ", ") string)
+      names
+  | I_memory (range, arr, names) ->
+    let pp_one fmt n = Fmt.pf fmt "%s %a" n pp_range arr in
+    Fmt.pf fmt "  reg %a%a;@." pp_opt_range range
+      Fmt.(list ~sep:(any ", ") pp_one)
+      names
+  | I_param (name, value) ->
+    Fmt.pf fmt "  parameter %s = %a;@." name pp_expr value
+  | I_localparam (name, value) ->
+    Fmt.pf fmt "  localparam %s = %a;@." name pp_expr value
+  | I_assign (lv, e) ->
+    Fmt.pf fmt "  assign %a = %a;@." pp_lvalue lv pp_expr e
+  | I_always (events, body) ->
+    Fmt.pf fmt "  always @@(%a) begin@.%a  end@."
+      Fmt.(list ~sep:(any " or ") pp_event)
+      events (pp_stmts 4) body
+  | I_instance inst ->
+    let pp_params fmt = function
+      | [] -> ()
+      | ps ->
+        let pp_one fmt (n, v) = Fmt.pf fmt ".%s(%a)" n pp_expr v in
+        Fmt.pf fmt " #(%a)" Fmt.(list ~sep:(any ", ") pp_one) ps
+    in
+    let pp_conns fmt = function
+      | Positional es -> Fmt.(list ~sep:(any ", ") pp_expr) fmt es
+      | Named conns ->
+        let pp_one fmt (port, value) =
+          match value with
+          | None -> Fmt.pf fmt ".%s()" port
+          | Some e -> Fmt.pf fmt ".%s(%a)" port pp_expr e
+        in
+        Fmt.(list ~sep:(any ", ") pp_one) fmt conns
+    in
+    Fmt.pf fmt "  %s%a %s (%a);@." inst.inst_module pp_params
+      inst.inst_params inst.inst_name pp_conns inst.inst_conns
+  | I_gate (gate, name, out, inputs) ->
+    Fmt.pf fmt "  %s %s (%a, %a);@."
+      (gate_prim_to_string gate)
+      name pp_lvalue out
+      Fmt.(list ~sep:(any ", ") pp_expr)
+      inputs
+
+let pp_module fmt m =
+  Fmt.pf fmt "module %s (%a);@." m.mod_name
+    Fmt.(list ~sep:(any ", ") string)
+    m.mod_ports;
+  (* parameters declared in the header are re-emitted in the body *)
+  List.iter (pp_item fmt) m.mod_items;
+  Fmt.pf fmt "endmodule@.@."
+
+let pp_design fmt d = List.iter (pp_module fmt) d.modules
+
+(** [module_to_string m] renders one module as Verilog source. *)
+let module_to_string m = Fmt.str "%a" pp_module m
+
+(** [design_to_string d] renders a whole design as Verilog source. *)
+let design_to_string d = Fmt.str "%a" pp_design d

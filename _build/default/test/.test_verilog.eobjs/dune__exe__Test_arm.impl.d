@@ -1,0 +1,1 @@
+test/test_arm.ml: Alcotest Arm Design Factor Lazy List QCheck Sim Synth Testutil Verilog

@@ -1,0 +1,1 @@
+test/test_atpg.ml: Alcotest Arm Array Atpg Filename Fun List Netlist QCheck Random Sys Testutil

@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Atpg Circuits Design Factor List Netlist Option Printf Random Sim Synth Testutil

@@ -1,0 +1,1 @@
+test/test_design.ml: Alcotest Array Circuits Design List Option Testutil Verilog

@@ -1,0 +1,1 @@
+test/test_factor.ml: Alcotest Array Atpg Design Factor List Netlist String Synth Testutil Verilog

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Buffer Design Factor Hashtbl List Printf QCheck Random Sim String Synth Testutil Verilog

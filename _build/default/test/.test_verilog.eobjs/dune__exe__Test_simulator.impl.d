@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Array Int64 List Netlist Option QCheck Sim String Testutil

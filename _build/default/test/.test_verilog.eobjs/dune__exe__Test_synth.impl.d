@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Bool List Netlist Printf QCheck Random Sim String Synth Testutil Verilog

@@ -1,0 +1,1 @@
+test/test_verilog.ml: Alcotest List Option Printf QCheck Testutil Verilog

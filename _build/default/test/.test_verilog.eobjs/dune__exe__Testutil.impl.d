@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Design List QCheck QCheck_alcotest Sim Synth Verilog

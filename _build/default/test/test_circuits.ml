@@ -1,0 +1,195 @@
+(** Regression sweep of the whole FACTOR flow over the benchmark corpus
+    (gcd, fifo, arbiter, traffic, dma, scratchpad, mcu8): every design must synthesize
+    cleanly, every module under test must extract to a transformed module
+    that is behaviourally equivalent to the full design, and test
+    generation on the transformed module must reach high coverage. *)
+
+open Testutil
+module C = Circuits.Collection
+
+let full_circuit entry =
+  let ed = Design.Elaborate.elaborate (parse entry.C.e_source) ~top:entry.C.e_top in
+  Synth.Lower.lower (Synth.Flatten.flatten ed entry.C.e_top)
+
+let synth_tests =
+  List.map
+    (fun entry ->
+      test (entry.C.e_name ^ " synthesizes cleanly") (fun () ->
+          let r = full_circuit entry in
+          check_bool "no warnings" true (r.Synth.Lower.warnings = []);
+          let st = Netlist.stats r.Synth.Lower.circuit in
+          check_bool "has logic" true (Netlist.gate_equivalents st > 20);
+          check_bool "has state" true (st.Netlist.st_ffs > 0)))
+    C.all
+
+let extraction_tests =
+  List.concat_map
+    (fun entry ->
+      List.map
+        (fun mut ->
+          test
+            (Printf.sprintf "%s/%s transformed module is equivalent"
+               entry.C.e_name mut.Factor.Flow.ms_name)
+            (fun () ->
+              let env =
+                Factor.Compose.make_env (parse entry.C.e_source)
+                  ~top:entry.C.e_top
+              in
+              let session = Factor.Compose.create_session () in
+              let stats =
+                Factor.Compose.compositional session env
+                  ~mut_path:mut.Factor.Flow.ms_path
+              in
+              check_bool "reaches pins" true
+                (stats.Factor.Compose.cs_reached_pi
+                 && stats.Factor.Compose.cs_reached_po);
+              let tf =
+                Factor.Transform.build env stats.Factor.Compose.cs_slice
+                  ~mut_path:mut.Factor.Flow.ms_path
+              in
+              let full = (full_circuit entry).Synth.Lower.circuit in
+              let rng = Random.State.make [| 77 |] in
+              (* shared outputs of the transformed module must behave
+                 exactly like the full design *)
+              check_bool "equivalent on kept pins" true
+                (Synth.Opt.equivalent ~rounds:8 ~cycles:6 ~rng
+                   tf.Factor.Transform.tf_circuit full
+                 = Synth.Opt.Equal)))
+        entry.C.e_muts)
+    C.all
+
+let atpg_tests =
+  List.concat_map
+    (fun entry ->
+      List.map
+        (fun mut ->
+          test
+            (Printf.sprintf "%s/%s transformed atpg coverage"
+               entry.C.e_name mut.Factor.Flow.ms_name)
+            (fun () ->
+              let env =
+                Factor.Compose.make_env (parse entry.C.e_source)
+                  ~top:entry.C.e_top
+              in
+              let session = Factor.Compose.create_session () in
+              let ch =
+                Factor.Flow.characteristics env
+                  ~full:(full_circuit entry).Synth.Lower.circuit mut
+              in
+              let row =
+                Factor.Flow.transform env session Factor.Flow.Compositional
+                  mut ~surrounding_before:ch.Factor.Flow.ch_surrounding_gates
+              in
+              let cfg =
+                { Atpg.Gen.default_config with
+                  g_max_frames = 8;
+                  g_total_budget = 30.0 }
+              in
+              let a = Factor.Flow.transformed_atpg row cfg in
+              if a.Factor.Flow.ar_coverage < 80.0 then
+                Alcotest.failf "coverage %.1f%% below 80%%"
+                  a.Factor.Flow.ar_coverage))
+        entry.C.e_muts)
+    C.all
+
+(* mcu8 instruction-level behaviour: run a small program through the
+   synthesized processor. *)
+let mcu8_program_tests =
+  let entry = C.find "mcu8" in
+  let circuit () = (full_circuit entry).Synth.Lower.circuit in
+  (* opcodes *)
+  let lda_imm = 0x01 and sta r = 0x18 lor r and add r = 0x20 lor r in
+  let sub r = 0x30 lor r and xor_ r = 0x48 lor r in
+  let jnz = 0x81 and call = 0x82 and ret = 0x83 in
+  let run prog out =
+    let c = circuit () in
+    let sim = Sim.Eval.create c in
+    let pc = ref (-1) in
+    let fetch () =
+      (* follow the program counter like an instruction memory would *)
+      let at = if !pc < 0 then 0 else !pc in
+      if at < List.length prog then List.nth prog at else (0, 0)
+    in
+    let step rst =
+      let (op, arg) = fetch () in
+      Sim.Eval.eval sim
+        (Sim.Eval.pi_of_ports c
+           [ ("rst", rst); ("opcode", op); ("operand", arg) ]);
+      Sim.Eval.tick sim;
+      Sim.Eval.eval sim
+        (Sim.Eval.pi_of_ports c
+           [ ("rst", 0); ("opcode", op); ("operand", arg) ]);
+      pc := Option.value (Sim.Eval.po_as_int sim "pc") ~default:0
+    in
+    step 1;
+    for _ = 1 to 40 do
+      step 0
+    done;
+    let (op, arg) = fetch () in
+    Sim.Eval.eval sim
+      (Sim.Eval.pi_of_ports c
+         [ ("rst", 0); ("opcode", op); ("operand", arg) ]);
+    Sim.Eval.po_as_int sim out
+  in
+  [ test "mcu8 accumulator arithmetic" (fun () ->
+        (* a = 7; r1 = a; a = 30; a += r1 -> 37 *)
+        let prog =
+          [ (lda_imm, 7); (sta 1, 0); (lda_imm, 30); (add 1, 0) ]
+        in
+        check_out "acc" 37 (run prog "acc"));
+    test "mcu8 subtract and xor" (fun () ->
+        let prog =
+          [ (lda_imm, 100); (sta 2, 0); (lda_imm, 58); (sta 3, 0);
+            (lda_imm, 100); (sub 3, 0); (xor_ 2, 0) ]
+        in
+        (* (100 - 58) xor 100 = 42 xor 100 *)
+        check_out "acc" (42 lxor 100) (run prog "acc"));
+    test "mcu8 jnz loop counts down" (fun () ->
+        (* a = 3; r1 = 1; loop: a -= r1; jnz loop *)
+        let prog =
+          [ (lda_imm, 1); (sta 1, 0); (lda_imm, 3);
+            (sub 1, 0); (jnz, 3) ]
+        in
+        check_out "acc" 0 (run prog "acc"));
+    test "mcu8 call and ret" (fun () ->
+        (* call a subroutine that loads 9, then add 1 after return *)
+        let prog =
+          [ (call, 4);          (* 0: call 4 *)
+            (lda_imm, 0);       (* 1: placeholder *)
+            (add 1, 0);         (* 2: a += r1 *)
+            (0x80, 7);          (* 3: jmp 7 (halt) *)
+            (lda_imm, 9);       (* 4: a = 9 *)
+            (sta 1, 0);         (* 5: r1 = 9 *)
+            (ret, 0) ]          (* 6: ret -> pc 1 *)
+        in
+        (* after return: a = 0 (placeholder), a += r1 = 9 *)
+        check_out "acc" 9 (run prog "acc")) ]
+
+let testability_tests =
+  [ test "traffic fsm timer reload values are flagged" (fun () ->
+        (* light_fsm inputs are real logic; but the arbiter top sees no
+           hard-coded warnings either: the corpus is clean *)
+        let entry = C.find "traffic" in
+        let env =
+          Factor.Compose.make_env (parse entry.C.e_source) ~top:entry.C.e_top
+        in
+        let findings =
+          Factor.Testability.hard_coded_inputs env ~mut_path:"u_ctl.u_fsm"
+        in
+        check_int "no hard-coded inputs" 0 (List.length findings));
+    test "corpus entries are found by name" (fun () ->
+        List.iter
+          (fun e ->
+            check_string "lookup" e.C.e_name (C.find e.C.e_name).C.e_name)
+          C.all;
+        match C.find "missing" with
+        | exception Not_found -> ()
+        | _ -> Alcotest.fail "expected Not_found") ]
+
+let () =
+  Alcotest.run "circuits"
+    [ ("synth", synth_tests);
+      ("extraction", extraction_tests);
+      ("atpg", atpg_tests);
+      ("mcu8", mcu8_program_tests);
+      ("testability", testability_tests) ]

@@ -1,0 +1,45 @@
+(** Tests for the text-table renderer. *)
+
+open Testutil
+module T = Report.Table
+
+let render_lines ~title cols rows =
+  String.split_on_char '\n' (T.render ~title cols rows)
+  |> List.filter (fun l -> l <> "")
+
+let report_tests =
+  [ test "columns align to the widest cell" (fun () ->
+        let lines =
+          render_lines ~title:"t"
+            [ T.column ~align:T.Left "Name"; T.column "Value" ]
+            [ [ "a"; "1" ]; [ "long-name"; "12345678" ] ]
+        in
+        let widths = List.map String.length lines in
+        (match widths with
+         | _title :: rest ->
+           check_bool "uniform width" true
+             (List.for_all (fun w -> w = List.hd rest) rest)
+         | [] -> Alcotest.fail "no output"));
+    test "left and right alignment" (fun () ->
+        let s =
+          T.render ~title:"t"
+            [ T.column ~align:T.Left "L"; T.column "R" ]
+            [ [ "x"; "7" ] ]
+        in
+        check_bool "left cell padded right" true
+          (let lines = String.split_on_char '\n' s in
+           List.exists
+             (fun l ->
+               String.length l >= 2 && l.[0] = 'x')
+             lines));
+    test "title is first line" (fun () ->
+        let s =
+          T.render ~title:"My Table" [ T.column "A" ] [ [ "1" ] ]
+        in
+        check_bool "title" true
+          (String.length s > 8 && String.sub s 0 8 = "My Table"));
+    test "formatting helpers" (fun () ->
+        check_string "seconds" "1.50" (T.fsec 1.4999);
+        check_string "percent" "99.4" (T.fpct 99.44)) ]
+
+let () = Alcotest.run "report" [ ("table", report_tests) ]

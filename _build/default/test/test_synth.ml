@@ -1,0 +1,550 @@
+(** Tests for flattening, lowering (RTL-to-gate synthesis), and the
+    netlist builder, including property tests checking the synthesized
+    gates against direct evaluation of the source semantics. *)
+
+open Testutil
+module N = Netlist
+
+(* ------------------------------------------------------------------ *)
+(* Netlist builder rules.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let builder_tests =
+  [ test "hash-consing unifies identical gates" (fun () ->
+        let b = N.create_builder () in
+        let a = N.add_pi b "a" and x = N.add_pi b "x" in
+        check_int "same net" (N.mk_and b a x) (N.mk_and b a x);
+        check_int "commutative" (N.mk_and b x a) (N.mk_and b a x));
+    test "constant folding" (fun () ->
+        let b = N.create_builder () in
+        let a = N.add_pi b "a" in
+        check_int "a & 0 = 0" (N.const0 b) (N.mk_and b a (N.const0 b));
+        check_int "a & 1 = a" a (N.mk_and b a (N.const1 b));
+        check_int "a | 1 = 1" (N.const1 b) (N.mk_or b a (N.const1 b));
+        check_int "a ^ a = 0" (N.const0 b) (N.mk_xor b a a);
+        check_int "a & a = a" a (N.mk_and b a a));
+    test "complement rules" (fun () ->
+        let b = N.create_builder () in
+        let a = N.add_pi b "a" in
+        let na = N.mk_not b a in
+        check_int "double negation" a (N.mk_not b na);
+        check_int "a & ~a = 0" (N.const0 b) (N.mk_and b a na);
+        check_int "a | ~a = 1" (N.const1 b) (N.mk_or b a na);
+        check_int "a ^ ~a = 1" (N.const1 b) (N.mk_xor b a na));
+    test "mux simplifications" (fun () ->
+        let b = N.create_builder () in
+        let s = N.add_pi b "s" and a = N.add_pi b "a" in
+        check_int "same branches" a (N.mk_mux b s a a);
+        check_int "mux(s,0,1) = s" s (N.mk_mux b s (N.const0 b) (N.const1 b));
+        check_int "const select" a (N.mk_mux b (N.const1 b) (N.add_pi b "z") a));
+    test "ff without d input rejected" (fun () ->
+        let b = N.create_builder () in
+        let _q = N.add_ff b "q" in
+        match N.finalize b with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected failure");
+    test "topological order respects fanins" (fun () ->
+        let b = N.create_builder () in
+        let a = N.add_pi b "a" and x = N.add_pi b "x" in
+        let y = N.mk_xor b (N.mk_and b a x) a in
+        N.add_po b "y" y;
+        let c = N.finalize b in
+        let order = N.topological_order c in
+        let pos = Array.make (N.num_nets c) 0 in
+        Array.iteri (fun i net -> pos.(net) <- i) order;
+        Array.iteri
+          (fun net d ->
+            List.iter
+              (fun fanin ->
+                check_bool "fanin first" true (pos.(fanin) < pos.(net)))
+              (N.fanins d))
+          c.N.drv) ]
+
+(* ------------------------------------------------------------------ *)
+(* Flattening.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let flatten_tests =
+  [ test "names are prefixed" (fun () ->
+        let ed =
+          elaborate
+            {|module inv (input a, output y); assign y = ~a; endmodule
+              module top (input a, output y); inv u (.a(a), .y(y)); endmodule|}
+        in
+        let flat = Synth.Flatten.flatten ed "top" in
+        check_bool "u.a exists" true
+          (Verilog.Ast_util.Smap.mem "u.a" flat.Synth.Flatten.fl_signals));
+    test "unconnected input ties to zero" (fun () ->
+        let c =
+          circuit
+            {|module orer (input a, b, output y); assign y = a | b; endmodule
+              module top (input a, output y); orer u (.a(a), .b(), .y(y)); endmodule|}
+        in
+        check_out "y follows a" 1 (eval_out c [ ("a", 1) ] "y");
+        check_out "b reads as 0" 0 (eval_out c [ ("a", 0) ] "y"));
+    test "origin tags attribute gates" (fun () ->
+        let c =
+          circuit
+            {|module adder (input [3:0] a, b, output [3:0] y); assign y = a + b; endmodule
+              module top (input [3:0] a, b, output [3:0] y);
+                adder u_add (.a(a), .b(b), .y(y));
+              endmodule|}
+        in
+        let tagged = ref 0 in
+        Array.iteri
+          (fun net d ->
+            match d with
+            | N.G2 _ when c.N.origin.(net) = "u_add" -> incr tagged
+            | _ -> ())
+          c.N.drv;
+        check_bool "adder gates tagged" true (!tagged > 10));
+    test "inout rejected" (fun () ->
+        let ed =
+          elaborate
+            {|module pad (inout p); endmodule
+              module top (input a); pad u (.p(a)); endmodule|}
+        in
+        match Synth.Flatten.flatten ed "top" with
+        | exception Synth.Flatten.Error _ -> ()
+        | _ -> Alcotest.fail "expected flatten error") ]
+
+(* ------------------------------------------------------------------ *)
+(* Lowering: operator semantics vs gates.                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Build a two-input 8-bit combinational module around an expression and
+   compare the synthesized circuit against an OCaml reference on random
+   values. *)
+let binop_circuit expr =
+  circuit
+    (Printf.sprintf
+       {|module top (input [7:0] a, b, output [8:0] y);
+         assign y = %s; endmodule|}
+       expr)
+
+let qcheck_binop name expr reference =
+  qtest ("gates match semantics: " ^ name)
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (a, b) ->
+      let c = binop_circuit expr in
+      eval_out c [ ("a", a); ("b", b) ] "y" = Some (reference a b land 511))
+
+let lower_semantics_tests =
+  [ qcheck_binop "add" "{1'b0, a} + {1'b0, b}" ( + );
+    qcheck_binop "sub" "{1'b0, a - b}" (fun a b -> (a - b) land 255);
+    qcheck_binop "mul" "{1'b0, a * b}" (fun a b -> a * b land 255);
+    qcheck_binop "and" "{1'b0, a & b}" ( land );
+    qcheck_binop "or" "{1'b0, a | b}" ( lor );
+    qcheck_binop "xor" "{1'b0, a ^ b}" ( lxor );
+    qcheck_binop "eq" "{8'd0, a == b}" (fun a b -> if a = b then 1 else 0);
+    qcheck_binop "neq" "{8'd0, a != b}" (fun a b -> if a <> b then 1 else 0);
+    qcheck_binop "lt" "{8'd0, a < b}" (fun a b -> if a < b then 1 else 0);
+    qcheck_binop "le" "{8'd0, a <= b}" (fun a b -> if a <= b then 1 else 0);
+    qcheck_binop "gt" "{8'd0, a > b}" (fun a b -> if a > b then 1 else 0);
+    qcheck_binop "ge" "{8'd0, a >= b}" (fun a b -> if a >= b then 1 else 0);
+    qcheck_binop "cond" "(a < b) ? {1'b0, a} : {1'b0, b}" min;
+    qcheck_binop "logical and" "{8'd0, a && b}"
+      (fun a b -> if a <> 0 && b <> 0 then 1 else 0);
+    qcheck_binop "logical or" "{8'd0, a || b}"
+      (fun a b -> if a <> 0 || b <> 0 then 1 else 0);
+    qtest "shift left dynamic" QCheck.(pair (int_bound 255) (int_bound 7))
+      (fun (a, k) ->
+        let c =
+          circuit
+            {|module top (input [7:0] a, input [2:0] k, output [7:0] y);
+              assign y = a << k; endmodule|}
+        in
+        eval_out c [ ("a", a); ("k", k) ] "y" = Some (a lsl k land 255));
+    qtest "shift right dynamic" QCheck.(pair (int_bound 255) (int_bound 7))
+      (fun (a, k) ->
+        let c =
+          circuit
+            {|module top (input [7:0] a, input [2:0] k, output [7:0] y);
+              assign y = a >> k; endmodule|}
+        in
+        eval_out c [ ("a", a); ("k", k) ] "y" = Some (a lsr k));
+    qtest "dynamic bit select" QCheck.(pair (int_bound 255) (int_bound 7))
+      (fun (a, k) ->
+        let c =
+          circuit
+            {|module top (input [7:0] a, input [2:0] k, output y);
+              assign y = a[k]; endmodule|}
+        in
+        eval_out c [ ("a", a); ("k", k) ] "y" = Some ((a lsr k) land 1));
+    qtest "reductions" QCheck.(int_bound 255)
+      (fun a ->
+        let c =
+          circuit
+            {|module top (input [7:0] a, output [2:0] y);
+              assign y = {&a, |a, ^a}; endmodule|}
+        in
+        let pop = ref 0 in
+        for i = 0 to 7 do
+          if (a lsr i) land 1 = 1 then incr pop
+        done;
+        let expect =
+          ((if a = 255 then 4 else 0)
+           lor (if a <> 0 then 2 else 0)
+           lor (!pop land 1))
+        in
+        eval_out c [ ("a", a) ] "y" = Some expect);
+    qtest "unary minus" QCheck.(int_bound 255)
+      (fun a ->
+        let c =
+          circuit
+            {|module top (input [7:0] a, output [7:0] y);
+              assign y = -a; endmodule|}
+        in
+        eval_out c [ ("a", a) ] "y" = Some (-a land 255)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Lowering: structure and error cases.                                *)
+(* ------------------------------------------------------------------ *)
+
+let lower_structure_tests =
+  [ test "part select assembly" (fun () ->
+        let c =
+          circuit
+            {|module top (input [7:0] a, output [7:0] y);
+              assign y[3:0] = a[7:4];
+              assign y[7:4] = a[3:0]; endmodule|}
+        in
+        check_out "nibble swap" 0x5A (eval_out c [ ("a", 0xA5) ] "y"));
+    test "concat lvalue" (fun () ->
+        let c =
+          circuit
+            {|module top (input [7:0] a, output [3:0] hi, output [3:0] lo);
+              assign {hi, lo} = a; endmodule|}
+        in
+        check_out "hi" 0xA (eval_out c [ ("a", 0xA5) ] "hi");
+        check_out "lo" 0x5 (eval_out c [ ("a", 0xA5) ] "lo"));
+    test "comb always with defaults" (fun () ->
+        let c =
+          circuit
+            {|module top (input [1:0] s, input [3:0] a, b, output reg [3:0] y);
+              always @(*) begin
+                y = 4'd0;
+                if (s == 2'd1) y = a;
+                if (s == 2'd2) y = b;
+              end endmodule|}
+        in
+        check_out "default" 0 (eval_out c [ ("s", 0); ("a", 5); ("b", 9) ] "y");
+        check_out "a" 5 (eval_out c [ ("s", 1); ("a", 5); ("b", 9) ] "y");
+        check_out "b" 9 (eval_out c [ ("s", 2); ("a", 5); ("b", 9) ] "y"));
+    test "latch inference rejected" (fun () ->
+        match
+          circuit
+            {|module top (input c, input a, output reg y);
+              always @(*) begin if (c) y = a; end endmodule|}
+        with
+        | exception Synth.Lower.Error _ -> ()
+        | _ -> Alcotest.fail "expected latch error");
+    test "multiple drivers rejected" (fun () ->
+        match
+          circuit
+            {|module top (input a, b, output y);
+              assign y = a; assign y = b; endmodule|}
+        with
+        | exception Synth.Lower.Error _ -> ()
+        | _ -> Alcotest.fail "expected multiple-driver error");
+    test "combinational cycle rejected" (fun () ->
+        match
+          circuit
+            {|module top (input a, output y);
+              wire t; assign t = y & a; assign y = t | a; endmodule|}
+        with
+        | exception Synth.Lower.Error _ -> ()
+        | _ -> Alcotest.fail "expected cycle error");
+    test "undriven signal warns and reads zero" (fun () ->
+        let (c, warnings) =
+          circuit_and_warnings
+            "module top (input a, output y); wire ghost; assign y = a | ghost; endmodule"
+        in
+        check_bool "warning emitted" true
+          (List.exists (fun w -> String.length w >= 8 && String.sub w 0 8 = "undriven") warnings);
+        check_out "ghost is zero" 0 (eval_out c [ ("a", 0) ] "y"));
+    test "blocking then nonblocking in clocked block" (fun () ->
+        (* t = a + 1 (blocking temp), q <= t: q sees the new t *)
+        let c =
+          circuit
+            {|module top (input clk, input [3:0] a, output reg [3:0] q);
+              reg [3:0] t;
+              always @(posedge clk) begin
+                t = a + 4'd1;
+                q <= t;
+              end endmodule|}
+        in
+        check_out "q = a+1 after one tick" 8
+          (run_seq c [ [ ("a", 7) ] ] "q"));
+    test "nonblocking swap" (fun () ->
+        let c =
+          circuit
+            {|module top (input clk, input ld, input [3:0] va, vb,
+                          output reg [3:0] a, output reg [3:0] b);
+              always @(posedge clk) begin
+                if (ld) begin a <= va; b <= vb; end
+                else begin a <= b; b <= a; end
+              end endmodule|}
+        in
+        let frames = [ [ ("ld", 1); ("va", 3); ("vb", 12) ]; [ ("ld", 0) ] ] in
+        check_out "a got old b" 12 (run_seq c frames "a");
+        check_out "b got old a" 3 (run_seq c frames "b"));
+    test "register holds without assignment" (fun () ->
+        let c =
+          circuit
+            {|module top (input clk, input en, input [3:0] d, output reg [3:0] q);
+              always @(posedge clk) begin if (en) q <= d; end endmodule|}
+        in
+        let frames =
+          [ [ ("en", 1); ("d", 9) ]; [ ("en", 0); ("d", 2) ] ]
+        in
+        check_out "held" 9 (run_seq c frames "q"));
+    test "gate primitive lowering" (fun () ->
+        let c =
+          circuit
+            {|module top (input a, b, output y1, y2, y3);
+              nand g1 (y1, a, b);
+              nor g2 (y2, a, b);
+              xor g3 (y3, a, b); endmodule|}
+        in
+        check_out "nand" 1 (eval_out c [ ("a", 1); ("b", 0) ] "y1");
+        check_out "nor" 0 (eval_out c [ ("a", 1); ("b", 0) ] "y2");
+        check_out "xor" 1 (eval_out c [ ("a", 1); ("b", 0) ] "y3"));
+    test "stats count live logic only" (fun () ->
+        let c =
+          circuit
+            {|module top (input [7:0] a, b, output [7:0] y);
+              wire [7:0] dead;
+              assign dead = a * b;
+              assign y = a & b; endmodule|}
+        in
+        let st = Netlist.stats c in
+        (* the multiplier is dangling; only the and gates remain *)
+        check_bool "small" true (Netlist.gate_equivalents st <= 8));
+    test "casez matches cared bits only" (fun () ->
+        let c =
+          circuit
+            {|module top (input [3:0] op, output reg [1:0] cls);
+              always @(*) begin
+                casez (op)
+                  4'b1???: cls = 2'd3;
+                  4'b01??: cls = 2'd2;
+                  4'b001?: cls = 2'd1;
+                  default: cls = 2'd0;
+                endcase
+              end endmodule|}
+        in
+        check_out "1xxx" 3 (eval_out c [ ("op", 0b1010) ] "cls");
+        check_out "01xx" 2 (eval_out c [ ("op", 0b0111) ] "cls");
+        check_out "001x" 1 (eval_out c [ ("op", 0b0011) ] "cls");
+        check_out "else" 0 (eval_out c [ ("op", 0b0001) ] "cls"));
+    test "casez priority order" (fun () ->
+        (* the first matching arm wins even when later arms also match *)
+        let c =
+          circuit
+            {|module top (input [2:0] s, output reg y);
+              always @(*) begin
+                y = 0;
+                casez (s)
+                  3'b1??: y = 1;
+                  3'b1?0: y = 0;
+                endcase
+              end endmodule|}
+        in
+        check_out "first arm" 1 (eval_out c [ ("s", 0b100) ] "y"));
+    test "masked literal outside casez rejected" (fun () ->
+        match
+          circuit
+            {|module top (input [3:0] a, output [3:0] y);
+              assign y = a & 4'b1?1?; endmodule|}
+        with
+        | exception Synth.Lower.Error _ -> ()
+        | _ -> Alcotest.fail "expected lowering error");
+    test "casez agrees with the interpreter" (fun () ->
+        let src =
+          {|module top (input [3:0] op, output reg [2:0] grp);
+            always @(*) begin
+              casez (op)
+                4'b11??: grp = 3'd4;
+                4'b1???: grp = 3'd3;
+                4'b?1?1: grp = 3'd2;
+                default: grp = 3'd1;
+              endcase
+            end endmodule|}
+        in
+        let ed = elaborate src in
+        let flat = Synth.Flatten.flatten ed "top" in
+        let c = (Synth.Lower.lower flat).Synth.Lower.circuit in
+        let interp = Synth.Interp.create flat in
+        for op = 0 to 15 do
+          Synth.Interp.step interp [ ("op", op) ];
+          check_out (Printf.sprintf "op=%d" op)
+            (Synth.Interp.output interp "grp")
+            (eval_out c [ ("op", op) ] "grp")
+        done);
+    test "register array reads and writes" (fun () ->
+        let c =
+          circuit
+            {|module top (input clk, input we, input [1:0] waddr, raddr,
+                          input [3:0] wdata, output [3:0] rdata);
+              reg [3:0] mem [0:3];
+              always @(posedge clk) begin
+                if (we) mem[waddr] <= wdata;
+              end
+              assign rdata = mem[raddr]; endmodule|}
+        in
+        check_int "16 flip-flops" 16 (Netlist.num_ffs c);
+        let frames =
+          [ [ ("we", 1); ("waddr", 2); ("wdata", 9); ("raddr", 0) ];
+            [ ("we", 1); ("waddr", 0); ("wdata", 5); ("raddr", 2) ] ]
+        in
+        check_out "mem[2]" 9 (run_seq c frames "rdata"));
+    test "memory with non-zero address base" (fun () ->
+        let c =
+          circuit
+            {|module top (input clk, input we, input [2:0] a,
+                          input [3:0] d, output [3:0] q);
+              reg [3:0] m [4:7];
+              always @(posedge clk) begin
+                if (we) m[a] <= d;
+              end
+              assign q = m[a]; endmodule|}
+        in
+        check_int "4 words" 16 (Netlist.num_ffs c);
+        check_out "word 5" 7
+          (run_seq c [ [ ("we", 1); ("a", 5); ("d", 7) ];
+                       [ ("we", 0); ("a", 5) ] ] "q"));
+    test "memory written outside clocked block rejected" (fun () ->
+        match
+          circuit
+            {|module top (input [1:0] a, input [3:0] d, output [3:0] q);
+              reg [3:0] m [0:3];
+              always @(*) begin m[a] = d; end
+              assign q = m[a]; endmodule|}
+        with
+        | exception Synth.Lower.Error _ -> ()
+        | _ -> Alcotest.fail "expected lowering error");
+    test "whole-memory read rejected" (fun () ->
+        match
+          circuit
+            {|module top (input clk, input [3:0] d, output [3:0] q);
+              reg [3:0] m [0:3];
+              always @(posedge clk) m[0] <= d;
+              assign q = m; endmodule|}
+        with
+        | exception Synth.Lower.Error _ -> ()
+        | _ -> Alcotest.fail "expected lowering error");
+    test "memory agrees with the interpreter" (fun () ->
+        let src =
+          {|module top (input clk, input we, input [1:0] wa, ra,
+                        input [7:0] d, output [7:0] q);
+            reg [7:0] m [0:3];
+            always @(posedge clk) begin
+              if (we) m[wa] <= d;
+            end
+            assign q = m[ra]; endmodule|}
+        in
+        let ed = elaborate src in
+        let flat = Synth.Flatten.flatten ed "top" in
+        let c = (Synth.Lower.lower flat).Synth.Lower.circuit in
+        let interp = Synth.Interp.create flat in
+        let sim = Sim.Eval.create c in
+        Sim.Eval.zero_state sim;
+        let rng = Random.State.make [| 99 |] in
+        for _ = 1 to 24 do
+          let binds =
+            [ ("we", Random.State.int rng 2); ("wa", Random.State.int rng 4);
+              ("ra", Random.State.int rng 4); ("d", Random.State.int rng 256) ]
+          in
+          Synth.Interp.step interp (("clk", 0) :: binds);
+          Sim.Eval.eval sim (Sim.Eval.pi_of_ports c (("clk", 0) :: binds));
+          check_out "q agrees" (Synth.Interp.output interp "q")
+            (Sim.Eval.po_as_int sim "q");
+          Synth.Interp.tick interp;
+          Sim.Eval.tick sim
+        done);
+    test "sign extension via replication" (fun () ->
+        let c =
+          circuit
+            {|module top (input [7:0] a, output [15:0] y);
+              assign y = {{8{a[7]}}, a}; endmodule|}
+        in
+        check_out "negative extends" 0xFF80 (eval_out c [ ("a", 0x80) ] "y");
+        check_out "positive stays" 0x007F (eval_out c [ ("a", 0x7F) ] "y")) ]
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let opt_tests =
+  [ test "rebuild preserves function" (fun () ->
+        let c =
+          circuit
+            {|module top (input clk, rst, input [7:0] a, b, output [7:0] y,
+                          output reg [7:0] acc);
+              assign y = (a + b) ^ (a & b);
+              always @(posedge clk) begin
+                if (rst) acc <= 8'd0; else acc <= acc + y;
+              end endmodule|}
+        in
+        let (c', _) = Synth.Opt.optimize c in
+        let rng = Random.State.make [| 11 |] in
+        check_bool "equivalent" true
+          (Synth.Opt.equivalent ~rng c c' = Synth.Opt.Equal));
+    test "tying an input shrinks the cone" (fun () ->
+        let c =
+          circuit
+            {|module top (input en, input [7:0] a, b, output [7:0] y);
+              assign y = en ? (a * b) : (a & b); endmodule|}
+        in
+        let (c', st) = Synth.Opt.optimize ~tie:[ ("en", false) ] c in
+        check_bool "multiplier gone" true
+          (st.Synth.Opt.op_nets_after < st.Synth.Opt.op_nets_before / 2);
+        (* still equivalent when en is actually 0 *)
+        check_out "and path survives" (0xA5 land 0x0F)
+          (eval_out c' [ ("a", 0xA5); ("b", 0x0F) ] "y"));
+    test "dead state is swept" (fun () ->
+        let c =
+          circuit
+            {|module top (input clk, input d, output y);
+              reg used; reg dead;
+              always @(posedge clk) begin used <= d; dead <= ~d; end
+              assign y = used; endmodule|}
+        in
+        let (_, st) = Synth.Opt.optimize c in
+        check_int "one flip-flop left" 1 st.Synth.Opt.op_ffs_after);
+    test "equivalence check catches a real difference" (fun () ->
+        let a = circuit "module top (input a, b, output y); assign y = a & b; endmodule" in
+        let b = circuit "module top (input a, b, output y); assign y = a | b; endmodule" in
+        let rng = Random.State.make [| 3 |] in
+        (match Synth.Opt.equivalent ~rng a b with
+         | Synth.Opt.Differ "y" -> ()
+         | _ -> Alcotest.fail "expected a mismatch on y"));
+    qtest "optimize is semantics-preserving on random ties" ~count:25
+      QCheck.(pair bool bool)
+      (fun (t1, t2) ->
+        let c =
+          circuit
+            {|module top (input s, t, input [3:0] a, b, output [3:0] y);
+              assign y = s ? (t ? a + b : a - b) : (t ? a ^ b : a & b);
+              endmodule|}
+        in
+        let (c', _) = Synth.Opt.optimize ~tie:[ ("s", t1); ("t", t2) ] c in
+        List.for_all
+          (fun (a, b) ->
+            let want =
+              eval_out c
+                [ ("s", Bool.to_int t1); ("t", Bool.to_int t2);
+                  ("a", a); ("b", b) ]
+                "y"
+            in
+            eval_out c' [ ("a", a); ("b", b) ] "y" = want)
+          [ (3, 9); (15, 1); (0, 0); (7, 7) ]) ]
+
+let () =
+  Alcotest.run "synth"
+    [ ("builder", builder_tests);
+      ("flatten", flatten_tests);
+      ("semantics", lower_semantics_tests);
+      ("structure", lower_structure_tests);
+      ("opt", opt_tests) ]

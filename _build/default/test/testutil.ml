@@ -1,0 +1,49 @@
+(** Shared helpers for the test suites. *)
+
+let parse src = Verilog.Parser.parse_design src
+
+let elaborate ?(top = "top") src =
+  Design.Elaborate.elaborate (parse src) ~top
+
+let circuit ?(top = "top") src =
+  let ed = elaborate ~top src in
+  (Synth.Lower.lower (Synth.Flatten.flatten ed top)).Synth.Lower.circuit
+
+let circuit_and_warnings ?(top = "top") src =
+  let ed = elaborate ~top src in
+  let r = Synth.Lower.lower (Synth.Flatten.flatten ed top) in
+  (r.Synth.Lower.circuit, r.Synth.Lower.warnings)
+
+(** Evaluate a combinational circuit on integer port bindings and read an
+    output port as an integer. *)
+let eval_out c bindings out =
+  let sim = Sim.Eval.create c in
+  Sim.Eval.eval sim (Sim.Eval.pi_of_ports c bindings);
+  Sim.Eval.po_as_int sim out
+
+(** Step a sequential circuit through the given binding frames and read an
+    output afterwards (evaluating with the last frame's inputs). *)
+let run_seq c frames out =
+  let sim = Sim.Eval.create c in
+  let last = ref [] in
+  List.iter
+    (fun bindings ->
+      last := bindings;
+      Sim.Eval.eval sim (Sim.Eval.pi_of_ports c bindings);
+      Sim.Eval.tick sim)
+    frames;
+  Sim.Eval.eval sim (Sim.Eval.pi_of_ports c !last);
+  Sim.Eval.po_as_int sim out
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let check_out msg expected actual =
+  Alcotest.(check (option int)) msg (Some expected) actual
+
+let test name f = Alcotest.test_case name `Quick f
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name gen prop)
