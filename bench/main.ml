@@ -684,7 +684,7 @@ let micro () =
   let open Bechamel in
   let e = Lazy.force env in
   let c = Lazy.force full in
-  let order = Netlist.topological_order c in
+  let order = (Netlist.analysis c).Netlist.Analysis.order in
   let faults =
     Atpg.Fault.collapse c (Atpg.Fault.all ~within:"u_dpath.u_alu" c)
   in
@@ -719,7 +719,7 @@ let micro () =
            List.iter
              (fun t ->
                ignore
-                 (Atpg.Fsim.run_batch c ~order ~faults:batch
+                 (Atpg.Fsim.run_batch_reference c ~order ~faults:batch
                     ~observe:Atpg.Fsim.default_observe t))
              tests))
   in
@@ -755,6 +755,96 @@ let micro () =
       test_fsim; test_chains ]
 
 (* ------------------------------------------------------------------ *)
+(* Fault-simulation engine benchmark.                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The straight-line reference run with the same fault-dropping semantics
+   as Fsim.run: per test, undetected faults are simulated in batches of
+   63 and detected ones drop out of later tests. *)
+let reference_run c ~observe ~faults tests =
+  let order = (Netlist.analysis c).Netlist.Analysis.order in
+  let fault_arr = Array.of_list faults in
+  let n = Array.length fault_arr in
+  let detected = Array.make n false in
+  List.iter
+    (fun test ->
+      let remaining = ref [] in
+      for i = n - 1 downto 0 do
+        if not detected.(i) then remaining := i :: !remaining
+      done;
+      let rec batches = function
+        | [] -> ()
+        | l ->
+          let rec take k = function
+            | x :: rest when k > 0 ->
+              let (h, t) = take (k - 1) rest in
+              (x :: h, t)
+            | rest -> ([], rest)
+          in
+          let (batch, rest) = take 63 l in
+          let flags =
+            Atpg.Fsim.run_batch_reference c ~order
+              ~faults:(List.map (fun i -> fault_arr.(i)) batch)
+              ~observe test
+          in
+          List.iter2 (fun i hit -> if hit then detected.(i) <- true) batch flags;
+          batches rest
+      in
+      batches !remaining)
+    tests;
+  detected
+
+(* Event-driven vs reference engine on the full ARM collapsed fault list:
+   fixed seed, identical detection flags required, per-engine wall clock
+   and net-evaluation counts written to BENCH_fsim.json. *)
+let bench_fsim () =
+  let c = Lazy.force full in
+  let faults = Atpg.Fault.collapse c (Atpg.Fault.all c) in
+  let rng = Random.State.make [| 42 |] in
+  let num_tests = 8 in
+  let tests =
+    List.init num_tests (fun _ ->
+        Atpg.Pattern.random ~rng ~num_pis:(Netlist.num_pis c) ~frames:4
+          ~piers:[])
+  in
+  let observe = Atpg.Fsim.default_observe in
+  let timed f =
+    let e0 = Atpg.Fsim.eval_count () in
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0, Atpg.Fsim.eval_count () - e0)
+  in
+  let (event_flags, event_wall, event_evals) =
+    timed (fun () -> Atpg.Fsim.run c ~observe ~faults tests)
+  in
+  let (ref_flags, ref_wall, ref_evals) =
+    timed (fun () -> reference_run c ~observe ~faults tests)
+  in
+  if event_flags <> ref_flags then begin
+    prerr_endline "bench fsim: engines disagree on detection flags";
+    exit 1
+  end;
+  let ratio a b = if b = 0.0 then 0.0 else a /. b in
+  Printf.printf "fsim bench: %d faults, %d tests on the full ARM\n"
+    (List.length faults) num_tests;
+  Printf.printf "  event-driven: %.3f s, %d net evals\n" event_wall event_evals;
+  Printf.printf "  reference:    %.3f s, %d net evals\n" ref_wall ref_evals;
+  Printf.printf "  speedup: %.1fx wall, %.1fx evals\n"
+    (ratio ref_wall event_wall)
+    (ratio (float_of_int ref_evals) (float_of_int event_evals));
+  let oc = open_out "BENCH_fsim.json" in
+  Printf.fprintf oc
+    "{\n  \"circuit\": \"arm\",\n  \"faults\": %d,\n  \"tests\": %d,\n  \
+     \"wall_s\": %.4f,\n  \"evals\": %d,\n  \"ref_wall_s\": %.4f,\n  \
+     \"ref_evals\": %d,\n  \"speedup_wall\": %.2f,\n  \"speedup_evals\": \
+     %.2f\n}\n"
+    (List.length faults) num_tests event_wall event_evals ref_wall ref_evals
+    (ratio ref_wall event_wall)
+    (ratio (float_of_int ref_evals) (float_of_int event_evals));
+  close_out oc;
+  print_endline "wrote BENCH_fsim.json"
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -775,6 +865,7 @@ let () =
     | "bridging" -> bridging ()
     | "ablations" -> ablations ()
     | "micro" -> micro ()
+    | "fsim" -> bench_fsim ()
     | "all" ->
       table1 ();
       table2 ();
@@ -787,7 +878,7 @@ let () =
       generality ()
     | other ->
       Printf.eprintf
-        "unknown target %S (expected table1..table6, testability, translate, generality, variance, ablations, micro, all)\n"
+        "unknown target %S (expected table1..table6, testability, translate, generality, variance, ablations, micro, fsim, all)\n"
         other;
       exit 1
   in

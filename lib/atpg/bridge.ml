@@ -132,7 +132,7 @@ let run_batch c ~order ~bridges ~observe (test : Pattern.test) =
 (** [coverage c ~observe ~bridges tests] = percentage of the bridging
     population detected by the test set. *)
 let coverage c ~observe ~bridges tests =
-  let order = N.topological_order c in
+  let order = (N.analysis c).N.Analysis.order in
   let n = List.length bridges in
   if n = 0 then 100.0
   else begin

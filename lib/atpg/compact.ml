@@ -17,42 +17,30 @@ type result = {
 (** [run c ~observe ~faults tests] compacts [tests] while preserving the
     detection of every fault in [faults] that the full set detects. *)
 let run c ~observe ~faults tests =
-  let order = Netlist.topological_order c in
-  let detected = Array.make (List.length faults) false in
-  let indexed = List.mapi (fun i f -> (i, f)) faults in
+  let fault_arr = Array.of_list faults in
+  let n = Array.length fault_arr in
+  let detected = Array.make n false in
   let keep = ref [] in
   List.iter
     (fun test ->
-      let remaining = List.filter (fun (i, _) -> not detected.(i)) indexed in
-      if remaining <> [] then begin
+      let remaining =
+        Array.of_list
+          (List.filter (fun i -> not detected.(i)) (List.init n Fun.id))
+      in
+      if Array.length remaining > 0 then begin
         (* fault-simulate this single test against what is left *)
-        let rec batches news = function
-          | [] -> news
-          | l ->
-            let rec take k = function
-              | x :: rest when k > 0 ->
-                let (h, t) = take (k - 1) rest in
-                (x :: h, t)
-              | rest -> ([], rest)
-            in
-            let (batch, rest) = take 63 l in
-            let flags =
-              Fsim.run_batch c ~order ~faults:(List.map snd batch) ~observe
-                test
-            in
-            let news =
-              List.fold_left2
-                (fun news (i, _) hit ->
-                  if hit && not detected.(i) then begin
-                    detected.(i) <- true;
-                    news + 1
-                  end
-                  else news)
-                news batch flags
-            in
-            batches news rest
+        let flags =
+          Fsim.run_test c ~observe ~faults:fault_arr ~active:remaining test
         in
-        if batches 0 remaining > 0 then keep := test :: !keep
+        let news = ref 0 in
+        Array.iteri
+          (fun k i ->
+            if flags.(k) && not detected.(i) then begin
+              detected.(i) <- true;
+              incr news
+            end)
+          remaining;
+        if !news > 0 then keep := test :: !keep
       end)
     (List.rev tests);
   let kept = !keep in

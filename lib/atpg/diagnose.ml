@@ -17,33 +17,15 @@ type dictionary = {
 (* Signature of one fault over the tests: fault simulation without
    dropping (diagnosis needs the full signature, not first detection). *)
 let signatures c ~observe ~faults tests =
-  let order = N.topological_order c in
-  let nf = List.length faults in
+  let fault_arr = Array.of_list faults in
+  let nf = Array.length fault_arr in
   let nt = List.length tests in
   let sigs = Array.init nf (fun _ -> Bytes.make nt '\000') in
-  let indexed = List.mapi (fun i f -> (i, f)) faults in
+  let all = Array.init nf Fun.id in
   List.iteri
     (fun ti test ->
-      let rec batches = function
-        | [] -> ()
-        | l ->
-          let rec take k = function
-            | x :: rest when k > 0 ->
-              let (h, t) = take (k - 1) rest in
-              (x :: h, t)
-            | rest -> ([], rest)
-          in
-          let (batch, rest) = take 63 l in
-          let flags =
-            Fsim.run_batch c ~order ~faults:(List.map snd batch) ~observe test
-          in
-          List.iter2
-            (fun (fi, _) hit ->
-              if hit then Bytes.set sigs.(fi) ti '\001')
-            batch flags;
-          batches rest
-      in
-      batches indexed)
+      let flags = Fsim.run_test c ~observe ~faults:fault_arr ~active:all test in
+      Array.iteri (fun fi hit -> if hit then Bytes.set sigs.(fi) ti '\001') flags)
     tests;
   sigs
 

@@ -17,6 +17,14 @@ val sites : ?within:string -> Netlist.t -> int list
 (** Full fault list: two faults per site. *)
 val all : ?within:string -> Netlist.t -> t list
 
-(** Equivalence collapsing: inverter-output faults with a single-fanout
-    fanin collapse into the complementary fanin fault. *)
+(** Equivalence collapsing: inverter/buffer-output faults with a
+    single-fanout fanin collapse into the fanin fault (complemented for
+    inverters), and single-fanout gate-input faults at the controlling
+    value collapse into the equivalent gate-output fault (AND/NAND input
+    sa0, OR/NOR input sa1). *)
 val collapse : Netlist.t -> t list -> t list
+
+(** The faults [collapse] drops, each paired with the final
+    representative of its equivalence class: any test detects both or
+    neither. *)
+val collapse_pairs : Netlist.t -> t list -> (t * t) list

@@ -2,9 +2,23 @@
     good circuit, columns 1..63 carry one faulty circuit each, all driven
     by the same test sequence.  Flip-flops start at X (except loaded PIER
     registers), so detection is conservative exactly like the pattern
-    translation the paper performs. *)
+    translation the paper performs.
+
+    Two engines share the detection semantics:
+
+    - {!run_batch_reference}: the straight-line engine — every net is
+      re-evaluated on every frame of every batch.  Kept as the oracle for
+      differential testing and as the benchmark baseline.
+    - the event-driven engine behind {!run} and {!run_test}: the
+      fault-free circuit is simulated once per test and its per-frame net
+      values cached; each fault batch then only re-evaluates nets inside
+      the fanout cones that actually diverge from the good value, driven
+      by a levelized event queue seeded at the injection sites and at
+      flip-flops whose faulty state differs from the good state.  Fault
+      injection is an O(1) per-net mask lookup instead of a hash probe. *)
 
 module N = Netlist
+module A = N.Analysis
 module L = Sim.Logic3
 
 type observe = {
@@ -14,7 +28,23 @@ type observe = {
 
 let default_observe = { ob_pos = true; ob_pier_ffs = [] }
 
-(* Per-net fault injection masks: (bit, stuck). *)
+(* Net evaluations performed by either engine since program start; the
+   microbenchmark reports deltas of this. *)
+let eval_counter = ref 0
+let eval_count () = !eval_counter
+
+(* Columns (other than 0) whose value provably differs from column 0. *)
+let detected_mask (v : L.t) : int64 =
+  match L.get v 0 with
+  | None -> 0L
+  | Some true -> Int64.logand v.L.lo (Int64.lognot 1L)
+  | Some false -> Int64.logand v.L.hi (Int64.lognot 1L)
+
+(* ------------------------------------------------------------------ *)
+(* Reference engine: straight-line evaluation of every net.            *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-net fault injection overrides: (bit, stuck). *)
 let injection_table faults =
   let table = Hashtbl.create 64 in
   List.iteri
@@ -33,17 +63,11 @@ let inject table net (v : L.t) : L.t =
       (fun v (bit, stuck) -> L.set v bit (Some stuck))
       v overrides
 
-(* Columns (other than 0) whose value provably differs from column 0. *)
-let detected_mask (v : L.t) : int64 =
-  match L.get v 0 with
-  | None -> 0L
-  | Some true -> Int64.logand v.L.lo (Int64.lognot 1L)
-  | Some false -> Int64.logand v.L.hi (Int64.lognot 1L)
-
-(** [run_batch c ~order ~faults ~observe test] simulates [test] against at
-    most 63 faults; returns a bool array aligned with [faults] marking the
-    detected ones. *)
-let run_batch c ~order ~faults ~observe (test : Pattern.test) =
+(** [run_batch_reference c ~order ~faults ~observe test] simulates [test]
+    against at most 63 faults by evaluating every net on every frame;
+    returns a bool array aligned with [faults] marking the detected
+    ones.  The oracle the event-driven engine is checked against. *)
+let run_batch_reference c ~order ~faults ~observe (test : Pattern.test) =
   let nf = List.length faults in
   assert (nf <= 63);
   let table = injection_table faults in
@@ -73,7 +97,8 @@ let run_batch c ~order ~faults ~observe (test : Pattern.test) =
           | N.Mux (s, a, b) -> L.v_mux values.(s) values.(a) values.(b)
         in
         values.(net) <- inject table net v)
-      order
+      order;
+    eval_counter := !eval_counter + Array.length order
   in
   let frames = Array.length test.Pattern.p_vectors in
   for f = 0 to frames - 1 do
@@ -95,35 +120,289 @@ let run_batch c ~order ~faults ~observe (test : Pattern.test) =
       Int64.logand (Int64.shift_right_logical !detected (i + 1)) 1L = 1L)
     faults
 
+(* ------------------------------------------------------------------ *)
+(* Event-driven engine.                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Cached good-circuit values of one test: per frame, per net, one byte
+   (0 = X, 1 = zero, 2 = one); likewise the flip-flop state at the start
+   of each frame.  Computed once per test and shared by every fault
+   batch. *)
+type good = {
+  go_vals : Bytes.t array;
+  go_state : Bytes.t array;
+}
+
+let byte_of v =
+  match L.get v 0 with None -> 0 | Some false -> 1 | Some true -> 2
+
+(* The good value replicated across all 64 columns (constants: no
+   allocation). *)
+let rep b = if b = 1 then L.zero else if b = 2 then L.one else L.x
+
+(* Mutable per-circuit scratch, reused across frames, batches and tests. *)
+type engine = {
+  c : N.t;
+  info : A.info;
+  values : L.t array;          (* good-simulation values *)
+  gstate : L.t array;          (* good-simulation flip-flop state *)
+  fvals : L.t array;           (* faulty values, valid where dirty *)
+  dirty : bool array;          (* net diverges from the good value *)
+  queued : bool array;         (* net scheduled this frame *)
+  touched : int array;         (* dirty nets, for cleanup *)
+  mutable touched_n : int;
+  buckets : int list array;    (* event queue, bucketed by level *)
+  fstate : L.t array;          (* faulty state, valid where state_dirty *)
+  state_dirty : bool array;
+  inj_hi : int64 array;        (* per net: columns forced to 1 *)
+  inj_lo : int64 array;        (* per net: columns forced to 0 *)
+}
+
+let make_engine c =
+  let info = N.analysis c in
+  let n = N.num_nets c in
+  let nff = max 1 (N.num_ffs c) in
+  { c; info;
+    values = Array.make n L.x;
+    gstate = Array.make nff L.x;
+    fvals = Array.make n L.x;
+    dirty = Array.make n false;
+    queued = Array.make n false;
+    touched = Array.make n 0;
+    touched_n = 0;
+    buckets = Array.make (info.A.max_level + 1) [];
+    fstate = Array.make nff L.x;
+    state_dirty = Array.make nff false;
+    inj_hi = Array.make n 0L;
+    inj_lo = Array.make n 0L }
+
+(* Simulate the fault-free circuit over the whole test, recording every
+   net value and the state at the start of each frame. *)
+let good_sim eng (test : Pattern.test) =
+  let c = eng.c in
+  let n = N.num_nets c in
+  let nff = N.num_ffs c in
+  let frames = Array.length test.Pattern.p_vectors in
+  let go_vals = Array.init frames (fun _ -> Bytes.make n '\000') in
+  let go_state = Array.init frames (fun _ -> Bytes.make (max 1 nff) '\000') in
+  let v = eng.values in
+  let state = eng.gstate in
+  Array.fill state 0 (Array.length state) L.x;
+  List.iter
+    (fun (ff, b) -> state.(ff) <- (if b then L.one else L.zero))
+    test.Pattern.p_loads;
+  for f = 0 to frames - 1 do
+    for i = 0 to nff - 1 do
+      Bytes.set_uint8 go_state.(f) i (byte_of state.(i))
+    done;
+    let pi_vec = test.Pattern.p_vectors.(f) in
+    Array.iter
+      (fun net ->
+        v.(net) <-
+          (match c.N.drv.(net) with
+           | N.Pi i -> if pi_vec.(i) then L.one else L.zero
+           | N.Ff i -> state.(i)
+           | N.C0 -> L.zero
+           | N.C1 -> L.one
+           | N.G1 (N.Inv, a) -> L.v_not v.(a)
+           | N.G1 (N.Buff, a) -> v.(a)
+           | N.G2 (N.And, a, b) -> L.v_and v.(a) v.(b)
+           | N.G2 (N.Or, a, b) -> L.v_or v.(a) v.(b)
+           | N.G2 (N.Xor, a, b) -> L.v_xor v.(a) v.(b)
+           | N.G2 (N.Nand, a, b) -> L.v_not (L.v_and v.(a) v.(b))
+           | N.G2 (N.Nor, a, b) -> L.v_not (L.v_or v.(a) v.(b))
+           | N.G2 (N.Xnor, a, b) -> L.v_not (L.v_xor v.(a) v.(b))
+           | N.Mux (s, a, b) -> L.v_mux v.(s) v.(a) v.(b)))
+      eng.info.A.order;
+    eval_counter := !eval_counter + Array.length eng.info.A.order;
+    for net = 0 to n - 1 do
+      Bytes.set_uint8 go_vals.(f) net (byte_of v.(net))
+    done;
+    Array.iteri (fun i d -> state.(i) <- v.(d)) c.N.ff_d
+  done;
+  { go_vals; go_state }
+
+(* Simulate one batch of at most 63 faults against the cached good
+   values; returns the detection bitmask (bit k+1 = batch.(k)). *)
+let simulate_batch eng good ~observe (batch : Fault.t array) test =
+  let c = eng.c in
+  let info = eng.info in
+  let nb = Array.length batch in
+  assert (nb <= 63);
+  (* O(1) fault injection: per-net column masks, built once per batch *)
+  let inj_nets = ref [] in
+  Array.iteri
+    (fun k (f : Fault.t) ->
+      let net = f.Fault.f_net in
+      let m = Int64.shift_left 1L (k + 1) in
+      if eng.inj_hi.(net) = 0L && eng.inj_lo.(net) = 0L then
+        inj_nets := net :: !inj_nets;
+      if f.Fault.f_stuck then eng.inj_hi.(net) <- Int64.logor eng.inj_hi.(net) m
+      else eng.inj_lo.(net) <- Int64.logor eng.inj_lo.(net) m)
+    batch;
+  let inj_nets = !inj_nets in
+  Array.fill eng.state_dirty 0 (Array.length eng.state_dirty) false;
+  let detected = ref 0L in
+  let frames = Array.length test.Pattern.p_vectors in
+  for f = 0 to frames - 1 do
+    let gv = good.go_vals.(f) in
+    let gs = good.go_state.(f) in
+    let pi_vec = test.Pattern.p_vectors.(f) in
+    let value_of a =
+      if eng.dirty.(a) then eng.fvals.(a) else rep (Bytes.get_uint8 gv a)
+    in
+    let schedule net =
+      if not eng.queued.(net) then begin
+        eng.queued.(net) <- true;
+        let lv = info.A.level.(net) in
+        eng.buckets.(lv) <- net :: eng.buckets.(lv)
+      end
+    in
+    (* seed: injection sites always, plus flip-flops whose faulty state
+       diverged from the good state *)
+    List.iter schedule inj_nets;
+    Array.iteri (fun i sd -> if sd then schedule c.N.ff_q.(i)) eng.state_dirty;
+    (* levelized event propagation: fanouts are strictly deeper than
+       their fanins, so each net is evaluated at most once per frame *)
+    for lv = 0 to info.A.max_level do
+      let rec drain = function
+        | [] -> ()
+        | net :: rest ->
+          eng.queued.(net) <- false;
+          let v =
+            match c.N.drv.(net) with
+            | N.Pi i -> if pi_vec.(i) then L.one else L.zero
+            | N.Ff i ->
+              if eng.state_dirty.(i) then eng.fstate.(i)
+              else rep (Bytes.get_uint8 gs i)
+            | N.C0 -> L.zero
+            | N.C1 -> L.one
+            | N.G1 (N.Inv, a) -> L.v_not (value_of a)
+            | N.G1 (N.Buff, a) -> value_of a
+            | N.G2 (N.And, a, b) -> L.v_and (value_of a) (value_of b)
+            | N.G2 (N.Or, a, b) -> L.v_or (value_of a) (value_of b)
+            | N.G2 (N.Xor, a, b) -> L.v_xor (value_of a) (value_of b)
+            | N.G2 (N.Nand, a, b) -> L.v_not (L.v_and (value_of a) (value_of b))
+            | N.G2 (N.Nor, a, b) -> L.v_not (L.v_or (value_of a) (value_of b))
+            | N.G2 (N.Xnor, a, b) -> L.v_not (L.v_xor (value_of a) (value_of b))
+            | N.Mux (s, a, b) -> L.v_mux (value_of s) (value_of a) (value_of b)
+          in
+          let v =
+            let set_hi = eng.inj_hi.(net) and set_lo = eng.inj_lo.(net) in
+            let clear = Int64.logor set_hi set_lo in
+            if clear = 0L then v
+            else
+              { L.hi = Int64.logor (Int64.logand v.L.hi (Int64.lognot clear)) set_hi;
+                lo = Int64.logor (Int64.logand v.L.lo (Int64.lognot clear)) set_lo }
+          in
+          incr eval_counter;
+          if not (L.equal v (rep (Bytes.get_uint8 gv net))) then begin
+            eng.fvals.(net) <- v;
+            eng.dirty.(net) <- true;
+            eng.touched.(eng.touched_n) <- net;
+            eng.touched_n <- eng.touched_n + 1;
+            for k = info.A.fanout_off.(net) to info.A.fanout_off.(net + 1) - 1 do
+              schedule info.A.fanout.(k)
+            done
+          end;
+          drain rest
+      in
+      let b = eng.buckets.(lv) in
+      eng.buckets.(lv) <- [];
+      drain b
+    done;
+    if observe.ob_pos then
+      Array.iter
+        (fun po ->
+          if eng.dirty.(po) then
+            detected := Int64.logor !detected (detected_mask eng.fvals.(po)))
+        c.N.pos;
+    (* capture next faulty state (before clearing the dirty flags) *)
+    Array.iteri
+      (fun i d ->
+        if eng.dirty.(d) then begin
+          eng.fstate.(i) <- eng.fvals.(d);
+          eng.state_dirty.(i) <- true
+        end
+        else eng.state_dirty.(i) <- false)
+      c.N.ff_d;
+    if f = frames - 1 then
+      List.iter
+        (fun ff ->
+          if eng.state_dirty.(ff) then
+            detected := Int64.logor !detected (detected_mask eng.fstate.(ff)))
+        observe.ob_pier_ffs;
+    for k = 0 to eng.touched_n - 1 do
+      eng.dirty.(eng.touched.(k)) <- false
+    done;
+    eng.touched_n <- 0
+  done;
+  List.iter
+    (fun net ->
+      eng.inj_hi.(net) <- 0L;
+      eng.inj_lo.(net) <- 0L)
+    inj_nets;
+  !detected
+
+(* Run one test against the faults selected by [active], batching in
+   groups of 63 against a single shared good simulation. *)
+let run_active eng good ~observe ~(faults : Fault.t array) ~(active : int array)
+    ~(flags : bool array) test =
+  let len = Array.length active in
+  let pos = ref 0 in
+  while !pos < len do
+    let k = min 63 (len - !pos) in
+    let batch = Array.init k (fun i -> faults.(active.(!pos + i))) in
+    let det = simulate_batch eng good ~observe batch test in
+    for i = 0 to k - 1 do
+      if Int64.logand (Int64.shift_right_logical det (i + 1)) 1L = 1L then
+        flags.(!pos + i) <- true
+    done;
+    pos := !pos + k
+  done
+
+(** [run_test c ~observe ~faults ~active test] simulates one test against
+    [faults.(i)] for each [i] in [active]; the result aligns with
+    [active].  The good circuit is simulated once and shared by every
+    63-fault batch. *)
+let run_test c ~observe ~faults ~active test =
+  let eng = make_engine c in
+  let good = good_sim eng test in
+  let flags = Array.make (Array.length active) false in
+  run_active eng good ~observe ~faults ~active ~flags test;
+  flags
+
 (** [run c ~observe ~faults tests] fault-simulates every test with fault
     dropping; returns per-fault detection flags aligned with [faults]. *)
 let run c ~observe ~faults tests =
-  let order = N.topological_order c in
-  let n = List.length faults in
+  let fault_arr = Array.of_list faults in
+  let n = Array.length fault_arr in
   let detected = Array.make n false in
-  let indexed = List.mapi (fun i f -> (i, f)) faults in
-  List.iter
-    (fun test ->
-      (* batch the still-undetected faults in groups of 63 *)
-      let remaining = List.filter (fun (i, _) -> not detected.(i)) indexed in
-      let rec batches = function
-        | [] -> ()
-        | l ->
-          let rec take k = function
-            | x :: rest when k > 0 ->
-              let (h, t) = take (k - 1) rest in
-              (x :: h, t)
-            | rest -> ([], rest)
-          in
-          let (batch, rest) = take 63 l in
-          let flags =
-            run_batch c ~order ~faults:(List.map snd batch) ~observe test
-          in
-          List.iter2
-            (fun (i, _) hit -> if hit then detected.(i) <- true)
-            batch flags;
-          batches rest
-      in
-      batches remaining)
-    tests;
+  if n > 0 then begin
+    let eng = make_engine c in
+    List.iter
+      (fun test ->
+        (* only the still-undetected faults are simulated *)
+        let remaining = ref 0 in
+        for i = 0 to n - 1 do
+          if not detected.(i) then incr remaining
+        done;
+        if !remaining > 0 then begin
+          let active = Array.make !remaining 0 in
+          let k = ref 0 in
+          for i = 0 to n - 1 do
+            if not detected.(i) then begin
+              active.(!k) <- i;
+              incr k
+            end
+          done;
+          let good = good_sim eng test in
+          let flags = Array.make !remaining false in
+          run_active eng good ~observe ~faults:fault_arr ~active ~flags test;
+          Array.iteri
+            (fun j hit -> if hit then detected.(active.(j)) <- true)
+            flags
+        end)
+      tests
+  end;
   detected

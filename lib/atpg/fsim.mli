@@ -1,7 +1,13 @@
 (** Parallel-fault sequential fault simulation: bit column 0 carries the
     good circuit, columns 1..63 one faulty circuit each.  Flip-flops
     start at X except loaded PIER registers, so detection is exactly as
-    conservative as chip-level pattern translation requires. *)
+    conservative as chip-level pattern translation requires.
+
+    {!run} and {!run_test} use the event-driven engine: the fault-free
+    circuit is simulated once per test and cached, and each fault batch
+    only re-evaluates nets that diverge from the good value, seeded at
+    the injection sites.  {!run_batch_reference} is the straight-line
+    oracle both engines are checked against. *)
 
 type observe = {
   ob_pos : bool;           (** observe primary outputs every cycle *)
@@ -14,14 +20,27 @@ val default_observe : observe
     circuit in column 0 — exposed for other parallel-fault analyses. *)
 val detected_mask : Sim.Logic3.t -> int64
 
-(** [run_batch c ~order ~faults ~observe test] simulates one test against
-    at most 63 faults; the result aligns with [faults]. *)
-val run_batch :
+(** [run_batch_reference c ~order ~faults ~observe test] simulates one
+    test against at most 63 faults by straight-line evaluation of every
+    net on every frame; the result aligns with [faults]. *)
+val run_batch_reference :
   Netlist.t -> order:int array -> faults:Fault.t list -> observe:observe ->
   Pattern.test -> bool list
+
+(** [run_test c ~observe ~faults ~active test] simulates one test against
+    [faults.(i)] for each [i] in [active] (event-driven, batched in
+    groups of 63 over one shared good simulation); the result aligns
+    with [active]. *)
+val run_test :
+  Netlist.t -> observe:observe -> faults:Fault.t array -> active:int array ->
+  Pattern.test -> bool array
 
 (** [run c ~observe ~faults tests] fault-simulates every test with fault
     dropping; per-fault detection flags align with [faults]. *)
 val run :
   Netlist.t -> observe:observe -> faults:Fault.t list -> Pattern.test list ->
   bool array
+
+(** Net evaluations performed by either engine since program start; the
+    benchmark reports deltas of this. *)
+val eval_count : unit -> int

@@ -64,37 +64,59 @@ let run c cfg faults =
   let fault_arr = Array.of_list faults in
   let outcome = Array.make n None in
   let tests = ref [] in
+  (* indices of faults in a given set of states, filtered in one pass *)
+  let indices_where pred =
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      if pred outcome.(i) then incr count
+    done;
+    let idx = Array.make !count 0 in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if pred outcome.(i) then begin
+        idx.(!k) <- i;
+        incr k
+      end
+    done;
+    idx
+  in
+  (* simulate [test] against the faults at [active]; mark hits Detected *)
+  let confirm_and_drop active test =
+    if Array.length active > 0 then begin
+      let flags = Fsim.run_test c ~observe ~faults:fault_arr ~active test in
+      Array.iteri
+        (fun k i -> if flags.(k) then outcome.(i) <- Some Detected)
+        active
+    end
+  in
   (* -------- phase 1: random sequences until saturation ------------ *)
-  let remaining_faults () =
-    List.filteri (fun i _ -> outcome.(i) = None) faults
-  in
-  let remaining_idx () =
-    List.filteri (fun _ i -> outcome.(i) = None)
-      (List.init n Fun.id)
-  in
   let batch = ref 0 in
   let saturated = ref false in
   while (not !saturated)
         && !batch < cfg.g_random_batches
         && elapsed () < cfg.g_total_budget
-        && remaining_faults () <> [] do
+        && Array.exists (fun o -> o = None) outcome do
     incr batch;
     let random_tests =
       List.init cfg.g_random_sequences (fun _ ->
           Pattern.random ~rng ~num_pis:(N.num_pis c)
             ~frames:cfg.g_random_length ~piers:cfg.g_piers)
     in
-    let idx = remaining_idx () in
-    let flags = Fsim.run c ~observe ~faults:(remaining_faults ()) random_tests in
-    let news = ref 0 in
-    List.iteri
-      (fun k i ->
-        if flags.(k) then begin
-          outcome.(i) <- Some Detected;
-          incr news
-        end)
-      idx;
-    if !news > 0 then tests := random_tests @ !tests else saturated := true
+    let before =
+      Array.fold_left
+        (fun acc o -> if o = Some Detected then acc + 1 else acc)
+        0 outcome
+    in
+    List.iter
+      (fun test -> confirm_and_drop (indices_where (fun o -> o = None)) test)
+      random_tests;
+    let after =
+      Array.fold_left
+        (fun acc o -> if o = Some Detected then acc + 1 else acc)
+        0 outcome
+    in
+    if after > before then tests := random_tests @ !tests
+    else saturated := true
   done;
   (* -------- phase 2: deterministic, iterative deepening ---------- *)
   let remaining i = outcome.(i) = None in
@@ -130,14 +152,7 @@ let run c cfg faults =
       | Podem.Detected test ->
         tests := test :: !tests;
         (* confirm and drop: simulate against all remaining faults *)
-        let rem_idx =
-          List.filter (fun j -> remaining j) (List.init n Fun.id)
-        in
-        let rem_faults = List.map (fun j -> fault_arr.(j)) rem_idx in
-        let flags = Fsim.run c ~observe ~faults:rem_faults [ test ] in
-        List.iteri
-          (fun k j -> if flags.(k) then outcome.(j) <- Some Detected)
-          rem_idx;
+        confirm_and_drop (indices_where (fun o -> o = None)) test;
         (* the targeted fault must at least be marked: PODEM guarantees
            detection under the same X-initial model the simulator uses *)
         if outcome.(i) = None then outcome.(i) <- Some Detected
@@ -161,16 +176,9 @@ let run c cfg faults =
         match Simgen.run c simgen_cfg fault_arr.(i) with
         | Some test ->
           tests := test :: !tests;
-          let rem_idx =
-            List.filter
-              (fun j -> outcome.(j) = None || outcome.(j) = Some Aborted_fault)
-              (List.init n Fun.id)
-          in
-          let rem_faults = List.map (fun j -> fault_arr.(j)) rem_idx in
-          let flags = Fsim.run c ~observe ~faults:rem_faults [ test ] in
-          List.iteri
-            (fun k j -> if flags.(k) then outcome.(j) <- Some Detected)
-            rem_idx
+          confirm_and_drop
+            (indices_where (fun o -> o = None || o = Some Aborted_fault))
+            test
         | None -> ()
       end
     done

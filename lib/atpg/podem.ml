@@ -460,7 +460,7 @@ let extract_test m =
 
 let make_model c cfg fault =
   let nets = N.num_nets c in
-  let order = N.topological_order c in
+  let order = (N.analysis c).N.Analysis.order in
   let pier_set = Array.make (max 1 (N.num_ffs c)) false in
   List.iter (fun i -> pier_set.(i) <- true) cfg.piers;
   let inputs =

@@ -133,7 +133,7 @@ let observability c order cc0 cc1 =
 
 (** [compute c] runs both analyses to their fixpoints. *)
 let compute c =
-  let order = N.topological_order c in
+  let order = (N.analysis c).N.Analysis.order in
   let (cc0, cc1) = controllability c order in
   let co = observability c order cc0 cc1 in
   { sc_cc0 = cc0; sc_cc1 = cc1; sc_co = co }

@@ -120,7 +120,7 @@ let mutate rng num_pis max_frames (t : Pattern.test) =
 (** [run c cfg fault] evolves a test for [fault]; [None] when the budget
     is exhausted without detection. *)
 let run c cfg fault =
-  let order = N.topological_order c in
+  let order = (N.analysis c).N.Analysis.order in
   let observe = { Fsim.ob_pos = true; ob_pier_ffs = cfg.sg_piers } in
   let rng = Random.State.make [| cfg.sg_seed; fault.Fault.f_net |] in
   let num_pis = N.num_pis c in

@@ -107,7 +107,7 @@ let run_batch c ~order ~faults ~observe (test : Pattern.test) =
 (** [coverage c ~observe ~faults tests] = percentage of the transition
     faults detected by the sequences. *)
 let coverage c ~observe ~faults tests =
-  let order = N.topological_order c in
+  let order = (N.analysis c).N.Analysis.order in
   let n = List.length faults in
   if n = 0 then 100.0
   else begin

@@ -74,7 +74,7 @@ let observe_depth c order =
 (** [identify ?ctrl_depth ?obs_depth c] returns the PIER flip-flop
     indices of [c]. *)
 let identify ?(ctrl_depth = 1) ?(obs_depth = 1) c =
-  let order = N.topological_order c in
+  let order = (N.analysis c).N.Analysis.order in
   let ctrl = control_depth c order in
   let obs = observe_depth c order in
   List.filter

@@ -258,6 +258,77 @@ let fanouts c =
   out
 
 (* ------------------------------------------------------------------ *)
+(* Shared structural analysis.                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Analysis = struct
+  type info = {
+    order : int array;       (** topological order, fanins first *)
+    level : int array;       (** per net: longest path from a source *)
+    max_level : int;
+    fanout : int array;      (** gate-read fanouts, flattened (CSR) *)
+    fanout_off : int array;  (** per net: offset into [fanout]; length
+                                 num_nets + 1 *)
+  }
+end
+
+let analysis_build_count = ref 0
+let analysis_builds () = !analysis_build_count
+
+(* Memoized per circuit by physical equality.  The cache is a short MRU
+   list: flows work on a handful of circuits at a time, and bounding it
+   lets dead circuits be collected. *)
+let analysis_cache : (t * Analysis.info) list ref = ref []
+let analysis_cache_max = 8
+
+let build_analysis c =
+  incr analysis_build_count;
+  let n = num_nets c in
+  let order = topological_order c in
+  let level = Array.make n 0 in
+  let max_level = ref 0 in
+  Array.iter
+    (fun net ->
+      List.iter
+        (fun a -> if level.(net) <= level.(a) then level.(net) <- level.(a) + 1)
+        (fanins c.drv.(net));
+      if level.(net) > !max_level then max_level := level.(net))
+    order;
+  let off = Array.make (n + 1) 0 in
+  Array.iter
+    (fun d -> List.iter (fun a -> off.(a + 1) <- off.(a + 1) + 1) (fanins d))
+    c.drv;
+  for i = 1 to n do
+    off.(i) <- off.(i) + off.(i - 1)
+  done;
+  let fanout = Array.make off.(n) 0 in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun net d ->
+      List.iter
+        (fun a ->
+          fanout.(off.(a) + fill.(a)) <- net;
+          fill.(a) <- fill.(a) + 1)
+        (fanins d))
+    c.drv;
+  { Analysis.order; level; max_level = !max_level; fanout; fanout_off = off }
+
+(** Memoized structural analysis of a circuit: computed once per netlist
+    value, shared by every engine that needs an evaluation order. *)
+let analysis c =
+  match List.find_opt (fun (c', _) -> c' == c) !analysis_cache with
+  | Some (_, info) -> info
+  | None ->
+    let info = build_analysis c in
+    let rec keep k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: rest -> x :: keep (k - 1) rest
+    in
+    analysis_cache := (c, info) :: keep (analysis_cache_max - 1) !analysis_cache;
+    info
+
+(* ------------------------------------------------------------------ *)
 (* Stats (gate counts for the paper's tables).                         *)
 (* ------------------------------------------------------------------ *)
 

@@ -101,6 +101,28 @@ val topological_order : t -> int array
 (** For each net, the nets whose driver reads it. *)
 val fanouts : t -> int list array
 
+(** {1 Shared structural analysis} *)
+
+module Analysis : sig
+  type info = {
+    order : int array;       (** topological order, fanins first *)
+    level : int array;       (** per net: longest path from a source *)
+    max_level : int;
+    fanout : int array;      (** gate-read fanouts, flattened (CSR) *)
+    fanout_off : int array;  (** per net: offset into [fanout]; length
+                                 num_nets + 1 *)
+  }
+end
+
+(** Memoized structural analysis: computed once per netlist value (keyed
+    by physical equality) and shared by every engine needing an
+    evaluation order, levels, or fanout adjacency. *)
+val analysis : t -> Analysis.info
+
+(** Number of analyses actually built (cache misses) since program start —
+    lets tests assert an order is computed once per circuit. *)
+val analysis_builds : unit -> int
+
 (** Nets alive in the cone of the observable outputs (POs plus the state
     feeding them, to a fixpoint). *)
 val live_mask : t -> bool array

@@ -15,7 +15,7 @@ type t = {
 (** [create c] builds a simulator with all flip-flops initialized to X. *)
 let create circuit =
   { circuit;
-    order = N.topological_order circuit;
+    order = (N.analysis circuit).N.Analysis.order;
     values = Array.make (N.num_nets circuit) L.x;
     state = Array.make (N.num_ffs circuit) L.x }
 

@@ -75,7 +75,61 @@ let fault_tests =
         let all = F.all c in
         let collapsed = F.collapse c all in
         check_bool "collapsed smaller" true
-          (List.length collapsed < List.length all)) ]
+          (List.length collapsed < List.length all));
+    test "collapse folds controlling-value gate inputs" (fun () ->
+        (* y = a & b: a/sa0 and b/sa0 are equivalent to y/sa0, so of the
+           six faults only four classes remain *)
+        let c =
+          circuit "module top (input a, b, output y); assign y = a & b; endmodule"
+        in
+        let all = F.all c in
+        let collapsed = F.collapse c all in
+        let pairs = F.collapse_pairs c all in
+        check_int "classes" (List.length all - List.length pairs)
+          (List.length collapsed);
+        List.iter
+          (fun (_, rep) ->
+            check_bool "representative kept" true (List.mem rep collapsed))
+          pairs;
+        check_bool "inputs folded" true
+          (List.length pairs >= 2));
+    test "collapse pairs are detection-equivalent on the arm alu" (fun () ->
+        let ed =
+          Design.Elaborate.elaborate (Arm.Rtl.design ()) ~top:Arm.Rtl.top
+        in
+        let c =
+          (Synth.Lower.lower (Synth.Flatten.flatten ed Arm.Rtl.top))
+            .Synth.Lower.circuit
+        in
+        let all = F.all ~within:"u_dpath.u_alu" c in
+        let collapsed = F.collapse c all in
+        let pairs = F.collapse_pairs c all in
+        check_bool "count shrinks" true
+          (List.length collapsed < List.length all);
+        check_int "partition" (List.length all)
+          (List.length collapsed + List.length pairs);
+        (* every dropped fault must be detected by exactly the tests that
+           detect its kept representative, so coverage of the full
+           universe is unchanged by collapsing *)
+        let rng = Random.State.make [| 5 |] in
+        let tests =
+          List.init 8 (fun _ ->
+              Atpg.Pattern.random ~rng ~num_pis:(N.num_pis c) ~frames:3
+                ~piers:[])
+        in
+        let flags =
+          Atpg.Fsim.run c ~observe:Atpg.Fsim.default_observe ~faults:all tests
+        in
+        let flag_of =
+          let tbl = Hashtbl.create (List.length all) in
+          List.iteri (fun i f -> Hashtbl.replace tbl f flags.(i)) all;
+          Hashtbl.find tbl
+        in
+        List.iter
+          (fun (dropped, rep) ->
+            check_bool "class flags agree" true
+              (flag_of dropped = flag_of rep))
+          pairs) ]
 
 (* ------------------------------------------------------------------ *)
 (* Fault simulation.                                                   *)
@@ -315,6 +369,15 @@ let gen_tests =
         in
         let detected = Array.to_list flags |> List.filter Fun.id |> List.length in
         check_int "matches" r.Atpg.Gen.r_detected detected);
+    test "netlist analysis built at most once per circuit" (fun () ->
+        let c = circuit c17 in
+        let faults = F.collapse c (F.all c) in
+        let before = N.analysis_builds () in
+        ignore (Atpg.Gen.run c Atpg.Gen.default_config faults);
+        let after = N.analysis_builds () in
+        (* random phase, PODEM and fault simulation all share one
+           memoized analysis of the circuit *)
+        check_bool "at most one build" true (after - before <= 1));
     test "budget exhaustion aborts remaining" (fun () ->
         let c = circuit (Arm.Rtl.source |> fun _ ->
           {|module top (input clk, input [7:0] d, output reg [7:0] q);

@@ -266,6 +266,65 @@ let gates_match_interpreter gm =
       ok)
     (stimulus gm ~frames:6)
 
+(* The event-driven fault simulator against the straight-line reference
+   engine: identical detection flags on random circuits, fault lists and
+   test sequences (with random PIER loads and observations). *)
+let fsim_matches_reference gm =
+  let (_, circuit) = build gm in
+  let seed = Hashtbl.hash gm.gm_src + 3 in
+  let rng = Random.State.make [| seed |] in
+  let all_faults = Atpg.Fault.all circuit in
+  (* a random subset of the fault universe, in random order *)
+  let faults =
+    List.filter (fun _ -> Random.State.int rng 4 > 0) all_faults
+  in
+  let piers =
+    List.filter
+      (fun _ -> Random.State.bool rng)
+      (List.init (Netlist.num_ffs circuit) Fun.id)
+  in
+  let observe = { Atpg.Fsim.ob_pos = true; ob_pier_ffs = piers } in
+  let tests =
+    List.init 4 (fun _ ->
+        Atpg.Pattern.random ~rng ~num_pis:(Netlist.num_pis circuit)
+          ~frames:(1 + Random.State.int rng 4) ~piers)
+  in
+  let event_flags = Atpg.Fsim.run circuit ~observe ~faults tests in
+  (* reference: same fault-dropping semantics, straight-line engine *)
+  let order = (Netlist.analysis circuit).Netlist.Analysis.order in
+  let fault_arr = Array.of_list faults in
+  let n = Array.length fault_arr in
+  let ref_flags = Array.make n false in
+  List.iter
+    (fun test ->
+      let remaining = ref [] in
+      for i = n - 1 downto 0 do
+        if not ref_flags.(i) then remaining := i :: !remaining
+      done;
+      let rec batches = function
+        | [] -> ()
+        | l ->
+          let rec take k = function
+            | x :: rest when k > 0 ->
+              let (h, t) = take (k - 1) rest in
+              (x :: h, t)
+            | rest -> ([], rest)
+          in
+          let (batch, rest) = take 63 l in
+          let flags =
+            Atpg.Fsim.run_batch_reference circuit ~order
+              ~faults:(List.map (fun i -> fault_arr.(i)) batch)
+              ~observe test
+          in
+          List.iter2
+            (fun i hit -> if hit then ref_flags.(i) <- true)
+            batch flags;
+          batches rest
+      in
+      batches !remaining)
+    tests;
+  event_flags = ref_flags
+
 let fuzz_tests =
   [ qtest "random rtl: printer round trip" ~count:60 gen_arbitrary
       (fun gm ->
@@ -275,6 +334,8 @@ let fuzz_tests =
         String.equal s1 s2);
     qtest "random rtl: gates match the interpreter" ~count:60 gen_arbitrary
       gates_match_interpreter;
+    qtest "random rtl: event-driven fsim matches the reference engine"
+      ~count:60 gen_arbitrary fsim_matches_reference;
     qtest "random rtl: optimizer preserves behaviour" ~count:40 gen_arbitrary
       (fun gm ->
         let (_, circuit) = build gm in
