@@ -4,7 +4,8 @@
     engines.
 
     Usage: [bench/main.exe [table1|table2|table3|table4|table5|table6|
-                            testability|translate|ablations|micro|all]]. *)
+                            testability|translate|ablations|micro|fsim|
+                            sat|sat_smoke|all]]. *)
 
 module Flow = Factor.Flow
 module T = Report.Table
@@ -25,7 +26,20 @@ let module_cfg =
     g_fault_budget = 2.0;
     g_total_budget = 300.0;
     g_random_length = 8;
-    g_random_batches = 24 }
+    g_random_batches = 24;
+    (* the historical engine: the baseline and extension experiments
+       keep it so their figures stay comparable across reports; the
+       engine study itself is Tables 5/6 and `bench sat` below *)
+    g_engine = Atpg.Gen.Podem_only }
+
+(* Tables 5/6 run the production hybrid engine: PODEM plus SAT rescue
+   of its aborts.  The rescue only ever sees a handful of faults, so it
+   can afford a deeper conflict budget than the interactive default —
+   exc's lone abort needs ~28 k conflicts to prove untestable. *)
+let hybrid_cfg =
+  { module_cfg with
+    g_engine = Atpg.Gen.Hybrid;
+    g_sat_conflicts = 50_000 }
 
 (* Raw processor-level runs: same engine, but the circuit is an order of
    magnitude bigger, so the per-fault effort is capped harder (as any
@@ -149,7 +163,7 @@ let atpg_table ~title txs =
   let rows =
     List.map
       (fun (_, (tr : Flow.transform_row)) ->
-        let a = Flow.transformed_atpg tr module_cfg in
+        let a = Flow.transformed_atpg tr hybrid_cfg in
         [ a.Flow.ar_name;
           T.fpct a.Flow.ar_coverage;
           T.fpct a.Flow.ar_effectiveness;
@@ -845,6 +859,102 @@ let bench_fsim () =
   print_endline "wrote BENCH_fsim.json"
 
 (* ------------------------------------------------------------------ *)
+(* SAT engine benchmark.                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* PODEM alone vs the hybrid engine (PODEM with SAT rescue of aborted
+   faults) on the four compositional transformed modules of Tables 5/6.
+   Reports the SAT solve time, conflict counts, and how many aborted
+   faults the rescue turned into detections or untestability proofs. *)
+let bench_sat () =
+  let txs = Lazy.force compositional in
+  let rows =
+    List.map
+      (fun (spec, (tr : Flow.transform_row)) ->
+        let c = tr.Flow.tr_transformed.Factor.Transform.tf_circuit in
+        let faults =
+          Atpg.Fault.collapse c
+            (Atpg.Fault.all
+               ~within:tr.Flow.tr_transformed.Factor.Transform.tf_mut_path c)
+        in
+        let piers = Factor.Pier.identify c in
+        let run engine =
+          Atpg.Gen.run c
+            { hybrid_cfg with Atpg.Gen.g_piers = piers; g_engine = engine }
+            faults
+        in
+        let podem = run Atpg.Gen.Podem_only in
+        let hybrid = run Atpg.Gen.Hybrid in
+        Printf.printf
+          "%-16s podem: %d aborted, eff %.1f%% | hybrid: %d aborted, eff \
+           %.1f%% (+%d detected, +%d proven untestable by SAT, %.2f s, %d \
+           conflicts)\n%!"
+          spec.Flow.ms_name podem.Atpg.Gen.r_aborted
+          podem.Atpg.Gen.r_effectiveness hybrid.Atpg.Gen.r_aborted
+          hybrid.Atpg.Gen.r_effectiveness hybrid.Atpg.Gen.r_sat_detected
+          hybrid.Atpg.Gen.r_sat_untestable hybrid.Atpg.Gen.r_sat_time
+          hybrid.Atpg.Gen.r_sat_stats.Sat.Solver.s_conflicts;
+        (spec, podem, hybrid))
+      txs
+  in
+  let oc = open_out "BENCH_sat.json" in
+  output_string oc "{\n  \"modules\": [\n";
+  List.iteri
+    (fun i (spec, (podem : Atpg.Gen.result), (hybrid : Atpg.Gen.result)) ->
+      Printf.fprintf oc
+        "    {\n      \"name\": %S,\n      \"faults\": %d,\n      \
+         \"podem_aborted\": %d,\n      \"podem_effectiveness\": %.2f,\n      \
+         \"hybrid_aborted\": %d,\n      \"hybrid_effectiveness\": %.2f,\n      \
+         \"sat_detected\": %d,\n      \"sat_untestable\": %d,\n      \
+         \"sat_time_s\": %.4f,\n      \"sat_conflicts\": %d,\n      \
+         \"sat_propagations\": %d,\n      \"sat_restarts\": %d\n    }%s\n"
+        spec.Flow.ms_name hybrid.Atpg.Gen.r_total podem.Atpg.Gen.r_aborted
+        podem.Atpg.Gen.r_effectiveness hybrid.Atpg.Gen.r_aborted
+        hybrid.Atpg.Gen.r_effectiveness hybrid.Atpg.Gen.r_sat_detected
+        hybrid.Atpg.Gen.r_sat_untestable hybrid.Atpg.Gen.r_sat_time
+        hybrid.Atpg.Gen.r_sat_stats.Sat.Solver.s_conflicts
+        hybrid.Atpg.Gen.r_sat_stats.Sat.Solver.s_propagations
+        hybrid.Atpg.Gen.r_sat_stats.Sat.Solver.s_restarts
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  print_endline "wrote BENCH_sat.json"
+
+(* Fast CI smoke: miter every collapsed fault of the stand-alone ALU and
+   require a cube for each (the ALU has no untestable faults), plus one
+   equivalence proof of an optimizer rebuild. *)
+let bench_sat_smoke () =
+  let ed = Design.Elaborate.elaborate (Arm.Rtl.design ()) ~top:"arm_alu" in
+  let c =
+    (Synth.Lower.lower (Synth.Flatten.flatten ed "arm_alu"))
+      .Synth.Lower.circuit
+  in
+  let faults = Atpg.Fault.collapse c (Atpg.Fault.all c) in
+  let stats = ref Sat.Solver.zero_stats in
+  let cubes = ref 0 in
+  List.iter
+    (fun f ->
+      let (verdict, st) =
+        Sat.Satgen.run c ~net:f.Atpg.Fault.f_net ~stuck:f.Atpg.Fault.f_stuck
+      in
+      stats := Sat.Solver.add_stats !stats st;
+      match verdict with Sat.Satgen.Cube _ -> incr cubes | _ -> ())
+    faults;
+  Printf.printf "sat smoke: %d/%d arm_alu faults closed with a cube\n" !cubes
+    (List.length faults);
+  Printf.printf "  %s\n" (Sat.Solver.stats_to_string !stats);
+  if !cubes <> List.length faults then begin
+    prerr_endline "sat smoke: some faults missed a cube";
+    exit 1
+  end;
+  (match Synth.Opt.equivalent_exact c (Synth.Opt.rebuild c) with
+   | Synth.Opt.Equal -> print_endline "  rebuild proven equivalent"
+   | Synth.Opt.Differ n ->
+     Printf.eprintf "sat smoke: rebuild differs on %s\n" n;
+     exit 1)
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -866,6 +976,8 @@ let () =
     | "ablations" -> ablations ()
     | "micro" -> micro ()
     | "fsim" -> bench_fsim ()
+    | "sat" -> bench_sat ()
+    | "sat_smoke" -> bench_sat_smoke ()
     | "all" ->
       table1 ();
       table2 ();
@@ -878,7 +990,7 @@ let () =
       generality ()
     | other ->
       Printf.eprintf
-        "unknown target %S (expected table1..table6, testability, translate, generality, variance, ablations, micro, fsim, all)\n"
+        "unknown target %S (expected table1..table6, testability, translate, generality, variance, ablations, micro, fsim, sat, sat_smoke, all)\n"
         other;
       exit 1
   in

@@ -209,7 +209,18 @@ let atpg_cmd =
     Cmdliner.Arg.(value & opt (some string) None
                   & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run path top mut budget frames use_piers output =
+  let engine_arg =
+    let doc =
+      "Deterministic-phase engine: 'podem', 'sat', or 'hybrid' (PODEM \
+       with SAT rescue of aborted faults; the default)."
+    in
+    Arg.(value & opt (enum [ ("podem", Atpg.Gen.Podem_only);
+                             ("sat", Atpg.Gen.Sat_only);
+                             ("hybrid", Atpg.Gen.Hybrid) ])
+           Atpg.Gen.Hybrid
+         & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let run path top mut budget frames use_piers engine output =
     handle_errors (fun () ->
         let design = read_design path in
         let top = resolve_top design path top in
@@ -224,7 +235,8 @@ let atpg_cmd =
           { Atpg.Gen.default_config with
             g_total_budget = budget;
             g_max_frames = frames;
-            g_piers = piers }
+            g_piers = piers;
+            g_engine = engine }
         in
         let r = Atpg.Gen.run c cfg faults in
         Printf.printf
@@ -235,6 +247,12 @@ let atpg_cmd =
           "coverage %.2f%% | effectiveness %.2f%% | %d vectors | %.2f s\n"
           r.Atpg.Gen.r_coverage r.Atpg.Gen.r_effectiveness r.Atpg.Gen.r_vectors
           r.Atpg.Gen.r_time;
+        if engine <> Atpg.Gen.Podem_only then
+          Printf.printf
+            "sat engine: %d detected, %d proven untestable, %.2f s | %s\n"
+            r.Atpg.Gen.r_sat_detected r.Atpg.Gen.r_sat_untestable
+            r.Atpg.Gen.r_sat_time
+            (Sat.Solver.stats_to_string r.Atpg.Gen.r_sat_stats);
         match output with
         | None -> ()
         | Some file ->
@@ -245,7 +263,58 @@ let atpg_cmd =
   let doc = "Run sequential test generation on a design." in
   Cmd.v (Cmd.info "atpg" ~doc)
     Term.(const run $ design_arg $ top_arg $ mut_opt $ budget $ frames
-          $ piers_flag $ out_vectors)
+          $ piers_flag $ engine_arg $ out_vectors)
+
+(* ------------------------------ sat ------------------------------- *)
+
+let sat_cmd =
+  let mut_opt =
+    let doc = "Restrict faults to this instance path." in
+    Arg.(value & opt (some string) None & info [ "mut" ] ~docv:"PATH" ~doc)
+  in
+  let frames =
+    let doc = "Deepest time-frame expansion." in
+    Arg.(value & opt int 4 & info [ "frames" ] ~doc)
+  in
+  let conflicts =
+    let doc = "Conflict limit per fault and unrolling depth." in
+    Arg.(value & opt int 20_000 & info [ "conflicts" ] ~doc)
+  in
+  let run path top mut frames conflicts =
+    handle_errors (fun () ->
+        let design = read_design path in
+        let top = resolve_top design path top in
+        let ed = Design.Elaborate.elaborate design ~top in
+        let c =
+          (Synth.Lower.lower (Synth.Flatten.flatten ed top)).Synth.Lower.circuit
+        in
+        let faults = Atpg.Fault.collapse c (Atpg.Fault.all ?within:mut c) in
+        let t0 = Sys.time () in
+        let stats = ref Sat.Solver.zero_stats in
+        let cubes = ref 0 and untestable = ref 0 and gave_up = ref 0 in
+        List.iter
+          (fun f ->
+            let (verdict, st) =
+              Sat.Satgen.run c ~max_frames:frames ~conflict_limit:conflicts
+                ~net:f.Atpg.Fault.f_net ~stuck:f.Atpg.Fault.f_stuck
+            in
+            stats := Sat.Solver.add_stats !stats st;
+            match verdict with
+            | Sat.Satgen.Cube _ -> incr cubes
+            | Sat.Satgen.Untestable _ -> incr untestable
+            | Sat.Satgen.Gave_up -> incr gave_up)
+          faults;
+        Printf.printf
+          "faults %d | cubes %d | proven untestable %d | gave up %d | %.2f s\n"
+          (List.length faults) !cubes !untestable !gave_up (Sys.time () -. t0);
+        Printf.printf "%s\n" (Sat.Solver.stats_to_string !stats))
+  in
+  let doc =
+    "SAT-engine smoke test: miter every collapsed fault and print solver \
+     statistics."
+  in
+  Cmd.v (Cmd.info "sat" ~doc)
+    Term.(const run $ design_arg $ top_arg $ mut_opt $ frames $ conflicts)
 
 (* ----------------------------- analyze ---------------------------- *)
 
@@ -387,5 +456,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ parse_cmd; synth_cmd; extract_cmd; atpg_cmd; grade_cmd;
+          [ parse_cmd; synth_cmd; extract_cmd; atpg_cmd; sat_cmd; grade_cmd;
             analyze_cmd; demo_cmd ]))

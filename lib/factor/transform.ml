@@ -15,6 +15,7 @@ type t = {
   tf_pi_bits : int;
   tf_po_bits : int;
   tf_warnings : string list;
+  tf_validation : string option;   (** SAT equivalence verdict, once run *)
 }
 
 let under_prefix prefix origin =
@@ -63,7 +64,24 @@ let synthesize design ~top ~mut_path =
     tf_surrounding_gates = outside;
     tf_pi_bits = N.num_pis circuit;
     tf_po_bits = N.num_pos circuit;
-    tf_warnings = warnings }
+    tf_warnings = warnings;
+    tf_validation = None }
+
+(** [validate tf] proves the synthesis of the transformed module sound:
+    an optimizer rebuild of [tf_circuit] must be exactly equivalent by
+    SAT (matched-register check — the rebuild preserves register
+    names).  The verdict lands in [tf_validation]; a difference is
+    also appended to [tf_warnings] so flows that only surface warnings
+    cannot miss it. *)
+let validate tf =
+  let rebuilt = Synth.Opt.rebuild tf.tf_circuit in
+  match Synth.Opt.equivalent_exact tf.tf_circuit rebuilt with
+  | Synth.Opt.Equal -> { tf with tf_validation = Some "equal" }
+  | Synth.Opt.Differ name ->
+    let msg = "transformed-module validation failed: differ on " ^ name in
+    { tf with
+      tf_validation = Some ("differ on " ^ name);
+      tf_warnings = tf.tf_warnings @ [ msg ] }
 
 (** [build env slice ~mut_path] reconstructs the sliced design around the
     MUT and synthesizes the transformed module. *)

@@ -12,6 +12,7 @@ type t = {
   tf_pi_bits : int;
   tf_po_bits : int;
   tf_warnings : string list;
+  tf_validation : string option;   (** SAT equivalence verdict, once run *)
 }
 
 (** [under_prefix prefix origin] is instance-path prefix containment. *)
@@ -28,3 +29,9 @@ val synthesize : Verilog.Ast.design -> top:string -> mut_path:string -> t
 (** [build env slice ~mut_path] reconstructs the sliced design around the
     MUT and synthesizes the transformed module. *)
 val build : Compose.env -> Slice.t -> mut_path:string -> t
+
+(** [validate tf] proves an optimizer rebuild of the transformed module
+    SAT-equivalent to it (exact, matched-register), recording the
+    verdict in [tf_validation] and appending any difference to
+    [tf_warnings]. *)
+val validate : t -> t

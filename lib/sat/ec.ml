@@ -1,0 +1,73 @@
+(* Matched-register equivalence checking: the combinational view of
+   each circuit (q nets as inputs, d nets as outputs) is encoded over a
+   shared name-indexed input space, and each shared output is proven
+   equal by refuting its difference literal under an assumption. *)
+
+type verdict =
+  | Equal
+  | Differ of string
+  | Unknown
+
+let verdict_to_string = function
+  | Equal -> "equal"
+  | Differ name -> "differ on " ^ name
+  | Unknown -> "unknown (conflict limit)"
+
+(* all inputs binary: equivalence is over the boolean domain, which
+   rebuild-style transformations must preserve state for state *)
+let input_space e =
+  let tbl = Hashtbl.create 64 in
+  fun name ->
+    match Hashtbl.find_opt tbl name with
+    | Some r -> r
+    | None ->
+      let r = Cnf.fresh_binary e in
+      Hashtbl.add tbl name r;
+      r
+
+let encode_comb_view e input (c : Netlist.t) =
+  let assign net =
+    match c.drv.(net) with
+    | Netlist.Pi i -> Some (input c.pi_names.(i))
+    | Netlist.Ff i -> Some (input ("ff:" ^ c.ff_names.(i)))
+    | _ -> None
+  in
+  Cnf.encode e c ~assign ()
+
+(* shared observation pairs: (display name, net in a, net in b) *)
+let shared_pairs (a : Netlist.t) (b : Netlist.t) =
+  let index names nets =
+    let tbl = Hashtbl.create 16 in
+    Array.iteri (fun i name -> Hashtbl.replace tbl name nets.(i)) names;
+    tbl
+  in
+  let match_up label names nets tbl_b =
+    Array.to_list (Array.mapi (fun i name -> (name, nets.(i))) names)
+    |> List.filter_map (fun (name, net_a) ->
+           match Hashtbl.find_opt tbl_b name with
+           | Some net_b -> Some (label ^ name, net_a, net_b)
+           | None -> None)
+  in
+  match_up "" a.po_names a.pos (index b.po_names b.pos)
+  @ match_up "next-state " a.ff_names a.ff_d (index b.ff_names b.ff_d)
+
+let check ?(conflict_limit = 200_000) a b =
+  let e = Cnf.create () in
+  let input = input_space e in
+  let rails_a = encode_comb_view e input a in
+  let rails_b = encode_comb_view e input b in
+  let sv = Cnf.solver e in
+  let rec prove = function
+    | [] -> Equal
+    | (name, net_a, net_b) :: rest ->
+      let d = Cnf.diff_lit e rails_a.(net_a) rails_b.(net_b) in
+      if d = Cnf.lit_false e then prove rest
+      else begin
+        match Solver.solve ~assumptions:[ d ] ~conflict_limit sv with
+        | Solver.Unsat -> prove rest
+        | Solver.Sat -> Differ name
+        | Solver.Unknown -> Unknown
+      end
+  in
+  let verdict = prove (shared_pairs a b) in
+  (verdict, Solver.stats sv)

@@ -1,0 +1,25 @@
+(** Exact equivalence checking by SAT.  Both circuits are encoded into
+    one solver over a shared input space — primary inputs matched by
+    name, flip-flop state matched by register name (each q becomes a
+    free binary input, each d a compared next-state output) — and every
+    shared output is checked unequal-unsatisfiable one assumption at a
+    time, reusing learned clauses across outputs.
+
+    [Equal] is a proof of combinational equivalence extended to
+    matched-register sequential equivalence: identical primary outputs
+    and next-state functions from every (even unreachable) state.
+    [Differ] carries a counter-example output name; for circuits that
+    only differ in unreachable states it is conservative. *)
+
+type verdict =
+  | Equal
+  | Differ of string  (** name of a differing output or next-state *)
+  | Unknown           (** conflict limit reached *)
+
+val verdict_to_string : verdict -> string
+
+(** [check a b] compares the outputs and next-state functions the two
+    circuits share (matched by name, as [Synth.Opt.equivalent] does);
+    outputs present in only one circuit are ignored. *)
+val check :
+  ?conflict_limit:int -> Netlist.t -> Netlist.t -> verdict * Solver.stats

@@ -1,0 +1,155 @@
+(* Miter construction for single stuck-at faults over bounded time
+   frames.  The faulted copy is encoded only where it can differ from
+   the good circuit: the forward closure of the fault site through
+   combinational fanout, widened across frames by flip-flops whose d
+   input lies in the closure (to a fixpoint).  Everything outside the
+   cone shares the good copy's literals. *)
+
+type cube = {
+  tc_vectors : bool array array;
+  tc_loads : (int * bool) list;
+}
+
+type outcome =
+  | Cube of cube
+  | Untestable of int
+  | Gave_up
+
+(* Forward closure of [fnet]: combinational fanout, plus q fanout of
+   every flip-flop whose d input gets swept in, iterated to fixpoint
+   (those FFs carry the difference into later frames). *)
+let fault_cone (c : Netlist.t) fnet =
+  let info = Netlist.analysis c in
+  let n = Netlist.num_nets c in
+  let mask = Array.make n false in
+  let stack = ref [] in
+  let push net = if not mask.(net) then begin
+      mask.(net) <- true;
+      stack := net :: !stack
+    end
+  in
+  let drain () =
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | net :: rest ->
+        stack := rest;
+        for k = info.fanout_off.(net) to info.fanout_off.(net + 1) - 1 do
+          push info.fanout.(k)
+        done
+    done
+  in
+  push fnet;
+  drain ();
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to Netlist.num_ffs c - 1 do
+      if mask.(c.ff_d.(i)) && not mask.(c.ff_q.(i)) then begin
+        push c.ff_q.(i);
+        drain ();
+        changed := true
+      end
+    done
+  done;
+  mask
+
+(* One unrolling depth: build the miter in a fresh solver and decide
+   it.  Returns the per-depth solver result plus the decoded cube. *)
+let attempt c ~cone ~frames ~piers ~pier_set ~fnet ~stuck ~conflict_limit =
+  let e = Cnf.create () in
+  let num_pis = Netlist.num_pis c in
+  let pi_rails =
+    Array.init frames (fun _ ->
+        Array.init num_pis (fun _ -> Cnf.fresh_binary e))
+  in
+  let load_rails =
+    Array.init (Netlist.num_ffs c) (fun i ->
+        if pier_set.(i) then Cnf.fresh_binary e else Cnf.rails_x e)
+  in
+  let good = Array.make frames [||] in
+  for f = 0 to frames - 1 do
+    let assign net =
+      match c.drv.(net) with
+      | Netlist.Pi i -> Some pi_rails.(f).(i)
+      | Netlist.Ff i ->
+        Some (if f = 0 then load_rails.(i) else good.(f - 1).(c.ff_d.(i)))
+      | _ -> None
+    in
+    good.(f) <- Cnf.encode e c ~assign ()
+  done;
+  let stuck_rails = Cnf.rails_of_bool e stuck in
+  let faulty = Array.make frames [||] in
+  for f = 0 to frames - 1 do
+    let assign net =
+      if net = fnet then Some stuck_rails
+      else if not cone.(net) then Some good.(f).(net)
+      else
+        match c.drv.(net) with
+        | Netlist.Ff i ->
+          (* initial state is shared; later frames chain the faulted d *)
+          Some
+            (if f = 0 then good.(0).(net) else faulty.(f - 1).(c.ff_d.(i)))
+        | _ -> None
+    in
+    faulty.(f) <- Cnf.encode e c ~cone ~assign ()
+  done;
+  (* detection clause: some observation point differs.  Observation
+     points mirror Fsim: POs every frame, PIER next-state at the last
+     frame.  Points outside the cone cannot differ and are skipped. *)
+  let terms = ref [] in
+  for f = 0 to frames - 1 do
+    Array.iter
+      (fun po ->
+        if cone.(po) then
+          terms := Cnf.diff_lit e good.(f).(po) faulty.(f).(po) :: !terms)
+      c.pos
+  done;
+  List.iter
+    (fun i ->
+      let d = c.ff_d.(i) in
+      if cone.(d) then
+        terms :=
+          Cnf.diff_lit e good.(frames - 1).(d) faulty.(frames - 1).(d)
+          :: !terms)
+    piers;
+  let sv = Cnf.solver e in
+  Solver.add_clause sv !terms;
+  let result = Solver.solve ~conflict_limit sv in
+  let decoded =
+    match result with
+    | Solver.Sat ->
+      Some
+        { tc_vectors =
+            Array.init frames (fun f ->
+                Array.init num_pis (fun i ->
+                    Cnf.lit_holds e pi_rails.(f).(i).Cnf.r1));
+          tc_loads =
+            List.map (fun i -> (i, Cnf.lit_holds e load_rails.(i).Cnf.r1))
+              piers }
+    | _ -> None
+  in
+  (result, decoded, Solver.stats sv)
+
+let run ?(max_frames = 1) ?(conflict_limit = 20_000) ?(piers = []) c ~net
+    ~stuck =
+  let cone = fault_cone c net in
+  let pier_set = Array.make (Netlist.num_ffs c) false in
+  List.iter (fun i -> pier_set.(i) <- true) piers;
+  let depths = if Netlist.num_ffs c = 0 then 1 else max 1 max_frames in
+  let stats = ref Solver.zero_stats in
+  let rec loop d =
+    if d > depths then Untestable depths
+    else
+      let (result, decoded, st) =
+        attempt c ~cone ~frames:d ~piers ~pier_set ~fnet:net ~stuck
+          ~conflict_limit
+      in
+      stats := Solver.add_stats !stats st;
+      match (result, decoded) with
+      | (Solver.Sat, Some cube) -> Cube cube
+      | (Solver.Unsat, _) -> loop (d + 1)
+      | _ -> Gave_up
+  in
+  let outcome = loop 1 in
+  (outcome, !stats)

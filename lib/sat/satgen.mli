@@ -1,0 +1,38 @@
+(** SAT-based stuck-at test generation: a miter of the good circuit
+    against a faulted copy (built only over the fault's fanout cone),
+    unrolled over bounded time frames, with the difference of every
+    observation point OR'd into one detection clause.
+
+    Frame semantics mirror [Atpg.Podem] and [Atpg.Fsim]: primary
+    inputs are fresh binary variables per frame, frame-0 flip-flops
+    are X except PIER registers (which get binary load variables),
+    primary outputs are observed on every frame, and PIER next-state
+    is observed at the last frame.  The fault is present in every
+    frame.  Primary inputs are binary, so on combinational circuits
+    the classification agrees exactly with PODEM's. *)
+
+(** A satisfying assignment decoded back to input vectors, in the
+    shape of [Atpg.Pattern.test] (this library cannot depend on
+    [Atpg], so the record is mirrored here). *)
+type cube = {
+  tc_vectors : bool array array;  (** per frame, one bool per PI *)
+  tc_loads : (int * bool) list;   (** PIER flip-flop index, value *)
+}
+
+type outcome =
+  | Cube of cube
+  | Untestable of int
+      (** UNSAT at every unrolling depth [1..n] — for a combinational
+          circuit ([n = 1]) a complete untestability proof, otherwise
+          a bounded one exactly as strong as PODEM exhausting every
+          depth *)
+  | Gave_up  (** conflict limit reached before a verdict *)
+
+(** [run c ~net ~stuck] targets the single stuck-at fault
+    [net] stuck-at-[stuck].  Depths [1..max_frames] are tried in turn
+    ([max_frames] is capped to 1 when [c] has no flip-flops); each
+    depth gets [conflict_limit] conflicts.  Also returns the solver
+    statistics summed over all depths. *)
+val run :
+  ?max_frames:int -> ?conflict_limit:int -> ?piers:int list ->
+  Netlist.t -> net:int -> stuck:bool -> outcome * Solver.stats

@@ -202,3 +202,21 @@ let equivalent ?(rounds = 16) ?(cycles = 4) ~rng a b =
     round ()
   done;
   !verdict
+
+(** [equivalent_exact ?rounds ?cycles ?rng a b] keeps the random check
+    as a fast pre-filter (a counter-example needs no SAT run) and then
+    proves [Equal] exactly with {!Sat.Ec}: matched-register
+    equivalence of the shared outputs and next-state functions.  A
+    solver that hits its conflict limit reports [Differ
+    "sat-inconclusive"] — the check fails closed. *)
+let equivalent_exact ?(rounds = 4) ?(cycles = 4) ?rng a b =
+  let rng =
+    match rng with Some r -> r | None -> Random.State.make [| 0x5eed |]
+  in
+  match equivalent ~rounds ~cycles ~rng a b with
+  | Differ name -> Differ name
+  | Equal ->
+    (match fst (Sat.Ec.check a b) with
+    | Sat.Ec.Equal -> Equal
+    | Sat.Ec.Differ name -> Differ name
+    | Sat.Ec.Unknown -> Differ "sat-inconclusive")

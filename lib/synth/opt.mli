@@ -29,3 +29,12 @@ type verdict = Equal | Differ of string
 val equivalent :
   ?rounds:int -> ?cycles:int -> rng:Random.State.t ->
   Netlist.t -> Netlist.t -> verdict
+
+(** [equivalent_exact a b] runs the random check as a fast pre-filter,
+    then a SAT proof of matched-register equivalence ({!Sat.Ec}):
+    [Equal] is exact over shared outputs and next-state functions.  An
+    inconclusive solver answer fails closed as [Differ
+    "sat-inconclusive"]. *)
+val equivalent_exact :
+  ?rounds:int -> ?cycles:int -> ?rng:Random.State.t ->
+  Netlist.t -> Netlist.t -> verdict

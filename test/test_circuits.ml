@@ -51,6 +51,10 @@ let extraction_tests =
               let rng = Random.State.make [| 77 |] in
               (* shared outputs of the transformed module must behave
                  exactly like the full design *)
+              (* the sequential simulation oracle, not the SAT one: the
+                 transformed module only matches the full design on
+                 *reachable* states, while [equivalent_exact] treats
+                 every register as a free input *)
               check_bool "equivalent on kept pins" true
                 (Synth.Opt.equivalent ~rounds:8 ~cycles:6 ~rng
                    tf.Factor.Transform.tf_circuit full

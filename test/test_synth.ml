@@ -490,7 +490,7 @@ let opt_tests =
         let (c', _) = Synth.Opt.optimize c in
         let rng = Random.State.make [| 11 |] in
         check_bool "equivalent" true
-          (Synth.Opt.equivalent ~rng c c' = Synth.Opt.Equal));
+          (Synth.Opt.equivalent_exact ~rng c c' = Synth.Opt.Equal));
     test "tying an input shrinks the cone" (fun () ->
         let c =
           circuit
@@ -520,6 +520,29 @@ let opt_tests =
         (match Synth.Opt.equivalent ~rng a b with
          | Synth.Opt.Differ "y" -> ()
          | _ -> Alcotest.fail "expected a mismatch on y"));
+    test "exact equivalence catches what random simulation misses" (fun () ->
+        (* the two comparators agree on all but 2 of the 65536 input
+           values; 16 random vectors are overwhelmingly unlikely to hit
+           either, so the simulation oracle passes them as equal while
+           the SAT oracle refutes *)
+        let a =
+          circuit
+            {|module top (input [15:0] x, output y);
+              assign y = (x == 16'hBEEF); endmodule|}
+        in
+        let b =
+          circuit
+            {|module top (input [15:0] x, output y);
+              assign y = (x == 16'hBEEC); endmodule|}
+        in
+        let rng = Random.State.make [| 41 |] in
+        check_bool "random simulation misses the difference" true
+          (Synth.Opt.equivalent ~rng a b = Synth.Opt.Equal);
+        (match Synth.Opt.equivalent_exact a b with
+         | Synth.Opt.Differ "y" -> ()
+         | Synth.Opt.Differ n ->
+           Alcotest.fail ("expected a mismatch on y, got " ^ n)
+         | Synth.Opt.Equal -> Alcotest.fail "SAT oracle missed the difference"));
     qtest "optimize is semantics-preserving on random ties" ~count:25
       QCheck.(pair bool bool)
       (fun (t1, t2) ->
