@@ -74,6 +74,23 @@ let output_arg =
   let doc = "Write the extracted constraints (Verilog) to this file." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
+(* -j / --jobs: worker domains for the parallel engine.  The default
+   honours FACTOR_JOBS, then the machine's recommended domain count. *)
+let jobs_arg =
+  let doc =
+    "Worker domains for fault simulation and test generation (default: \
+     \\$(b,FACTOR_JOBS) or the machine's domain count; 1 disables \
+     parallelism)."
+  in
+  Arg.(value & opt int (Engine.Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* resize the shared pool once per invocation; returns the job count *)
+let apply_jobs j =
+  let j = max 1 j in
+  Engine.Pool.set_jobs j;
+  j
+
 (* the top module: explicit flag, the bundled benchmark's top, or the
    last module in the file *)
 let resolve_top design path top =
@@ -220,8 +237,9 @@ let atpg_cmd =
            Atpg.Gen.Hybrid
          & info [ "engine" ] ~docv:"ENGINE" ~doc)
   in
-  let run path top mut budget frames use_piers engine output =
+  let run path top mut budget frames use_piers engine jobs output =
     handle_errors (fun () ->
+        let jobs = apply_jobs jobs in
         let design = read_design path in
         let top = resolve_top design path top in
         let ed = Design.Elaborate.elaborate design ~top in
@@ -236,7 +254,8 @@ let atpg_cmd =
             g_total_budget = budget;
             g_max_frames = frames;
             g_piers = piers;
-            g_engine = engine }
+            g_engine = engine;
+            g_jobs = jobs }
         in
         let r = Atpg.Gen.run c cfg faults in
         Printf.printf
@@ -244,9 +263,9 @@ let atpg_cmd =
           r.Atpg.Gen.r_total r.Atpg.Gen.r_detected r.Atpg.Gen.r_untestable
           r.Atpg.Gen.r_aborted;
         Printf.printf
-          "coverage %.2f%% | effectiveness %.2f%% | %d vectors | %.2f s\n"
+          "coverage %.2f%% | effectiveness %.2f%% | %d vectors | %.2f s wall (%.2f s cpu, %d jobs)\n"
           r.Atpg.Gen.r_coverage r.Atpg.Gen.r_effectiveness r.Atpg.Gen.r_vectors
-          r.Atpg.Gen.r_time;
+          r.Atpg.Gen.r_wall r.Atpg.Gen.r_time jobs;
         if engine <> Atpg.Gen.Podem_only then
           Printf.printf
             "sat engine: %d detected, %d proven untestable, %.2f s | %s\n"
@@ -263,7 +282,7 @@ let atpg_cmd =
   let doc = "Run sequential test generation on a design." in
   Cmd.v (Cmd.info "atpg" ~doc)
     Term.(const run $ design_arg $ top_arg $ mut_opt $ budget $ frames
-          $ piers_flag $ engine_arg $ out_vectors)
+          $ piers_flag $ engine_arg $ jobs_arg $ out_vectors)
 
 (* ------------------------------ sat ------------------------------- *)
 
@@ -372,8 +391,9 @@ let grade_cmd =
     let doc = "Treat load/store-reachable registers as observable." in
     Arg.(value & flag & info [ "piers" ] ~doc)
   in
-  let run path vec_file top mut use_piers =
+  let run path vec_file top mut use_piers jobs =
     handle_errors (fun () ->
+        let jobs = apply_jobs jobs in
         let design = read_design path in
         let top = resolve_top design path top in
         let ed = Design.Elaborate.elaborate design ~top in
@@ -391,7 +411,7 @@ let grade_cmd =
           { Atpg.Fsim.ob_pos = true;
             ob_pier_ffs = (if use_piers then Factor.Pier.identify c else []) }
         in
-        let flags = Atpg.Fsim.run c ~observe ~faults tests in
+        let flags = Atpg.Fsim.run_sharded ~jobs c ~observe ~faults tests in
         let detected =
           Array.to_list flags |> List.filter Fun.id |> List.length
         in
@@ -405,50 +425,58 @@ let grade_cmd =
   in
   let doc = "Fault-simulate a vector file against a design (grade tests)." in
   Cmd.v (Cmd.info "grade" ~doc)
-    Term.(const run $ design_arg $ vec_arg $ top_arg $ mut_opt $ piers_flag)
+    Term.(const run $ design_arg $ vec_arg $ top_arg $ mut_opt $ piers_flag
+          $ jobs_arg)
 
 (* ------------------------------ demo ------------------------------ *)
 
 let demo_cmd =
-  let run () =
+  let run jobs =
     handle_errors (fun () ->
+        let jobs = apply_jobs jobs in
         let env = Factor.Compose.make_env (Arm.Rtl.design ()) ~top:Arm.Rtl.top in
         let session = Factor.Compose.create_session () in
-        List.iter
-          (fun spec ->
-            let stats =
-              Factor.Compose.compositional session env
-                ~mut_path:spec.Factor.Flow.ms_path
-            in
-            let tf =
-              Factor.Transform.build env stats.Factor.Compose.cs_slice
-                ~mut_path:spec.Factor.Flow.ms_path
-            in
-            let a =
-              Factor.Flow.transformed_atpg
-                { Factor.Flow.tr_name = spec.Factor.Flow.ms_name;
-                  tr_standalone_faults =
-                    Factor.Flow.standalone_fault_count env spec;
-                  tr_extraction_time = stats.Factor.Compose.cs_extraction_time;
-                  tr_synthesis_time = tf.Factor.Transform.tf_synthesis_time;
-                  tr_surrounding_gates = tf.Factor.Transform.tf_surrounding_gates;
-                  tr_reduction_pct = 0.0;
-                  tr_pi_bits = tf.Factor.Transform.tf_pi_bits;
-                  tr_po_bits = tf.Factor.Transform.tf_po_bits;
-                  tr_cache_hits = stats.Factor.Compose.cs_cache_hits;
-                  tr_stats = stats;
-                  tr_transformed = tf }
-                { Atpg.Gen.default_config with g_total_budget = 60.0 }
-            in
+        (* extraction is sequential (it fills the shared constraint
+           cache level by level); the per-MUT generations then fan out *)
+        let rows =
+          List.map
+            (fun spec ->
+              let stats =
+                Factor.Compose.compositional session env
+                  ~mut_path:spec.Factor.Flow.ms_path
+              in
+              let tf =
+                Factor.Transform.build env stats.Factor.Compose.cs_slice
+                  ~mut_path:spec.Factor.Flow.ms_path
+              in
+              { Factor.Flow.tr_name = spec.Factor.Flow.ms_name;
+                tr_standalone_faults =
+                  Factor.Flow.standalone_fault_count env spec;
+                tr_extraction_time = stats.Factor.Compose.cs_extraction_time;
+                tr_synthesis_time = tf.Factor.Transform.tf_synthesis_time;
+                tr_surrounding_gates = tf.Factor.Transform.tf_surrounding_gates;
+                tr_reduction_pct = 0.0;
+                tr_pi_bits = tf.Factor.Transform.tf_pi_bits;
+                tr_po_bits = tf.Factor.Transform.tf_po_bits;
+                tr_cache_hits = stats.Factor.Compose.cs_cache_hits;
+                tr_stats = stats;
+                tr_transformed = tf })
+            Arm.Rtl.muts
+        in
+        let atpg_rows =
+          Factor.Flow.transformed_atpg_all ~jobs rows
+            { Atpg.Gen.default_config with g_total_budget = 60.0 }
+        in
+        List.iter2
+          (fun row a ->
             Printf.printf
               "%-15s surrounding %5d gates | coverage %6.2f%% | %6.2f s\n%!"
-              spec.Factor.Flow.ms_name
-              tf.Factor.Transform.tf_surrounding_gates
+              row.Factor.Flow.tr_name row.Factor.Flow.tr_surrounding_gates
               a.Factor.Flow.ar_coverage a.Factor.Flow.ar_testgen_time)
-          Arm.Rtl.muts)
+          rows atpg_rows)
   in
   let doc = "FACTOR-ise the bundled ARM benchmark end to end." in
-  Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ jobs_arg)
 
 let () =
   let doc = "hierarchical functional test generation and testability analysis" in

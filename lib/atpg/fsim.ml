@@ -29,9 +29,12 @@ type observe = {
 let default_observe = { ob_pos = true; ob_pier_ffs = [] }
 
 (* Net evaluations performed by either engine since program start; the
-   microbenchmark reports deltas of this. *)
-let eval_counter = ref 0
-let eval_count () = !eval_counter
+   microbenchmark reports deltas of this.  Atomic so parallel fault
+   shards can account without tearing; hot loops accumulate locally and
+   flush once per batch. *)
+let eval_counter = Atomic.make 0
+let eval_count () = Atomic.get eval_counter
+let add_evals k = ignore (Atomic.fetch_and_add eval_counter k)
 
 (* Columns (other than 0) whose value provably differs from column 0. *)
 let detected_mask (v : L.t) : int64 =
@@ -98,7 +101,7 @@ let run_batch_reference c ~order ~faults ~observe (test : Pattern.test) =
         in
         values.(net) <- inject table net v)
       order;
-    eval_counter := !eval_counter + Array.length order
+    add_evals (Array.length order)
   in
   let frames = Array.length test.Pattern.p_vectors in
   for f = 0 to frames - 1 do
@@ -214,7 +217,7 @@ let good_sim eng (test : Pattern.test) =
            | N.G2 (N.Xnor, a, b) -> L.v_not (L.v_xor v.(a) v.(b))
            | N.Mux (s, a, b) -> L.v_mux v.(s) v.(a) v.(b)))
       eng.info.A.order;
-    eval_counter := !eval_counter + Array.length eng.info.A.order;
+    add_evals (Array.length eng.info.A.order);
     for net = 0 to n - 1 do
       Bytes.set_uint8 go_vals.(f) net (byte_of v.(net))
     done;
@@ -243,6 +246,7 @@ let simulate_batch eng good ~observe (batch : Fault.t array) test =
   let inj_nets = !inj_nets in
   Array.fill eng.state_dirty 0 (Array.length eng.state_dirty) false;
   let detected = ref 0L in
+  let evals = ref 0 in
   let frames = Array.length test.Pattern.p_vectors in
   for f = 0 to frames - 1 do
     let gv = good.go_vals.(f) in
@@ -295,7 +299,7 @@ let simulate_batch eng good ~observe (batch : Fault.t array) test =
               { L.hi = Int64.logor (Int64.logand v.L.hi (Int64.lognot clear)) set_hi;
                 lo = Int64.logor (Int64.logand v.L.lo (Int64.lognot clear)) set_lo }
           in
-          incr eval_counter;
+          incr evals;
           if not (L.equal v (rep (Bytes.get_uint8 gv net))) then begin
             eng.fvals.(net) <- v;
             eng.dirty.(net) <- true;
@@ -342,6 +346,7 @@ let simulate_batch eng good ~observe (batch : Fault.t array) test =
       eng.inj_hi.(net) <- 0L;
       eng.inj_lo.(net) <- 0L)
     inj_nets;
+  add_evals !evals;
   !detected
 
 (* Run one test against the faults selected by [active], batching in
@@ -371,6 +376,24 @@ let run_test c ~observe ~faults ~active test =
   let flags = Array.make (Array.length active) false in
   run_active eng good ~observe ~faults ~active ~flags test;
   flags
+
+(** [run_test_sharded ~jobs c ~observe ~faults ~active test] is
+    {!run_test} with the active faults sharded across the global domain
+    pool: each shard owns a disjoint contiguous slice of [active] and
+    its own injection state, the immutable circuit and its
+    [Netlist.Analysis] are shared.  Per-fault flags are independent, so
+    the ordered merge is bit-identical to the serial run. *)
+let run_test_sharded ~jobs c ~observe ~faults ~active test =
+  if jobs <= 1 || Array.length active < 128 then
+    run_test c ~observe ~faults ~active test
+  else
+    let pool = Engine.Pool.global () in
+    let parts =
+      Engine.Shard.map_chunks pool ~shards:jobs
+        (fun sub -> run_test c ~observe ~faults ~active:sub test)
+        active
+    in
+    Array.concat (Array.to_list parts)
 
 (** [run c ~observe ~faults tests] fault-simulates every test with fault
     dropping; returns per-fault detection flags aligned with [faults]. *)
@@ -406,3 +429,24 @@ let run c ~observe ~faults tests =
       tests
   end;
   detected
+
+(** [run_sharded ~jobs c ~observe ~faults tests] is {!run} with the
+    fault list partitioned into [jobs] deterministic contiguous shards,
+    each simulated by its own domain with its own injection state and
+    local fault dropping over the shared immutable circuit; shard flags
+    are merged in shard order.  Detection of a fault never depends on
+    any other fault, so the result is bit-identical to the serial
+    {!run} for every [jobs]. *)
+let run_sharded ~jobs c ~observe ~faults tests =
+  let n = List.length faults in
+  if jobs <= 1 || n < 128 then run c ~observe ~faults tests
+  else begin
+    let pool = Engine.Pool.global () in
+    let fault_arr = Array.of_list faults in
+    let parts =
+      Engine.Shard.map_chunks pool ~shards:jobs
+        (fun shard -> run c ~observe ~faults:(Array.to_list shard) tests)
+        fault_arr
+    in
+    Array.concat (Array.to_list parts)
+  end

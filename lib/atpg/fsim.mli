@@ -35,11 +35,29 @@ val run_test :
   Netlist.t -> observe:observe -> faults:Fault.t array -> active:int array ->
   Pattern.test -> bool array
 
+(** [run_test_sharded ~jobs ...] is {!run_test} with the active faults
+    sharded across the global domain pool (disjoint contiguous slices,
+    one injection state per domain, shared immutable circuit and
+    analysis); bit-identical to {!run_test}.  Falls back to the serial
+    engine for [jobs <= 1] or small active sets. *)
+val run_test_sharded :
+  jobs:int -> Netlist.t -> observe:observe -> faults:Fault.t array ->
+  active:int array -> Pattern.test -> bool array
+
 (** [run c ~observe ~faults tests] fault-simulates every test with fault
     dropping; per-fault detection flags align with [faults]. *)
 val run :
   Netlist.t -> observe:observe -> faults:Fault.t list -> Pattern.test list ->
   bool array
+
+(** [run_sharded ~jobs ...] is {!run} with the fault list partitioned
+    into [jobs] deterministic shards simulated in parallel and merged in
+    shard order; bit-identical to {!run} for every [jobs] (per-fault
+    detection is independent of other faults).  Falls back to the serial
+    engine for [jobs <= 1] or small fault lists. *)
+val run_sharded :
+  jobs:int -> Netlist.t -> observe:observe -> faults:Fault.t list ->
+  Pattern.test list -> bool array
 
 (** Net evaluations performed by either engine since program start; the
     benchmark reports deltas of this. *)

@@ -1,8 +1,15 @@
 (** The test-generation engine: a saturating random phase, deterministic
     PODEM with iterative frame deepening and randomized restarts, and a
     simulation-based fallback for the faults PODEM aborts on — with fault
-    dropping throughout and per-fault/total CPU budgets.  The stand-in
-    for the commercial sequential ATPG tool of the paper. *)
+    dropping throughout and per-fault/total budgets.  The stand-in for
+    the commercial sequential ATPG tool of the paper.
+
+    The deterministic phases are fault-parallel: per-fault generation
+    (PODEM, SAT, Simgen) depends only on the circuit, the configuration
+    and the fault itself — never on tests found for other faults — so a
+    sweep can generate candidates concurrently and apply the results in
+    fault order, reproducing the serial run bit for bit (see {!config}
+    on [g_jobs] and [g_deterministic]). *)
 
 module N = Netlist
 
@@ -18,13 +25,15 @@ type config = {
   g_random_sequences : int;    (** random sequences per saturation batch *)
   g_random_batches : int;      (** maximum saturation batches *)
   g_random_length : int;
-  g_fault_budget : float;      (** CPU seconds per fault, deterministic phase *)
-  g_total_budget : float;      (** CPU seconds for the whole run *)
+  g_fault_budget : float;      (** wall seconds per fault, deterministic phase *)
+  g_total_budget : float;      (** wall seconds for the whole run *)
   g_piers : int list;          (** loadable/storable flip-flop indices *)
   g_simgen_fallback : bool;    (** rescue aborted faults with {!Simgen} *)
   g_engine : engine;           (** deterministic-phase engine selection *)
   g_sat_conflicts : int;       (** SAT conflict limit per fault and depth *)
   g_seed : int;
+  g_jobs : int;                (** 1 = serial; 0 = width of the global pool *)
+  g_deterministic : bool;      (** parallel runs reproduce the serial run *)
 }
 
 let default_config = {
@@ -41,6 +50,8 @@ let default_config = {
   g_engine = Hybrid;
   g_sat_conflicts = 20_000;
   g_seed = 1;
+  g_jobs = 1;
+  g_deterministic = true;
 }
 
 type outcome = Detected | Untestable | Aborted_fault
@@ -54,11 +65,12 @@ type result = {
   r_effectiveness : float;  (** percent detected or proven untestable *)
   r_tests : Pattern.test list;
   r_vectors : int;
-  r_time : float;           (** CPU seconds *)
+  r_time : float;           (** CPU seconds, summed over all domains *)
+  r_wall : float;           (** wall-clock seconds *)
   r_outcomes : (Fault.t * outcome) list;
   r_sat_detected : int;     (** faults only the SAT engine closed *)
   r_sat_untestable : int;   (** aborted faults SAT proved untestable *)
-  r_sat_time : float;       (** CPU seconds inside the SAT engine *)
+  r_sat_time : float;       (** wall seconds inside the SAT engine *)
   r_sat_stats : Sat.Solver.stats;
 }
 
@@ -67,12 +79,18 @@ let coverage detected total =
 
 (** [run c cfg faults] generates tests targeting [faults] on circuit [c]. *)
 let run c cfg faults =
-  let t0 = Sys.time () in
-  let elapsed () = Sys.time () -. t0 in
+  let t0_cpu = Sys.time () in
+  let t0 = Engine.Clock.now () in
+  let elapsed () = Engine.Clock.now () -. t0 in
   let rng = Random.State.make [| cfg.g_seed |] in
   let observe =
     { Fsim.ob_pos = true; ob_pier_ffs = cfg.g_piers }
   in
+  let jobs =
+    if cfg.g_jobs = 0 then Engine.Pool.size (Engine.Pool.global ())
+    else max 1 cfg.g_jobs
+  in
+  let pool = if jobs > 1 then Some (Engine.Pool.global ()) else None in
   let n = List.length faults in
   let fault_arr = Array.of_list faults in
   let outcome = Array.make n None in
@@ -93,14 +111,95 @@ let run c cfg faults =
     done;
     idx
   in
-  (* simulate [test] against the faults at [active]; mark hits Detected *)
-  let confirm_and_drop active test =
+  (* simulate [test] against the faults at [active]; mark hits Detected.
+     [use_pool:false] forces the serial simulator — mandatory when the
+     caller holds the eager-mode lock, because a pooled confirm awaits
+     shard tasks by helping, and helping could run another eager task
+     that takes the same lock. *)
+  let confirm_and_drop ?(use_pool = true) active test =
     if Array.length active > 0 then begin
-      let flags = Fsim.run_test c ~observe ~faults:fault_arr ~active test in
+      let flags =
+        match pool with
+        | Some _ when use_pool ->
+          Fsim.run_test_sharded ~jobs c ~observe ~faults:fault_arr ~active test
+        | _ -> Fsim.run_test c ~observe ~faults:fault_arr ~active test
+      in
       Array.iteri
         (fun k i -> if flags.(k) then outcome.(i) <- Some Detected)
         active
     end
+  in
+  (* Sweep the fault list once, running [generate] on every fault that
+     satisfies [eligible] when reached and feeding the result to [apply].
+
+     Serial: the textbook loop.
+
+     Parallel deterministic: candidates are selected in fault order in
+     rounds of [2*jobs], generated concurrently, and the results applied
+     strictly in fault order; a result whose fault was resolved by an
+     earlier application in the same round is discarded, exactly as the
+     serial loop would never have generated it.  Because generation
+     reads only immutable inputs, the applied sequence — and therefore
+     every outcome, test and statistic — matches the serial run bit for
+     bit whenever the time budgets do not bind.
+
+     Parallel eager: tasks claim faults first-come-first-served and
+     apply under a lock — more parallelism, no cross-run
+     reproducibility. *)
+  let sweep ~eligible ~generate ~apply =
+    match pool with
+    | None ->
+      for i = 0 to n - 1 do
+        if eligible i && elapsed () < cfg.g_total_budget then
+          apply ~use_pool:true i (generate i)
+      done
+    | Some pool when cfg.g_deterministic ->
+      let chunk = 2 * jobs in
+      let next = ref 0 in
+      while !next < n do
+        let cand = ref [] and k = ref 0 in
+        while !k < chunk && !next < n do
+          let i = !next in
+          incr next;
+          if eligible i && elapsed () < cfg.g_total_budget then begin
+            cand := i :: !cand;
+            incr k
+          end
+        done;
+        (* [!cand] is in descending index order; rev_map restores fault
+           order for both submission and application *)
+        let futs =
+          List.rev_map
+            (fun i -> (i, Engine.Pool.submit pool (fun () -> generate i)))
+            !cand
+        in
+        List.iter
+          (fun (i, fut) ->
+            let r = Engine.Pool.await fut in
+            if eligible i then apply ~use_pool:true i r)
+          futs
+      done
+    | Some pool ->
+      let lock = Mutex.create () in
+      let futs =
+        List.filter_map
+          (fun i ->
+            if eligible i then
+              Some
+                (Engine.Pool.submit pool (fun () ->
+                     let live =
+                       Mutex.protect lock (fun () ->
+                           eligible i && elapsed () < cfg.g_total_budget)
+                     in
+                     if live then begin
+                       let r = generate i in
+                       Mutex.protect lock (fun () ->
+                           if eligible i then apply ~use_pool:false i r)
+                     end))
+            else None)
+          (List.init n Fun.id)
+      in
+      List.iter Engine.Pool.await futs
   in
   (* -------- phase 1: random sequences until saturation ------------ *)
   let batch = ref 0 in
@@ -139,104 +238,109 @@ let run c cfg faults =
     { Pattern.p_vectors = cube.Sat.Satgen.tc_vectors;
       p_loads = cube.Sat.Satgen.tc_loads }
   in
-  (* one SAT attempt at a fault, accounting time and statistics *)
-  let sat_attempt fault =
-    let t0 = Sys.time () in
+  (* one SAT attempt at a fault; the caller accounts time and statistics
+     at apply time so discarded parallel attempts leave no trace *)
+  let sat_attempt i =
+    let a0 = Engine.Clock.now () in
     let (verdict, stats) =
+      let fault = fault_arr.(i) in
       Sat.Satgen.run c ~max_frames:cfg.g_max_frames
         ~conflict_limit:cfg.g_sat_conflicts ~piers:cfg.g_piers
         ~net:fault.Fault.f_net ~stuck:fault.Fault.f_stuck
     in
-    sat_time := !sat_time +. (Sys.time () -. t0);
-    sat_stats := Sat.Solver.add_stats !sat_stats stats;
-    verdict
+    (verdict, stats, Engine.Clock.now () -. a0)
+  in
+  let account_sat stats dt =
+    sat_time := !sat_time +. dt;
+    sat_stats := Sat.Solver.add_stats !sat_stats stats
+  in
+  let podem_generate i =
+    let fault = fault_arr.(i) in
+    let fault_t0 = Engine.Clock.now () in
+    let over_budget () = Engine.Clock.now () -. fault_t0 > cfg.g_fault_budget in
+    let rec attempts frames try_no =
+      if try_no > cfg.g_restarts then Podem.Aborted
+      else if over_budget () then Podem.Aborted
+      else
+        let pcfg =
+          { Podem.frames;
+            backtrack_limit = cfg.g_backtrack_limit;
+            piers = cfg.g_piers;
+            seed = (cfg.g_seed * 31) + try_no }
+        in
+        match Podem.run c pcfg fault with
+        | Podem.Detected t -> Podem.Detected t
+        | Podem.Exhausted -> Podem.Exhausted
+        | Podem.Aborted -> attempts frames (try_no + 1)
+    in
+    let rec deepen frames last =
+      if frames > cfg.g_max_frames then last
+      else if over_budget () then Podem.Aborted
+      else
+        match attempts frames 1 with
+        | Podem.Detected t -> Podem.Detected t
+        | Podem.Exhausted -> deepen (frames + 1) Podem.Exhausted
+        | Podem.Aborted -> deepen (frames + 1) Podem.Aborted
+    in
+    deepen 1 Podem.Exhausted
+  in
+  let podem_apply ~use_pool i = function
+    | Podem.Detected test ->
+      tests := test :: !tests;
+      (* confirm and drop: simulate against all remaining faults *)
+      confirm_and_drop ~use_pool (indices_where (fun o -> o = None)) test;
+      (* the targeted fault must at least be marked: PODEM guarantees
+         detection under the same X-initial model the simulator uses *)
+      if outcome.(i) = None then outcome.(i) <- Some Detected
+    | Podem.Exhausted -> outcome.(i) <- Some Untestable
+    | Podem.Aborted -> outcome.(i) <- Some Aborted_fault
+  in
+  let sat_only_apply ~use_pool i (verdict, stats, dt) =
+    account_sat stats dt;
+    match verdict with
+    | Sat.Satgen.Cube cube ->
+      let test = cube_to_test cube in
+      tests := test :: !tests;
+      confirm_and_drop ~use_pool (indices_where (fun o -> o = None)) test;
+      (* the cube's encoding mirrors the simulator's three-valued
+         semantics, so detection is guaranteed *)
+      if outcome.(i) = None then outcome.(i) <- Some Detected;
+      incr sat_detected
+    | Sat.Satgen.Untestable _ ->
+      outcome.(i) <- Some Untestable;
+      incr sat_untestable
+    | Sat.Satgen.Gave_up -> outcome.(i) <- Some Aborted_fault
   in
   let remaining i = outcome.(i) = None in
   if cfg.g_engine = Sat_only then
     (* the SAT engine replaces PODEM outright: miter per fault, depths
        1..max_frames, cubes confirmed (and dropped) through Fsim *)
-    for i = 0 to n - 1 do
-      if remaining i && elapsed () < cfg.g_total_budget then begin
-        match sat_attempt fault_arr.(i) with
-        | Sat.Satgen.Cube cube ->
-          let test = cube_to_test cube in
-          tests := test :: !tests;
-          confirm_and_drop (indices_where (fun o -> o = None)) test;
-          (* the cube's encoding mirrors the simulator's three-valued
-             semantics, so detection is guaranteed *)
-          if outcome.(i) = None then outcome.(i) <- Some Detected;
-          incr sat_detected
-        | Sat.Satgen.Untestable _ ->
-          outcome.(i) <- Some Untestable;
-          incr sat_untestable
-        | Sat.Satgen.Gave_up -> outcome.(i) <- Some Aborted_fault
-      end
-    done
+    sweep ~eligible:remaining ~generate:sat_attempt ~apply:sat_only_apply
   else
-  for i = 0 to n - 1 do
-    if remaining i && elapsed () < cfg.g_total_budget then begin
-      let fault = fault_arr.(i) in
-      let fault_t0 = Sys.time () in
-      let rec attempts frames try_no =
-        if try_no > cfg.g_restarts then Podem.Aborted
-        else if Sys.time () -. fault_t0 > cfg.g_fault_budget then Podem.Aborted
-        else
-          let pcfg =
-            { Podem.frames;
-              backtrack_limit = cfg.g_backtrack_limit;
-              piers = cfg.g_piers;
-              seed = (cfg.g_seed * 31) + try_no }
-          in
-          match Podem.run c pcfg fault with
-          | Podem.Detected t -> Podem.Detected t
-          | Podem.Exhausted -> Podem.Exhausted
-          | Podem.Aborted -> attempts frames (try_no + 1)
-      in
-      let rec deepen frames last =
-        if frames > cfg.g_max_frames then last
-        else if Sys.time () -. fault_t0 > cfg.g_fault_budget then Podem.Aborted
-        else
-          match attempts frames 1 with
-          | Podem.Detected t -> Podem.Detected t
-          | Podem.Exhausted -> deepen (frames + 1) Podem.Exhausted
-          | Podem.Aborted -> deepen (frames + 1) Podem.Aborted
-      in
-      match deepen 1 Podem.Exhausted with
-      | Podem.Detected test ->
-        tests := test :: !tests;
-        (* confirm and drop: simulate against all remaining faults *)
-        confirm_and_drop (indices_where (fun o -> o = None)) test;
-        (* the targeted fault must at least be marked: PODEM guarantees
-           detection under the same X-initial model the simulator uses *)
-        if outcome.(i) = None then outcome.(i) <- Some Detected
-      | Podem.Exhausted -> outcome.(i) <- Some Untestable
-      | Podem.Aborted -> outcome.(i) <- Some Aborted_fault
-    end
-  done;
+    sweep ~eligible:remaining ~generate:podem_generate ~apply:podem_apply;
   (* -------- phase 2b: SAT rescue of aborted faults ---------------- *)
   (* retry every PODEM abort with the complete-search engine: a cube
      closes the fault, and bounded-UNSAT across the whole abort depth
      reclassifies it as proven untestable — the effectiveness credit
      the paper's tables rely on *)
+  let aborted i = outcome.(i) = Some Aborted_fault in
   if cfg.g_engine = Hybrid then
-    for i = 0 to n - 1 do
-      if outcome.(i) = Some Aborted_fault && elapsed () < cfg.g_total_budget
-      then begin
-        match sat_attempt fault_arr.(i) with
-        | Sat.Satgen.Cube cube ->
-          let test = cube_to_test cube in
-          tests := test :: !tests;
-          confirm_and_drop
-            (indices_where (fun o -> o = None || o = Some Aborted_fault))
-            test;
-          if outcome.(i) <> Some Detected then outcome.(i) <- Some Detected;
-          incr sat_detected
-        | Sat.Satgen.Untestable _ ->
-          outcome.(i) <- Some Untestable;
-          incr sat_untestable
-        | Sat.Satgen.Gave_up -> ()
-      end
-    done;
+    sweep ~eligible:aborted ~generate:sat_attempt
+      ~apply:(fun ~use_pool i (verdict, stats, dt) ->
+          account_sat stats dt;
+          match verdict with
+          | Sat.Satgen.Cube cube ->
+            let test = cube_to_test cube in
+            tests := test :: !tests;
+            confirm_and_drop ~use_pool
+              (indices_where (fun o -> o = None || o = Some Aborted_fault))
+              test;
+            if outcome.(i) <> Some Detected then outcome.(i) <- Some Detected;
+            incr sat_detected
+          | Sat.Satgen.Untestable _ ->
+            outcome.(i) <- Some Untestable;
+            incr sat_untestable
+          | Sat.Satgen.Gave_up -> ());
   (* -------- phase 3: simulation-based rescue of aborted faults ---- *)
   if cfg.g_simgen_fallback then begin
     let simgen_cfg =
@@ -246,19 +350,17 @@ let run c cfg faults =
         sg_max_frames = 4 * cfg.g_max_frames;
         sg_seed = cfg.g_seed }
     in
-    for i = 0 to n - 1 do
-      if outcome.(i) = Some Aborted_fault
-         && elapsed () < cfg.g_total_budget
-      then begin
-        match Simgen.run c simgen_cfg fault_arr.(i) with
-        | Some test ->
-          tests := test :: !tests;
-          confirm_and_drop
-            (indices_where (fun o -> o = None || o = Some Aborted_fault))
-            test
-        | None -> ()
-      end
-    done
+    sweep ~eligible:aborted
+      ~generate:(fun i -> Simgen.run c simgen_cfg fault_arr.(i))
+      ~apply:(fun ~use_pool i result ->
+          ignore i;
+          match result with
+          | Some test ->
+            tests := test :: !tests;
+            confirm_and_drop ~use_pool
+              (indices_where (fun o -> o = None || o = Some Aborted_fault))
+              test
+          | None -> ())
   end;
   (* anything skipped by the total budget counts as aborted *)
   Array.iteri
@@ -280,7 +382,8 @@ let run c cfg faults =
     r_effectiveness = coverage (detected + untestable) n;
     r_tests = List.rev !tests;
     r_vectors = Pattern.total_vectors !tests;
-    r_time = elapsed ();
+    r_time = Sys.time () -. t0_cpu;
+    r_wall = elapsed ();
     r_outcomes =
       Array.to_list (Array.mapi (fun i o -> (fault_arr.(i), Option.get o)) outcome);
     r_sat_detected = !sat_detected;

@@ -1,7 +1,13 @@
 (** The test-generation engine: a saturating random phase, deterministic
     PODEM with iterative frame deepening and randomized restarts, and a
     simulation-based fallback for aborted faults — the stand-in for the
-    commercial sequential ATPG tool of the paper. *)
+    commercial sequential ATPG tool of the paper.
+
+    The deterministic phases are fault-parallel: per-fault generation
+    depends only on the circuit, the configuration and the fault, so
+    with [g_deterministic = true] (the default) a parallel run applies
+    results in fault order and reproduces the serial run bit for bit
+    whenever the time budgets do not bind. *)
 
 (** Deterministic-phase engine selection.  [Podem_only] is the
     pre-SAT behaviour; [Sat_only] replaces PODEM with {!Sat.Satgen}
@@ -20,13 +26,21 @@ type config = {
   g_random_sequences : int;  (** random sequences per saturation batch *)
   g_random_batches : int;    (** maximum saturation batches *)
   g_random_length : int;     (** frames per random sequence *)
-  g_fault_budget : float;    (** CPU seconds per fault *)
-  g_total_budget : float;    (** CPU seconds for the whole run *)
+  g_fault_budget : float;    (** wall seconds per fault *)
+  g_total_budget : float;    (** wall seconds for the whole run *)
   g_piers : int list;        (** loadable/storable flip-flop indices *)
   g_simgen_fallback : bool;  (** rescue aborted faults with {!Simgen} *)
   g_engine : engine;
   g_sat_conflicts : int;     (** SAT conflict limit per fault and depth *)
   g_seed : int;
+  g_jobs : int;              (** 1 = serial (default); 0 = width of the
+                                 global {!Engine.Pool}; [n > 1] = that
+                                 many domains *)
+  g_deterministic : bool;    (** [true] (default): candidates generate
+                                 concurrently but apply in fault order —
+                                 identical results at every job count.
+                                 [false]: first-come-first-served fault
+                                 claiming; faster, order-dependent *)
 }
 
 val default_config : config
@@ -42,11 +56,12 @@ type result = {
   r_effectiveness : float;  (** percent detected or proven untestable *)
   r_tests : Pattern.test list;
   r_vectors : int;
-  r_time : float;           (** CPU seconds *)
+  r_time : float;           (** CPU seconds, summed over all domains *)
+  r_wall : float;           (** wall-clock seconds *)
   r_outcomes : (Fault.t * outcome) list;
   r_sat_detected : int;     (** faults only the SAT engine closed *)
   r_sat_untestable : int;   (** aborted faults SAT proved untestable *)
-  r_sat_time : float;       (** CPU seconds inside the SAT engine *)
+  r_sat_time : float;       (** wall seconds inside the SAT engine *)
   r_sat_stats : Sat.Solver.stats;
 }
 

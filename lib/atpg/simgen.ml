@@ -165,12 +165,14 @@ type result = {
   sr_coverage : float;
   sr_tests : Pattern.test list;
   sr_time : float;
+  sr_wall : float;
 }
 
 (** [campaign c cfg faults] runs the generator over a fault list with
     fault dropping through fault simulation. *)
 let campaign c cfg faults =
   let t0 = Sys.time () in
+  let w0 = Engine.Clock.now () in
   let observe = { Fsim.ob_pos = true; ob_pier_ffs = cfg.sg_piers } in
   let n = List.length faults in
   let fault_arr = Array.of_list faults in
@@ -199,4 +201,5 @@ let campaign c cfg faults =
     sr_coverage =
       (if n = 0 then 100.0 else 100.0 *. float_of_int hits /. float_of_int n);
     sr_tests = List.rev !tests;
-    sr_time = Sys.time () -. t0 }
+    sr_time = Sys.time () -. t0;
+    sr_wall = Engine.Clock.now () -. w0 }

@@ -23,7 +23,8 @@ type result = {
   sr_detected : int;
   sr_coverage : float;
   sr_tests : Pattern.test list;
-  sr_time : float;
+  sr_time : float;  (** CPU seconds, summed over all domains *)
+  sr_wall : float;  (** wall-clock seconds *)
 }
 
 (** Run over a fault list with fault dropping. *)

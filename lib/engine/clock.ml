@@ -1,0 +1,5 @@
+(** Time sources for the execution engine: wall clock for budgets and
+    speedups, CPU clock only for the paper's CPU-second table columns. *)
+
+let now = Unix.gettimeofday
+let cpu = Sys.time

@@ -1,0 +1,34 @@
+(** Deterministic sharding and ordered merges over {!Pool}. *)
+
+let ranges ~shards n =
+  if n <= 0 then [||]
+  else begin
+    let s = max 1 (min shards n) in
+    let base = n / s and rem = n mod s in
+    Array.init s (fun i ->
+        let start = (i * base) + min i rem in
+        let len = base + (if i < rem then 1 else 0) in
+        (start, len))
+  end
+
+let map_ranges pool ~shards n f =
+  match ranges ~shards n with
+  | [||] -> [||]
+  | [| (start, len) |] -> [| f start len |]
+  | rs ->
+    let futs =
+      Array.map (fun (start, len) -> Pool.submit pool (fun () -> f start len)) rs
+    in
+    Array.map Pool.await futs
+
+let map_chunks pool ~shards f arr =
+  map_ranges pool ~shards (Array.length arr) (fun start len ->
+      f (Array.sub arr start len))
+
+let map_list pool f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs ->
+    let futs = List.map (fun x -> Pool.submit pool (fun () -> f x)) xs in
+    List.map Pool.await futs

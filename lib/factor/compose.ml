@@ -112,14 +112,24 @@ type cache_entry = {
 
 type session = {
   ss_cache : (string, cache_entry) Hashtbl.t;
+  ss_lock : Mutex.t;
   mutable ss_hits : int;
   mutable ss_misses : int;
 }
 
 (** A session owns the constraint cache; share one session across modules
-    under test to reuse constraints the way the paper describes. *)
+    under test to reuse constraints the way the paper describes.
+
+    Concurrency policy: the MUT-parallel flow fills the cache by running
+    the per-MUT extractions sequentially (so hit/miss counts stay
+    deterministic) and only fans out the downstream ATPG; [ss_lock]
+    additionally serializes {!run_stage} so concurrent readers that do
+    slip in — e.g. a transform flow re-deriving a view — stay safe. *)
 let create_session () =
-  { ss_cache = Hashtbl.create 64; ss_hits = 0; ss_misses = 0 }
+  { ss_cache = Hashtbl.create 64;
+    ss_lock = Mutex.create ();
+    ss_hits = 0;
+    ss_misses = 0 }
 
 let stage_key ~parent ~node =
   parent.H.nd_module ^ "|" ^ H.path_to_string node.H.nd_path
@@ -134,6 +144,7 @@ let merge_stage a b =
 (* One level of extraction: justify/observe [sources]/[props] on [node]'s
    interface without going above [parent]. *)
 let run_stage session env ~parent ~node ~sources ~props =
+  Mutex.protect session.ss_lock @@ fun () ->
   let key = stage_key ~parent ~node in
   let extract sources props =
     let result =

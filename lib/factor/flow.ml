@@ -185,3 +185,22 @@ let transformed_atpg (row : transform_row) cfg =
     ar_faults = universe;
     ar_vectors = r.Atpg.Gen.r_vectors;
     ar_result = r }
+
+(** [transformed_atpg_all ?jobs rows cfg] produces every Table 5/6 row,
+    running the per-MUT generations as concurrent tasks on the global
+    domain pool and merging the rows in input order — bit-identical to
+    mapping {!transformed_atpg} serially because each MUT's generation
+    reads only its own transformed circuit and the shared immutable
+    analysis.  [jobs] defaults to the pool width; [jobs <= 1] runs
+    serially.  Per-row generation is kept serial ([g_jobs = 1]) when the
+    rows themselves fan out, so the pool is not oversubscribed. *)
+let transformed_atpg_all ?jobs rows cfg =
+  let pool = Engine.Pool.global () in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Engine.Pool.size pool
+  in
+  if jobs <= 1 || List.length rows <= 1 then
+    List.map (fun row -> transformed_atpg row cfg) rows
+  else
+    let cfg = { cfg with Atpg.Gen.g_jobs = 1 } in
+    Engine.Shard.map_list pool (fun row -> transformed_atpg row cfg) rows

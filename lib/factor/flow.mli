@@ -79,3 +79,12 @@ val processor_atpg : full:Netlist.t -> mut_spec -> Atpg.Gen.config -> atpg_row
     ports.  Coverage is reported against the stand-alone fault universe;
     constraint-tied faults count toward effectiveness only. *)
 val transformed_atpg : transform_row -> Atpg.Gen.config -> atpg_row
+
+(** [transformed_atpg_all ?jobs rows cfg] maps {!transformed_atpg} over
+    the rows as concurrent tasks on the global domain pool (MUT-parallel
+    Tables 5/6), merging results in input order — bit-identical to the
+    serial map.  [jobs] defaults to the pool width; [jobs <= 1] is the
+    serial map.  Per-row generation is forced serial to avoid
+    oversubscribing the pool. *)
+val transformed_atpg_all :
+  ?jobs:int -> transform_row list -> Atpg.Gen.config -> atpg_row list

@@ -277,9 +277,11 @@ let analysis_builds () = !analysis_build_count
 
 (* Memoized per circuit by physical equality.  The cache is a short MRU
    list: flows work on a handful of circuits at a time, and bounding it
-   lets dead circuits be collected. *)
+   lets dead circuits be collected.  Guarded by a mutex — the parallel
+   engine's fault shards and MUT flows all consult it concurrently. *)
 let analysis_cache : (t * Analysis.info) list ref = ref []
 let analysis_cache_max = 8
+let analysis_mutex = Mutex.create ()
 
 let build_analysis c =
   incr analysis_build_count;
@@ -314,19 +316,23 @@ let build_analysis c =
   { Analysis.order; level; max_level = !max_level; fanout; fanout_off = off }
 
 (** Memoized structural analysis of a circuit: computed once per netlist
-    value, shared by every engine that needs an evaluation order. *)
+    value, shared by every engine that needs an evaluation order.
+    Domain-safe: lookups and inserts are serialized, so concurrent fault
+    shards on the same circuit share one [info]. *)
 let analysis c =
-  match List.find_opt (fun (c', _) -> c' == c) !analysis_cache with
-  | Some (_, info) -> info
-  | None ->
-    let info = build_analysis c in
-    let rec keep k = function
-      | [] -> []
-      | _ when k = 0 -> []
-      | x :: rest -> x :: keep (k - 1) rest
-    in
-    analysis_cache := (c, info) :: keep (analysis_cache_max - 1) !analysis_cache;
-    info
+  Mutex.protect analysis_mutex (fun () ->
+      match List.find_opt (fun (c', _) -> c' == c) !analysis_cache with
+      | Some (_, info) -> info
+      | None ->
+        let info = build_analysis c in
+        let rec keep k = function
+          | [] -> []
+          | _ when k = 0 -> []
+          | x :: rest -> x :: keep (k - 1) rest
+        in
+        analysis_cache :=
+          (c, info) :: keep (analysis_cache_max - 1) !analysis_cache;
+        info)
 
 (* ------------------------------------------------------------------ *)
 (* Stats (gate counts for the paper's tables).                         *)

@@ -230,14 +230,24 @@ let gen_module_with ~sequential : gen_module G.t =
 let gen_module = gen_module_with ~sequential:true
 let gen_comb_module = gen_module_with ~sequential:false
 
-let gen_arbitrary = QCheck.make ~print:(fun gm -> gm.gm_src) gen_module
+(* Counterexamples carry the suite seed so the exact failing run — both
+   the generated module and the stimulus derived from it — can be
+   replayed with FACTOR_SEED=<seed> dune runtest. *)
+let print_counterexample gm =
+  Printf.sprintf "// replay with FACTOR_SEED=%d\n%s" Testutil.fuzz_seed
+    gm.gm_src
+
+let gen_arbitrary = QCheck.make ~print:print_counterexample gen_module
 
 let gen_comb_arbitrary =
-  QCheck.make ~print:(fun gm -> gm.gm_src) gen_comb_module
+  QCheck.make ~print:print_counterexample gen_comb_module
 
-(* Random input frames derived from a stable per-module seed. *)
+(* Random input frames derived from a stable per-module seed, perturbed
+   by the explicit suite seed. *)
 let stimulus gm ~frames =
-  let rng = Random.State.make [| Hashtbl.hash gm.gm_src |] in
+  let rng =
+    Random.State.make [| Hashtbl.hash gm.gm_src; Testutil.fuzz_seed |]
+  in
   List.init frames (fun _ ->
       List.map
         (fun (n, w) -> (n, Random.State.int rng (1 lsl w)))

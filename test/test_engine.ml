@@ -1,0 +1,312 @@
+(** Tests for the parallel execution engine: pool semantics (ordering,
+    nesting, exception propagation, shutdown), deterministic sharding,
+    and the end-to-end guarantee the engine is built around — parallel
+    fault simulation, ATPG and flow runs reproduce the serial results
+    bit for bit. *)
+
+open Testutil
+module Pool = Engine.Pool
+module Shard = Engine.Shard
+
+(* ------------------------------------------------------------------ *)
+(* Pool.                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let pool_many_tasks () =
+  let pool = Pool.create 4 in
+  let results =
+    Pool.run_all pool (List.init 1000 (fun i () -> i * i))
+  in
+  check_bool "1000 task results in submission order" true
+    (results = List.init 1000 (fun i -> i * i));
+  let st = Pool.stats pool in
+  check_bool "telemetry counted every task" true (st.Pool.ps_tasks >= 1000);
+  Pool.shutdown pool
+
+let pool_nested_submission () =
+  let pool = Pool.create 3 in
+  (* every task fans out again into the same pool; helping await must
+     keep the tree moving even with all workers busy *)
+  let rec tree depth =
+    if depth = 0 then 1
+    else
+      let futs = List.init 2 (fun _ -> Pool.submit pool (fun () -> tree (depth - 1))) in
+      List.fold_left (fun acc f -> acc + Pool.await f) 0 futs
+  in
+  check_int "nested fan-out computes 2^6 leaves" 64
+    (Pool.await (Pool.submit pool (fun () -> tree 6)));
+  Pool.shutdown pool
+
+exception Boom of int
+
+let pool_exception_propagation () =
+  let pool = Pool.create 4 in
+  let fut = Pool.submit pool (fun () -> raise (Boom 42)) in
+  (match Pool.await fut with
+   | _ -> Alcotest.fail "await should re-raise the task's exception"
+   | exception Boom 42 -> ());
+  (* the worker that ran the raising task must survive *)
+  let results = Pool.run_all pool (List.init 64 (fun i () -> i + 1)) in
+  check_bool "pool usable after a task raised" true
+    (results = List.init 64 (fun i -> i + 1));
+  Pool.shutdown pool;
+  (match Pool.submit pool (fun () -> ()) with
+   | _ -> Alcotest.fail "submit after shutdown should raise"
+   | exception Invalid_argument _ -> ());
+  (* shutdown is idempotent *)
+  Pool.shutdown pool
+
+let pool_serial_degenerate () =
+  (* a 1-slot pool spawns no domains; awaits run everything inline *)
+  let pool = Pool.create 1 in
+  let results = Pool.run_all pool (List.init 50 (fun i () -> 2 * i)) in
+  check_bool "1-slot pool is the serial semantics" true
+    (results = List.init 50 (fun i -> 2 * i));
+  Pool.shutdown pool
+
+(* ------------------------------------------------------------------ *)
+(* Shard.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let shard_ranges () =
+  for shards = 1 to 9 do
+    for n = 0 to 40 do
+      let rs = Shard.ranges ~shards n in
+      (* contiguous exact cover of 0..n-1 *)
+      let covered = Array.fold_left (fun acc (_, len) -> acc + len) 0 rs in
+      check_int (Printf.sprintf "cover %d/%d" shards n) n covered;
+      Array.iteri
+        (fun i (start, _) ->
+          let expect =
+            if i = 0 then 0
+            else (fun (s, l) -> s + l) rs.(i - 1)
+          in
+          check_int "chunks are contiguous" expect start)
+        rs;
+      (* balance: sizes differ by at most one *)
+      if Array.length rs > 0 then begin
+        let sizes = Array.map snd rs in
+        let mn = Array.fold_left min max_int sizes in
+        let mx = Array.fold_left max 0 sizes in
+        check_bool "balanced within one item" true (mx - mn <= 1)
+      end;
+      (* purity: the partition is a function of (shards, n) alone *)
+      check_bool "stable partition" true (rs = Shard.ranges ~shards n)
+    done
+  done
+
+let shard_map_ordering () =
+  let pool = Pool.create 4 in
+  let xs = List.init 200 (fun i -> i) in
+  check_bool "map_list preserves input order" true
+    (Shard.map_list pool (fun x -> x * 3) xs = List.map (fun x -> x * 3) xs);
+  let arr = Array.init 1000 (fun i -> i) in
+  let chunks = Shard.map_chunks pool ~shards:7 (fun sub -> Array.to_list sub) arr in
+  check_bool "map_chunks concatenates back to the input" true
+    (List.concat (Array.to_list chunks) = Array.to_list arr);
+  Pool.shutdown pool
+
+(* ------------------------------------------------------------------ *)
+(* Clock.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let clock_monotonic () =
+  let a = Engine.Clock.now () in
+  let c0 = Engine.Clock.cpu () in
+  (* burn a little CPU so both clocks must advance *)
+  let acc = ref 0 in
+  for i = 0 to 2_000_000 do acc := !acc + i done;
+  ignore (Sys.opaque_identity !acc);
+  let b = Engine.Clock.now () in
+  check_bool "wall clock advances" true (b >= a);
+  check_bool "cpu clock advances" true (Engine.Clock.cpu () >= c0)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel == serial, end to end.                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A small sequential circuit with enough faults to cross the sharding
+   threshold. *)
+let seq_src =
+  {|module top (input clk, input [7:0] a, b, output [7:0] y, output p);
+      reg [7:0] acc;
+      wire [7:0] mixed;
+      assign mixed = (a ^ b) + (acc & b);
+      always @(posedge clk)
+        if (a[0]) acc <= mixed; else acc <= acc + b;
+      assign y = acc ^ mixed;
+      assign p = ^acc;
+    endmodule|}
+
+let fsim_sharded_matches_serial () =
+  let c = circuit ~top:"top" seq_src in
+  let faults = Atpg.Fault.all c in
+  let rng = Random.State.make [| 11; fuzz_seed |] in
+  let tests =
+    List.init 12 (fun _ ->
+        Atpg.Pattern.random ~rng ~num_pis:(Netlist.num_pis c) ~frames:5
+          ~piers:[])
+  in
+  let observe = Atpg.Fsim.default_observe in
+  Pool.set_jobs 4;
+  let serial = Atpg.Fsim.run c ~observe ~faults tests in
+  List.iter
+    (fun jobs ->
+      check_bool
+        (Printf.sprintf "run_sharded ~jobs:%d = run" jobs)
+        true
+        (Atpg.Fsim.run_sharded ~jobs c ~observe ~faults tests = serial))
+    [ 1; 2; 3; 4 ];
+  (* per-test entry point, all faults active *)
+  let fault_arr = Array.of_list faults in
+  let active = Array.init (Array.length fault_arr) Fun.id in
+  let test = List.hd tests in
+  check_bool "run_test_sharded = run_test" true
+    (Atpg.Fsim.run_test_sharded ~jobs:4 c ~observe ~faults:fault_arr ~active
+       test
+     = Atpg.Fsim.run_test c ~observe ~faults:fault_arr ~active test)
+
+(* Everything in a generation result except timings. *)
+let gen_key (r : Atpg.Gen.result) =
+  (r.Atpg.Gen.r_total, r.Atpg.Gen.r_detected, r.Atpg.Gen.r_untestable,
+   r.Atpg.Gen.r_aborted, r.Atpg.Gen.r_vectors, r.Atpg.Gen.r_tests,
+   r.Atpg.Gen.r_outcomes, r.Atpg.Gen.r_sat_detected,
+   r.Atpg.Gen.r_sat_untestable)
+
+(* Budgets that can never bind: scheduling noise must not be able to
+   push a fault over a budget in one run and not the other. *)
+let det_cfg =
+  { Atpg.Gen.default_config with
+    g_fault_budget = 1e9;
+    g_total_budget = 1e9 }
+
+let gen_parallel_deterministic () =
+  let c = circuit ~top:"top" seq_src in
+  let faults = Atpg.Fault.collapse c (Atpg.Fault.all c) in
+  Pool.set_jobs 4;
+  let serial = Atpg.Gen.run c { det_cfg with Atpg.Gen.g_jobs = 1 } faults in
+  List.iter
+    (fun jobs ->
+      let r = Atpg.Gen.run c { det_cfg with Atpg.Gen.g_jobs = jobs } faults in
+      check_bool (Printf.sprintf "g_jobs = %d reproduces serial" jobs) true
+        (gen_key r = gen_key serial))
+    [ 2; 4 ];
+  (* the SAT engine goes through the same sweep driver *)
+  let sat_serial =
+    Atpg.Gen.run c
+      { det_cfg with Atpg.Gen.g_engine = Atpg.Gen.Sat_only; g_jobs = 1 }
+      faults
+  in
+  let sat_par =
+    Atpg.Gen.run c
+      { det_cfg with Atpg.Gen.g_engine = Atpg.Gen.Sat_only; g_jobs = 4 }
+      faults
+  in
+  check_bool "Sat_only parallel reproduces serial" true
+    (gen_key sat_par = gen_key sat_serial)
+
+let gen_eager_mode_sound () =
+  let c = circuit ~top:"top" seq_src in
+  let faults = Atpg.Fault.collapse c (Atpg.Fault.all c) in
+  Pool.set_jobs 4;
+  let serial = Atpg.Gen.run c { det_cfg with Atpg.Gen.g_jobs = 1 } faults in
+  (* eager mode gives up reproducibility, not correctness: every fault
+     still gets a final outcome and effectiveness must match the serial
+     run on a circuit with no budget pressure *)
+  let eager =
+    Atpg.Gen.run c
+      { det_cfg with Atpg.Gen.g_jobs = 4; g_deterministic = false }
+      faults
+  in
+  check_int "every fault classified" eager.Atpg.Gen.r_total
+    (eager.Atpg.Gen.r_detected + eager.Atpg.Gen.r_untestable
+     + eager.Atpg.Gen.r_aborted);
+  check_bool "eager effectiveness matches serial" true
+    (abs_float
+       (eager.Atpg.Gen.r_effectiveness -. serial.Atpg.Gen.r_effectiveness)
+     < 1e-9)
+
+(* The Table 5/6 shape: extract, transform, then MUT-parallel test
+   generation over the rows — report fields (timings excluded) must be
+   byte-identical at every job count. *)
+let hier_src =
+  {|module leafm (input [3:0] a, b, output [3:0] y);
+      assign y = (a & b) | (a ^ b);
+    endmodule
+    module sidecalc (input [3:0] x, output [3:0] masked);
+      assign masked = x & 4'd7;
+    endmodule
+    module core (input [3:0] p, q, output [3:0] r, s);
+      wire [3:0] m;
+      sidecalc u_side (.x(p), .masked(m));
+      leafm u_mut (.a(m), .b(q), .y(r));
+      leafm u_mut2 (.a(q), .b(p), .y(s));
+    endmodule
+    module top (input [3:0] i1, i2, output [3:0] o1, o2);
+      core u_core (.p(i1), .q(i2), .r(o1), .s(o2));
+    endmodule|}
+
+let flow_rows jobs =
+  let env = Factor.Compose.make_env (parse hier_src) ~top:"top" in
+  let session = Factor.Compose.create_session () in
+  let rows =
+    List.map
+      (fun (name, path) ->
+        let stats = Factor.Compose.compositional session env ~mut_path:path in
+        let tf =
+          Factor.Transform.build env stats.Factor.Compose.cs_slice
+            ~mut_path:path
+        in
+        { Factor.Flow.tr_name = name;
+          tr_standalone_faults =
+            Factor.Flow.standalone_fault_count env
+              { Factor.Flow.ms_name = name; ms_path = path };
+          tr_extraction_time = stats.Factor.Compose.cs_extraction_time;
+          tr_synthesis_time = tf.Factor.Transform.tf_synthesis_time;
+          tr_surrounding_gates = tf.Factor.Transform.tf_surrounding_gates;
+          tr_reduction_pct = 0.0;
+          tr_pi_bits = tf.Factor.Transform.tf_pi_bits;
+          tr_po_bits = tf.Factor.Transform.tf_po_bits;
+          tr_cache_hits = stats.Factor.Compose.cs_cache_hits;
+          tr_stats = stats;
+          tr_transformed = tf })
+      [ ("mut", "u_core.u_mut"); ("mut2", "u_core.u_mut2") ]
+  in
+  Factor.Flow.transformed_atpg_all ~jobs rows det_cfg
+
+(* The timing-free text of a Table 5/6 row. *)
+let row_text (a : Factor.Flow.atpg_row) =
+  Printf.sprintf "%s|%.4f|%.4f|%d|%d" a.Factor.Flow.ar_name
+    a.Factor.Flow.ar_coverage a.Factor.Flow.ar_effectiveness
+    a.Factor.Flow.ar_faults a.Factor.Flow.ar_vectors
+
+let flow_parallel_deterministic () =
+  Pool.set_jobs 4;
+  let serial = String.concat "\n" (List.map row_text (flow_rows 1)) in
+  let parallel = String.concat "\n" (List.map row_text (flow_rows 4)) in
+  check_string "Table 5/6 rows identical at 1 and 4 jobs" serial parallel
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "pool",
+        [
+          test "many small tasks" pool_many_tasks;
+          test "nested submission" pool_nested_submission;
+          test "exception propagation and shutdown" pool_exception_propagation;
+          test "serial degenerate pool" pool_serial_degenerate;
+        ] );
+      ( "shard",
+        [
+          test "ranges partition" shard_ranges;
+          test "ordered maps" shard_map_ordering;
+        ] );
+      ( "clock", [ test "monotonic" clock_monotonic ] );
+      ( "determinism",
+        [
+          test "sharded fsim = serial fsim" fsim_sharded_matches_serial;
+          test "parallel atpg = serial atpg" gen_parallel_deterministic;
+          test "eager mode is sound" gen_eager_mode_sound;
+          test "mut-parallel flow = serial flow" flow_parallel_deterministic;
+        ] );
+    ]

@@ -271,7 +271,7 @@ let ec_detects_difference () =
     Alcotest.failf "expected Equal, got %s" (Sat.Ec.verdict_to_string v)
 
 let qtest name ?(count = 30) arb prop =
-  QCheck_alcotest.to_alcotest
+  QCheck_alcotest.to_alcotest ~rand:(Testutil.qcheck_rand ())
     (QCheck.Test.make ~name ~count arb prop)
 
 let () =

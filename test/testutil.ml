@@ -44,6 +44,23 @@ let check_out msg expected actual =
 
 let test name f = Alcotest.test_case name `Quick f
 
+(** FACTOR_SEED: an explicit seed for every randomized suite, so a
+    failure seen once (e.g. in CI) can be replayed exactly by exporting
+    the printed value.  Unset (or unparsable) keeps the historical
+    fixed streams. *)
+let fuzz_seed =
+  match Sys.getenv_opt "FACTOR_SEED" with
+  | Some s -> Option.value (int_of_string_opt s) ~default:0
+  | None -> 0
+
+let () =
+  if fuzz_seed <> 0 then
+    Printf.printf "randomized suites seeded with FACTOR_SEED=%d\n%!" fuzz_seed
+
+(** Fresh generation state for one qcheck test; every test gets its own
+    state so the suite order cannot perturb replay. *)
+let qcheck_rand () = Random.State.make [| 0x5eed; fuzz_seed |]
+
 let qtest ?(count = 200) name gen prop =
-  QCheck_alcotest.to_alcotest
+  QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ())
     (QCheck.Test.make ~count ~name gen prop)
