@@ -23,6 +23,15 @@ let seed_ref = ref 42
 let env = lazy (Factor.Compose.make_env (Arm.Rtl.design ()) ~top:Arm.Rtl.top)
 let full = lazy (Flow.full_circuit (Lazy.force env))
 
+(* Snapshot of the process-wide metrics registry (pool telemetry
+   included), embedded in the BENCH_*.json artifacts so each benchmark
+   carries its own counters. *)
+let metrics_json () =
+  (match Engine.Pool.global_stats () with
+   | Some _ -> Engine.Pool.publish_metrics (Engine.Pool.global ())
+   | None -> ());
+  Obs.Metrics.dump_string ()
+
 (* ATPG configuration used on stand-alone and transformed modules. *)
 let module_cfg =
   { Atpg.Gen.default_config with
@@ -327,9 +336,9 @@ let ablation_cache () =
   (* constraint cache: shared session vs cold session per module *)
   let e = Lazy.force env in
   let timed f =
-    let t0 = Sys.time () in
+    let t0 = Engine.Clock.now () in
     ignore (f ());
-    Sys.time () -. t0
+    Engine.Clock.now () -. t0
   in
   let shared_session = Factor.Compose.create_session () in
   let rows =
@@ -830,9 +839,9 @@ let bench_fsim () =
   let observe = Atpg.Fsim.default_observe in
   let timed f =
     let e0 = Atpg.Fsim.eval_count () in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Engine.Clock.now () in
     let r = f () in
-    (r, Unix.gettimeofday () -. t0, Atpg.Fsim.eval_count () - e0)
+    (r, Engine.Clock.now () -. t0, Atpg.Fsim.eval_count () - e0)
   in
   let (event_flags, event_wall, event_evals) =
     timed (fun () -> Atpg.Fsim.run c ~observe ~faults tests)
@@ -859,10 +868,11 @@ let bench_fsim () =
     "{\n  \"circuit\": \"arm\",\n  \"faults\": %d,\n  \"tests\": %d,\n  \
      \"wall_s\": %.4f,\n  \"evals\": %d,\n  \"ref_wall_s\": %.4f,\n  \
      \"ref_evals\": %d,\n  \"speedup_wall\": %.2f,\n  \"speedup_evals\": \
-     %.2f\n}\n"
+     %.2f,\n  \"metrics\": %s\n}\n"
     (List.length faults) num_tests event_wall event_evals ref_wall ref_evals
     (ratio ref_wall event_wall)
-    (ratio (float_of_int ref_evals) (float_of_int event_evals));
+    (ratio (float_of_int ref_evals) (float_of_int event_evals))
+    (metrics_json ());
   close_out oc;
   print_endline "wrote BENCH_fsim.json"
 
@@ -925,7 +935,7 @@ let bench_sat () =
         hybrid.Atpg.Gen.r_sat_stats.Sat.Solver.s_restarts
         (if i = List.length rows - 1 then "" else ","))
     rows;
-  output_string oc "  ]\n}\n";
+  Printf.fprintf oc "  ],\n  \"metrics\": %s\n}\n" (metrics_json ());
   close_out oc;
   print_endline "wrote BENCH_sat.json"
 
@@ -977,9 +987,9 @@ let atpg_row_key (a : Flow.atpg_row) =
     r.Atpg.Gen.r_tests, r.Atpg.Gen.r_outcomes))
 
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Engine.Clock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Engine.Clock.now () -. t0)
 
 (* Serial vs parallel on the two workloads the engine accelerates — the
    MUT-parallel Table 6 flow and the fault-sharded simulator on the full
@@ -1084,13 +1094,14 @@ let bench_par () =
   Printf.fprintf oc
     "  \"pool\": {\n    \"tasks\": %d,\n    \"steals\": %d,\n    \
      \"queue_wait_s\": %.4f,\n    \"run_s\": %.4f,\n    \"busy_s\": [%s],\n    \
-     \"utilization\": %.3f\n  }\n}\n"
+     \"utilization\": %.3f\n  },\n  \"metrics\": %s\n}\n"
     st.Engine.Pool.ps_tasks st.Engine.Pool.ps_steals
     st.Engine.Pool.ps_queue_wait st.Engine.Pool.ps_run_time
     (String.concat ", "
        (Array.to_list
           (Array.map (Printf.sprintf "%.4f") st.Engine.Pool.ps_busy)))
-    utilization;
+    utilization
+    (metrics_json ());
   close_out oc;
   print_endline "wrote BENCH_par.json"
 
@@ -1148,6 +1159,7 @@ let bench_par_smoke () =
 
 let () =
   let target = ref "all" in
+  let trace_ref = ref None and metrics_ref = ref None in
   let rec parse = function
     | [] -> ()
     | ("-j" | "--jobs") :: v :: rest ->
@@ -1164,11 +1176,32 @@ let () =
          Printf.eprintf "bad seed %S\n" v;
          exit 1);
       parse rest
+    | "--trace" :: v :: rest ->
+      trace_ref := Some v;
+      parse rest
+    | "--metrics" :: v :: rest ->
+      metrics_ref := Some v;
+      parse rest
     | t :: rest ->
       target := t;
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !trace_ref <> None then Obs.Span.set_enabled true;
+  at_exit (fun () ->
+      (match !trace_ref with
+       | Some f ->
+         Obs.Span.write_chrome_trace f;
+         Printf.eprintf "trace written to %s\n" f
+       | None -> ());
+      match !metrics_ref with
+      | Some f ->
+        let oc = open_out f in
+        output_string oc (metrics_json ());
+        output_char oc '\n';
+        close_out oc;
+        Printf.eprintf "metrics written to %s\n" f
+      | None -> ());
   let target = !target in
   let run = function
     | "table1" -> table1 ()

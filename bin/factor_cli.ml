@@ -52,6 +52,83 @@ let handle_errors f =
     Printf.eprintf "error: %s\n" msg;
     exit 1
 
+(* ----------------------- observability flags ---------------------- *)
+
+(* Shared by every subcommand: tracing, profiling, metrics and
+   verbosity.  The term evaluates before the subcommand body runs, so
+   the enables are in place for the whole command; artifacts are
+   written from a single [at_exit] hook. *)
+let obs_setup trace profile metrics log_file quiet verbose =
+  if quiet then Obs.Log.set_verbosity Obs.Log.Quiet
+  else if verbose then Obs.Log.set_verbosity Obs.Log.Verbose;
+  (* -v implies structured info logging unless FACTOR_LOG already set *)
+  if verbose && Obs.Log.level () = None then
+    Obs.Log.set_level (Some Obs.Log.Info);
+  (match log_file with
+   | Some f ->
+     Obs.Log.set_file (Some f);
+     if Obs.Log.level () = None then Obs.Log.set_level (Some Obs.Log.Info)
+   | None -> ());
+  if trace <> None || profile then Obs.Span.set_enabled true;
+  at_exit (fun () ->
+      (match Engine.Pool.global_stats () with
+       | Some _ -> Engine.Pool.publish_metrics (Engine.Pool.global ())
+       | None -> ());
+      (match trace with
+       | Some f ->
+         Obs.Span.write_chrome_trace f;
+         Obs.Log.progressf "trace written to %s" f
+       | None -> ());
+      (match metrics with
+       | Some f ->
+         let oc = open_out f in
+         output_string oc (Obs.Metrics.dump_string ());
+         output_char oc '\n';
+         close_out oc;
+         Obs.Log.progressf "metrics written to %s" f
+       | None -> ());
+      if profile then begin
+        print_string (Obs.Span.profile_to_string ());
+        match Engine.Pool.global_stats () with
+        | Some s -> print_string (Engine.Pool.stats_to_string s)
+        | None -> ()
+      end;
+      Obs.Log.close ())
+
+let obs_term =
+  let trace =
+    let doc = "Write a Chrome trace-event JSON of the run to $(docv)." in
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let profile =
+    let doc = "Print a per-phase profile (count, total, self time) on exit." in
+    Arg.(value & flag & info [ "profile" ] ~doc)
+  in
+  let metrics =
+    let doc = "Write the metrics registry as JSON to $(docv) on exit." in
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let log_file =
+    let doc =
+      "Append structured JSONL log events to $(docv) (implies log level \
+       'info' unless $(b,FACTOR_LOG) says otherwise)."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "log-file" ] ~docv:"FILE" ~doc)
+  in
+  let quiet =
+    let doc = "Suppress console progress output." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  let verbose =
+    let doc = "Verbose console output (implies log level 'info')." in
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+  in
+  Term.(const obs_setup $ trace $ profile $ metrics $ log_file $ quiet
+        $ verbose)
+
 (* ---------------------------- arguments --------------------------- *)
 
 let design_arg =
@@ -109,8 +186,9 @@ let resolve_top design path top =
 (* ----------------------------- parse ------------------------------ *)
 
 let parse_cmd =
-  let run path top =
+  let run () path top =
     handle_errors (fun () ->
+        Obs.Span.with_ "cli.parse" @@ fun () ->
         let design = read_design path in
         let top = resolve_top design path top in
         let env = Factor.Compose.make_env design ~top in
@@ -130,23 +208,25 @@ let parse_cmd =
         in
         show tree;
         List.iter
-          (fun f -> Printf.printf "lint: %s\n" (Design.Lint.to_string f))
+          (fun f -> Obs.Log.warnf "lint: %s" (Design.Lint.to_string f))
           (Design.Lint.check env.Factor.Compose.ed))
   in
   let doc = "Parse and elaborate a design; print the instance hierarchy." in
-  Cmd.v (Cmd.info "parse" ~doc) Term.(const run $ design_arg $ top_arg)
+  Cmd.v (Cmd.info "parse" ~doc)
+    Term.(const run $ obs_term $ design_arg $ top_arg)
 
 (* ----------------------------- synth ------------------------------ *)
 
 let synth_cmd =
-  let run path top =
+  let run () path top =
     handle_errors (fun () ->
+        Obs.Span.with_ "cli.synth" @@ fun () ->
         let design = read_design path in
         let top = resolve_top design path top in
         let ed = Design.Elaborate.elaborate design ~top in
         let flat = Synth.Flatten.flatten ed top in
         let r = Synth.Lower.lower flat in
-        List.iter (fun w -> Printf.printf "warning: %s\n" w) r.Synth.Lower.warnings;
+        List.iter (fun w -> Obs.Log.warnf "%s" w) r.Synth.Lower.warnings;
         let st = Netlist.stats r.Synth.Lower.circuit in
         Printf.printf
           "synthesized %s: %d PIs, %d POs, %d flip-flops, %d gate equivalents\n"
@@ -154,13 +234,15 @@ let synth_cmd =
           (Netlist.gate_equivalents st))
   in
   let doc = "Synthesize a design to gates and print statistics." in
-  Cmd.v (Cmd.info "synth" ~doc) Term.(const run $ design_arg $ top_arg)
+  Cmd.v (Cmd.info "synth" ~doc)
+    Term.(const run $ obs_term $ design_arg $ top_arg)
 
 (* ---------------------------- extract ----------------------------- *)
 
 let extract_cmd =
-  let run path top mut mode output =
+  let run () path top mut mode output =
     handle_errors (fun () ->
+        Obs.Span.with_ "cli.extract" @@ fun () ->
         let design = read_design path in
         let top = resolve_top design path top in
         let env = Factor.Compose.make_env design ~top in
@@ -179,7 +261,7 @@ let extract_cmd =
           stats.Factor.Compose.cs_stages;
         List.iter
           (fun d ->
-            Printf.printf "warning: %s\n" (Factor.Extract.dead_end_to_string d))
+            Obs.Log.warnf "%s" (Factor.Extract.dead_end_to_string d))
           stats.Factor.Compose.cs_dead_ends;
         let tf =
           Factor.Transform.build env stats.Factor.Compose.cs_slice ~mut_path:mut
@@ -196,11 +278,12 @@ let extract_cmd =
           output_string oc
             (Verilog.Pp.design_to_string tf.Factor.Transform.tf_design);
           close_out oc;
-          Printf.printf "constraints written to %s\n" file)
+          Obs.Log.progressf "constraints written to %s" file)
   in
   let doc = "Extract the functional constraints around a module under test." in
   Cmd.v (Cmd.info "extract" ~doc)
-    Term.(const run $ design_arg $ top_arg $ mut_arg $ mode_arg $ output_arg)
+    Term.(const run $ obs_term $ design_arg $ top_arg $ mut_arg $ mode_arg
+          $ output_arg)
 
 (* ------------------------------ atpg ------------------------------ *)
 
@@ -237,8 +320,9 @@ let atpg_cmd =
            Atpg.Gen.Hybrid
          & info [ "engine" ] ~docv:"ENGINE" ~doc)
   in
-  let run path top mut budget frames use_piers engine jobs output =
+  let run () path top mut budget frames use_piers engine jobs output =
     handle_errors (fun () ->
+        Obs.Span.with_ "cli.atpg" @@ fun () ->
         let jobs = apply_jobs jobs in
         let design = read_design path in
         let top = resolve_top design path top in
@@ -246,8 +330,11 @@ let atpg_cmd =
         let flat = Synth.Flatten.flatten ed top in
         let c = (Synth.Lower.lower flat).Synth.Lower.circuit in
         let faults =
-          Atpg.Fault.collapse c (Atpg.Fault.all ?within:mut c)
+          Obs.Span.with_ "faults" (fun () ->
+              Atpg.Fault.collapse c (Atpg.Fault.all ?within:mut c))
         in
+        Obs.Log.verbosef "atpg: %d collapsed faults, %d jobs"
+          (List.length faults) jobs;
         let piers = if use_piers then Factor.Pier.identify c else [] in
         let cfg =
           { Atpg.Gen.default_config with
@@ -277,12 +364,12 @@ let atpg_cmd =
         | Some file ->
           Atpg.Pattern.write_file ~pi_names:c.Netlist.pi_names file
             r.Atpg.Gen.r_tests;
-          Printf.printf "vectors written to %s\n" file)
+          Obs.Log.progressf "vectors written to %s" file)
   in
   let doc = "Run sequential test generation on a design." in
   Cmd.v (Cmd.info "atpg" ~doc)
-    Term.(const run $ design_arg $ top_arg $ mut_opt $ budget $ frames
-          $ piers_flag $ engine_arg $ jobs_arg $ out_vectors)
+    Term.(const run $ obs_term $ design_arg $ top_arg $ mut_opt $ budget
+          $ frames $ piers_flag $ engine_arg $ jobs_arg $ out_vectors)
 
 (* ------------------------------ sat ------------------------------- *)
 
@@ -299,8 +386,9 @@ let sat_cmd =
     let doc = "Conflict limit per fault and unrolling depth." in
     Arg.(value & opt int 20_000 & info [ "conflicts" ] ~doc)
   in
-  let run path top mut frames conflicts =
+  let run () path top mut frames conflicts =
     handle_errors (fun () ->
+        Obs.Span.with_ "cli.sat" @@ fun () ->
         let design = read_design path in
         let top = resolve_top design path top in
         let ed = Design.Elaborate.elaborate design ~top in
@@ -308,7 +396,7 @@ let sat_cmd =
           (Synth.Lower.lower (Synth.Flatten.flatten ed top)).Synth.Lower.circuit
         in
         let faults = Atpg.Fault.collapse c (Atpg.Fault.all ?within:mut c) in
-        let t0 = Sys.time () in
+        let t0 = Engine.Clock.now () in
         let stats = ref Sat.Solver.zero_stats in
         let cubes = ref 0 and untestable = ref 0 and gave_up = ref 0 in
         List.iter
@@ -325,7 +413,8 @@ let sat_cmd =
           faults;
         Printf.printf
           "faults %d | cubes %d | proven untestable %d | gave up %d | %.2f s\n"
-          (List.length faults) !cubes !untestable !gave_up (Sys.time () -. t0);
+          (List.length faults) !cubes !untestable !gave_up
+          (Engine.Clock.now () -. t0);
         Printf.printf "%s\n" (Sat.Solver.stats_to_string !stats))
   in
   let doc =
@@ -333,13 +422,15 @@ let sat_cmd =
      statistics."
   in
   Cmd.v (Cmd.info "sat" ~doc)
-    Term.(const run $ design_arg $ top_arg $ mut_opt $ frames $ conflicts)
+    Term.(const run $ obs_term $ design_arg $ top_arg $ mut_opt $ frames
+          $ conflicts)
 
 (* ----------------------------- analyze ---------------------------- *)
 
 let analyze_cmd =
-  let run path top mut =
+  let run () path top mut =
     handle_errors (fun () ->
+        Obs.Span.with_ "cli.analyze" @@ fun () ->
         let design = read_design path in
         let top = resolve_top design path top in
         let env = Factor.Compose.make_env design ~top in
@@ -374,7 +465,7 @@ let analyze_cmd =
   in
   let doc = "Report testability problems around a module under test." in
   Cmd.v (Cmd.info "analyze" ~doc)
-    Term.(const run $ design_arg $ top_arg $ mut_arg)
+    Term.(const run $ obs_term $ design_arg $ top_arg $ mut_arg)
 
 (* ----------------------------- grade ------------------------------ *)
 
@@ -391,8 +482,9 @@ let grade_cmd =
     let doc = "Treat load/store-reachable registers as observable." in
     Arg.(value & flag & info [ "piers" ] ~doc)
   in
-  let run path vec_file top mut use_piers jobs =
+  let run () path vec_file top mut use_piers jobs =
     handle_errors (fun () ->
+        Obs.Span.with_ "cli.grade" @@ fun () ->
         let jobs = apply_jobs jobs in
         let design = read_design path in
         let top = resolve_top design path top in
@@ -425,14 +517,15 @@ let grade_cmd =
   in
   let doc = "Fault-simulate a vector file against a design (grade tests)." in
   Cmd.v (Cmd.info "grade" ~doc)
-    Term.(const run $ design_arg $ vec_arg $ top_arg $ mut_opt $ piers_flag
-          $ jobs_arg)
+    Term.(const run $ obs_term $ design_arg $ vec_arg $ top_arg $ mut_opt
+          $ piers_flag $ jobs_arg)
 
 (* ------------------------------ demo ------------------------------ *)
 
 let demo_cmd =
-  let run jobs =
+  let run () jobs =
     handle_errors (fun () ->
+        Obs.Span.with_ "cli.demo" @@ fun () ->
         let jobs = apply_jobs jobs in
         let env = Factor.Compose.make_env (Arm.Rtl.design ()) ~top:Arm.Rtl.top in
         let session = Factor.Compose.create_session () in
@@ -441,6 +534,7 @@ let demo_cmd =
         let rows =
           List.map
             (fun spec ->
+              Obs.Log.verbosef "demo: extracting %s" spec.Factor.Flow.ms_name;
               let stats =
                 Factor.Compose.compositional session env
                   ~mut_path:spec.Factor.Flow.ms_path
@@ -476,7 +570,7 @@ let demo_cmd =
           rows atpg_rows)
   in
   let doc = "FACTOR-ise the bundled ARM benchmark end to end." in
-  Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ jobs_arg)
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ obs_term $ jobs_arg)
 
 let () =
   let doc = "hierarchical functional test generation and testability analysis" in

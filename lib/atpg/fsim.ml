@@ -29,12 +29,15 @@ type observe = {
 let default_observe = { ob_pos = true; ob_pier_ffs = [] }
 
 (* Net evaluations performed by either engine since program start; the
-   microbenchmark reports deltas of this.  Atomic so parallel fault
-   shards can account without tearing; hot loops accumulate locally and
-   flush once per batch. *)
-let eval_counter = Atomic.make 0
-let eval_count () = Atomic.get eval_counter
-let add_evals k = ignore (Atomic.fetch_and_add eval_counter k)
+   microbenchmark reports deltas of this.  Backed by the process-wide
+   metrics registry so a metrics dump sees it too; hot loops accumulate
+   locally and flush once per batch. *)
+let eval_counter = Obs.Metrics.counter "factor.fsim.evals"
+let eval_count () = Obs.Metrics.value eval_counter
+let add_evals k = Obs.Metrics.add eval_counter k
+
+let good_sims_counter = Obs.Metrics.counter "factor.fsim.good_sims"
+let batches_counter = Obs.Metrics.counter "factor.fsim.batches"
 
 (* Columns (other than 0) whose value provably differs from column 0. *)
 let detected_mask (v : L.t) : int64 =
@@ -182,6 +185,7 @@ let make_engine c =
 (* Simulate the fault-free circuit over the whole test, recording every
    net value and the state at the start of each frame. *)
 let good_sim eng (test : Pattern.test) =
+  Obs.Metrics.incr good_sims_counter;
   let c = eng.c in
   let n = N.num_nets c in
   let nff = N.num_ffs c in
@@ -228,6 +232,7 @@ let good_sim eng (test : Pattern.test) =
 (* Simulate one batch of at most 63 faults against the cached good
    values; returns the detection bitmask (bit k+1 = batch.(k)). *)
 let simulate_batch eng good ~observe (batch : Fault.t array) test =
+  Obs.Metrics.incr batches_counter;
   let c = eng.c in
   let info = eng.info in
   let nb = Array.length batch in

@@ -77,8 +77,18 @@ type result = {
 let coverage detected total =
   if total = 0 then 100.0 else 100.0 *. float_of_int detected /. float_of_int total
 
+let m_faults = Obs.Metrics.counter "factor.atpg.faults"
+let m_detected = Obs.Metrics.counter "factor.atpg.detected"
+let m_untestable = Obs.Metrics.counter "factor.atpg.untestable"
+let m_aborted = Obs.Metrics.counter "factor.atpg.aborted"
+let m_sat_rescued = Obs.Metrics.counter "factor.atpg.sat_rescued"
+let m_fault_time = Obs.Metrics.histogram "factor.atpg.fault_time_s"
+
 (** [run c cfg faults] generates tests targeting [faults] on circuit [c]. *)
 let run c cfg faults =
+  Obs.Span.with_ "atpg.run"
+    ~attrs:[ ("faults", Obs.Json.Int (List.length faults)) ]
+  @@ fun () ->
   let t0_cpu = Sys.time () in
   let t0 = Engine.Clock.now () in
   let elapsed () = Engine.Clock.now () -. t0 in
@@ -202,34 +212,38 @@ let run c cfg faults =
       List.iter Engine.Pool.await futs
   in
   (* -------- phase 1: random sequences until saturation ------------ *)
+  Obs.Log.event Obs.Log.Info "atpg.phase"
+    [ ("phase", Obs.Json.String "random"); ("faults", Obs.Json.Int n) ];
   let batch = ref 0 in
   let saturated = ref false in
-  while (not !saturated)
-        && !batch < cfg.g_random_batches
-        && elapsed () < cfg.g_total_budget
-        && Array.exists (fun o -> o = None) outcome do
-    incr batch;
-    let random_tests =
-      List.init cfg.g_random_sequences (fun _ ->
-          Pattern.random ~rng ~num_pis:(N.num_pis c)
-            ~frames:cfg.g_random_length ~piers:cfg.g_piers)
-    in
-    let before =
-      Array.fold_left
-        (fun acc o -> if o = Some Detected then acc + 1 else acc)
-        0 outcome
-    in
-    List.iter
-      (fun test -> confirm_and_drop (indices_where (fun o -> o = None)) test)
-      random_tests;
-    let after =
-      Array.fold_left
-        (fun acc o -> if o = Some Detected then acc + 1 else acc)
-        0 outcome
-    in
-    if after > before then tests := random_tests @ !tests
-    else saturated := true
-  done;
+  Obs.Span.with_ "atpg.random" (fun () ->
+      while (not !saturated)
+            && !batch < cfg.g_random_batches
+            && elapsed () < cfg.g_total_budget
+            && Array.exists (fun o -> o = None) outcome do
+        incr batch;
+        let random_tests =
+          List.init cfg.g_random_sequences (fun _ ->
+              Pattern.random ~rng ~num_pis:(N.num_pis c)
+                ~frames:cfg.g_random_length ~piers:cfg.g_piers)
+        in
+        let before =
+          Array.fold_left
+            (fun acc o -> if o = Some Detected then acc + 1 else acc)
+            0 outcome
+        in
+        List.iter
+          (fun test ->
+            confirm_and_drop (indices_where (fun o -> o = None)) test)
+          random_tests;
+        let after =
+          Array.fold_left
+            (fun acc o -> if o = Some Detected then acc + 1 else acc)
+            0 outcome
+        in
+        if after > before then tests := random_tests @ !tests
+        else saturated := true
+      done);
   (* -------- phase 2: deterministic, iterative deepening ---------- *)
   let sat_detected = ref 0 and sat_untestable = ref 0 in
   let sat_time = ref 0.0 in
@@ -248,13 +262,18 @@ let run c cfg faults =
         ~conflict_limit:cfg.g_sat_conflicts ~piers:cfg.g_piers
         ~net:fault.Fault.f_net ~stuck:fault.Fault.f_stuck
     in
-    (verdict, stats, Engine.Clock.now () -. a0)
+    let dt = Engine.Clock.now () -. a0 in
+    Obs.Metrics.observe m_fault_time dt;
+    (verdict, stats, dt)
   in
   let account_sat stats dt =
     sat_time := !sat_time +. dt;
     sat_stats := Sat.Solver.add_stats !sat_stats stats
   in
   let podem_generate i =
+    Obs.Span.with_ "atpg.fault"
+      ~attrs:[ ("fault", Obs.Json.Int i) ]
+    @@ fun () ->
     let fault = fault_arr.(i) in
     let fault_t0 = Engine.Clock.now () in
     let over_budget () = Engine.Clock.now () -. fault_t0 > cfg.g_fault_budget in
@@ -282,7 +301,9 @@ let run c cfg faults =
         | Podem.Exhausted -> deepen (frames + 1) Podem.Exhausted
         | Podem.Aborted -> deepen (frames + 1) Podem.Aborted
     in
-    deepen 1 Podem.Exhausted
+    let r = deepen 1 Podem.Exhausted in
+    Obs.Metrics.observe m_fault_time (Engine.Clock.now () -. fault_t0);
+    r
   in
   let podem_apply ~use_pool i = function
     | Podem.Detected test ->
@@ -312,35 +333,58 @@ let run c cfg faults =
     | Sat.Satgen.Gave_up -> outcome.(i) <- Some Aborted_fault
   in
   let remaining i = outcome.(i) = None in
-  if cfg.g_engine = Sat_only then
-    (* the SAT engine replaces PODEM outright: miter per fault, depths
-       1..max_frames, cubes confirmed (and dropped) through Fsim *)
-    sweep ~eligible:remaining ~generate:sat_attempt ~apply:sat_only_apply
-  else
-    sweep ~eligible:remaining ~generate:podem_generate ~apply:podem_apply;
+  Obs.Log.event Obs.Log.Info "atpg.phase"
+    [ ("phase", Obs.Json.String "deterministic");
+      ("remaining",
+       Obs.Json.Int (Array.length (indices_where (fun o -> o = None)))) ];
+  Obs.Span.with_ "atpg.deterministic" (fun () ->
+      if cfg.g_engine = Sat_only then
+        (* the SAT engine replaces PODEM outright: miter per fault, depths
+           1..max_frames, cubes confirmed (and dropped) through Fsim *)
+        sweep ~eligible:remaining ~generate:sat_attempt ~apply:sat_only_apply
+      else
+        sweep ~eligible:remaining ~generate:podem_generate
+          ~apply:podem_apply);
   (* -------- phase 2b: SAT rescue of aborted faults ---------------- *)
   (* retry every PODEM abort with the complete-search engine: a cube
      closes the fault, and bounded-UNSAT across the whole abort depth
      reclassifies it as proven untestable — the effectiveness credit
      the paper's tables rely on *)
   let aborted i = outcome.(i) = Some Aborted_fault in
-  if cfg.g_engine = Hybrid then
-    sweep ~eligible:aborted ~generate:sat_attempt
-      ~apply:(fun ~use_pool i (verdict, stats, dt) ->
-          account_sat stats dt;
-          match verdict with
-          | Sat.Satgen.Cube cube ->
-            let test = cube_to_test cube in
-            tests := test :: !tests;
-            confirm_and_drop ~use_pool
-              (indices_where (fun o -> o = None || o = Some Aborted_fault))
-              test;
-            if outcome.(i) <> Some Detected then outcome.(i) <- Some Detected;
-            incr sat_detected
-          | Sat.Satgen.Untestable _ ->
-            outcome.(i) <- Some Untestable;
-            incr sat_untestable
-          | Sat.Satgen.Gave_up -> ());
+  if cfg.g_engine = Hybrid then begin
+    Obs.Log.event Obs.Log.Info "atpg.phase"
+      [ ("phase", Obs.Json.String "sat_rescue");
+        ("aborted",
+         Obs.Json.Int
+           (Array.length (indices_where (fun o -> o = Some Aborted_fault)))) ];
+    Obs.Span.with_ "atpg.sat_rescue" (fun () ->
+        sweep ~eligible:aborted ~generate:sat_attempt
+          ~apply:(fun ~use_pool i (verdict, stats, dt) ->
+              account_sat stats dt;
+              match verdict with
+              | Sat.Satgen.Cube cube ->
+                let test = cube_to_test cube in
+                tests := test :: !tests;
+                confirm_and_drop ~use_pool
+                  (indices_where
+                     (fun o -> o = None || o = Some Aborted_fault))
+                  test;
+                if outcome.(i) <> Some Detected then
+                  outcome.(i) <- Some Detected;
+                incr sat_detected;
+                Obs.Metrics.incr m_sat_rescued;
+                if Obs.Log.enabled Obs.Log.Debug then
+                  Obs.Log.event Obs.Log.Debug "atpg.sat_rescue.cube"
+                    [ ("net", Obs.Json.Int fault_arr.(i).Fault.f_net) ]
+              | Sat.Satgen.Untestable _ ->
+                outcome.(i) <- Some Untestable;
+                incr sat_untestable;
+                Obs.Metrics.incr m_sat_rescued;
+                if Obs.Log.enabled Obs.Log.Debug then
+                  Obs.Log.event Obs.Log.Debug "atpg.sat_rescue.untestable"
+                    [ ("net", Obs.Json.Int fault_arr.(i).Fault.f_net) ]
+              | Sat.Satgen.Gave_up -> ()))
+  end;
   (* -------- phase 3: simulation-based rescue of aborted faults ---- *)
   if cfg.g_simgen_fallback then begin
     let simgen_cfg =
@@ -350,17 +394,19 @@ let run c cfg faults =
         sg_max_frames = 4 * cfg.g_max_frames;
         sg_seed = cfg.g_seed }
     in
-    sweep ~eligible:aborted
-      ~generate:(fun i -> Simgen.run c simgen_cfg fault_arr.(i))
-      ~apply:(fun ~use_pool i result ->
-          ignore i;
-          match result with
-          | Some test ->
-            tests := test :: !tests;
-            confirm_and_drop ~use_pool
-              (indices_where (fun o -> o = None || o = Some Aborted_fault))
-              test
-          | None -> ())
+    Obs.Span.with_ "atpg.simgen" (fun () ->
+        sweep ~eligible:aborted
+          ~generate:(fun i -> Simgen.run c simgen_cfg fault_arr.(i))
+          ~apply:(fun ~use_pool i result ->
+              ignore i;
+              match result with
+              | Some test ->
+                tests := test :: !tests;
+                confirm_and_drop ~use_pool
+                  (indices_where
+                     (fun o -> o = None || o = Some Aborted_fault))
+                  test
+              | None -> ()))
   end;
   (* anything skipped by the total budget counts as aborted *)
   Array.iteri
@@ -374,6 +420,16 @@ let run c cfg faults =
   let detected = count Detected in
   let untestable = count Untestable in
   let aborted = count Aborted_fault in
+  Obs.Metrics.add m_faults n;
+  Obs.Metrics.add m_detected detected;
+  Obs.Metrics.add m_untestable untestable;
+  Obs.Metrics.add m_aborted aborted;
+  Obs.Log.event Obs.Log.Info "atpg.done"
+    [ ("faults", Obs.Json.Int n);
+      ("detected", Obs.Json.Int detected);
+      ("untestable", Obs.Json.Int untestable);
+      ("aborted", Obs.Json.Int aborted);
+      ("wall_s", Obs.Json.Float (elapsed ())) ];
   { r_total = n;
     r_detected = detected;
     r_untestable = untestable;

@@ -484,8 +484,16 @@ let make_model c cfg fault =
     rng = Random.State.make [| cfg.seed; fault.Fault.f_net |];
     backtracks = 0 }
 
+let m_runs = Obs.Metrics.counter "factor.podem.runs"
+let m_backtracks = Obs.Metrics.counter "factor.podem.backtracks"
+let m_decisions = Obs.Metrics.counter "factor.podem.decisions"
+let m_detected = Obs.Metrics.counter "factor.podem.detected"
+let m_exhausted = Obs.Metrics.counter "factor.podem.exhausted"
+let m_aborted = Obs.Metrics.counter "factor.podem.aborted"
+
 (** [run c cfg fault] attempts to generate a test for [fault]. *)
 let run c cfg fault =
+  let decisions = ref 0 in
   let m = make_model c cfg fault in
   let stack = ref [] in
   simulate m;
@@ -505,6 +513,7 @@ let run c cfg fault =
            dbg "  assign %s := %s (stack %d)" (show_input input) (show_v v)
              (List.length !stack);
            let k = Hashtbl.find m.input_index input in
+           incr decisions;
            m.assignment.(k) <- v;
            stack := { d_input = k; d_flipped = false } :: !stack;
            simulate m;
@@ -533,4 +542,18 @@ let run c cfg fault =
       in
       pop ()
   in
-  step ()
+  let outcome = step () in
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.add m_backtracks m.backtracks;
+  Obs.Metrics.add m_decisions !decisions;
+  (match outcome with
+   | Detected _ -> Obs.Metrics.incr m_detected
+   | Exhausted -> Obs.Metrics.incr m_exhausted
+   | Aborted ->
+     Obs.Metrics.incr m_aborted;
+     if Obs.Log.enabled Obs.Log.Debug then
+       Obs.Log.event Obs.Log.Debug "podem.abort"
+         [ ("net", Obs.Json.Int fault.Fault.f_net);
+           ("stuck", Obs.Json.Bool fault.Fault.f_stuck);
+           ("backtracks", Obs.Json.Int m.backtracks) ]);
+  outcome

@@ -388,6 +388,8 @@ and elab_instance ctx env inst =
     @raise Error on undefined modules, non-constant parameter expressions,
     unsupported constructs, or connection arity mismatches. *)
 let elaborate design ~top =
+  Obs.Span.with_ "elaborate" ~attrs:[ ("top", Obs.Json.String top) ]
+  @@ fun () ->
   let ctx = { source = design; done_ = Smap.empty } in
   let top_module = elab_module ctx top [] in
   { ed_modules = ctx.done_; ed_top = top_module.em_name }

@@ -261,6 +261,48 @@ let stats pool =
   Mutex.unlock pool.mutex;
   s
 
+let stats_to_string s =
+  let buf = Buffer.create 256 in
+  let util =
+    if s.ps_wall > 0.0 then
+      s.ps_run_time /. (s.ps_wall *. float_of_int s.ps_jobs)
+    else 0.0
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "pool: %d slots, %d tasks (%d stolen), run %.3fs, queue-wait \
+        %.3fs, wall %.3fs, utilization %.0f%%\n"
+       s.ps_jobs s.ps_tasks s.ps_steals s.ps_run_time s.ps_queue_wait
+       s.ps_wall (100.0 *. util));
+  Array.iteri
+    (fun i busy ->
+      Buffer.add_string buf
+        (Printf.sprintf "  slot %d%s: busy %.3fs\n" i
+           (if i = 0 then " (callers)" else "")
+           busy))
+    s.ps_busy;
+  Buffer.contents buf
+
+(* Counters are monotonic, so publishing a snapshot adds the delta
+   against the currently registered value. *)
+let publish_metrics pool =
+  let s = stats pool in
+  let catch_up c v = Obs.Metrics.add c (v - Obs.Metrics.value c) in
+  catch_up (Obs.Metrics.counter "factor.pool.tasks") s.ps_tasks;
+  catch_up (Obs.Metrics.counter "factor.pool.steals") s.ps_steals;
+  Obs.Metrics.set (Obs.Metrics.gauge "factor.pool.jobs")
+    (float_of_int s.ps_jobs);
+  Obs.Metrics.set (Obs.Metrics.gauge "factor.pool.queue_wait_s")
+    s.ps_queue_wait;
+  Obs.Metrics.set (Obs.Metrics.gauge "factor.pool.run_time_s")
+    s.ps_run_time;
+  Obs.Metrics.set (Obs.Metrics.gauge "factor.pool.wall_s") s.ps_wall;
+  Obs.Metrics.set
+    (Obs.Metrics.gauge "factor.pool.utilization")
+    (if s.ps_wall > 0.0 then
+       s.ps_run_time /. (s.ps_wall *. float_of_int s.ps_jobs)
+     else 0.0)
+
 (* ------------------------------------------------------------------ *)
 (* The process-wide pool.                                              *)
 (* ------------------------------------------------------------------ *)
@@ -288,6 +330,12 @@ let global () =
   in
   Mutex.unlock global_lock;
   pool
+
+let global_stats () =
+  Mutex.lock global_lock;
+  let s = Option.map stats !global_pool in
+  Mutex.unlock global_lock;
+  s
 
 let set_jobs n =
   if n < 1 then invalid_arg "Engine.Pool.set_jobs: jobs < 1";

@@ -62,6 +62,15 @@ type stats = {
 
 val stats : t -> stats
 
+(** Human-readable rendering of a stats snapshot: one summary line plus
+    one busy line per slot.  Used by [--profile]. *)
+val stats_to_string : stats -> string
+
+(** Push a stats snapshot into {!Obs.Metrics} under [factor.pool.*]
+    ([jobs], [tasks], [steals], [queue_wait_s], [run_time_s], [wall_s],
+    [utilization]) so a metrics dump includes pool telemetry. *)
+val publish_metrics : t -> unit
+
 (** {1 The process-wide pool}
 
     Engines at several layers (fault simulation, ATPG, MUT-parallel
@@ -74,6 +83,11 @@ val default_jobs : unit -> int
 
 (** The shared pool, created on first use with {!default_jobs} slots. *)
 val global : unit -> t
+
+(** Stats of the shared pool if one was ever created — unlike
+    [stats (global ())] this never spawns a pool, so exit-time profile
+    hooks can call it unconditionally. *)
+val global_stats : unit -> stats option
 
 (** Resize the shared pool (shutting down the previous one); the [-j N]
     entry point of the CLI and bench runner.  No-op if already [n]. *)

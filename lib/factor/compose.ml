@@ -61,6 +61,9 @@ let full_mut node slice =
     the "surrounding logic may prove to be too complex" limitation the
     paper's compositional flow removes. *)
 let conventional env ~mut_path =
+  Obs.Span.with_ "extract.conventional"
+    ~attrs:[ ("mut", Obs.Json.String mut_path) ]
+  @@ fun () ->
   let t0 = Sys.time () in
   let node = mut_node env mut_path in
   (* level-1 ancestor (or the MUT itself if already at level 1) *)
@@ -143,6 +146,14 @@ let merge_stage a b =
 
 (* One level of extraction: justify/observe [sources]/[props] on [node]'s
    interface without going above [parent]. *)
+let m_stage_hits = Obs.Metrics.counter "factor.compose.cache_hits"
+let m_stage_misses = Obs.Metrics.counter "factor.compose.cache_misses"
+
+let log_stage kind key =
+  if Obs.Log.enabled Obs.Log.Debug then
+    Obs.Log.event Obs.Log.Debug "compose.stage"
+      [ ("cache", Obs.Json.String kind); ("key", Obs.Json.String key) ]
+
 let run_stage session env ~parent ~node ~sources ~props =
   Mutex.protect session.ss_lock @@ fun () ->
   let key = stage_key ~parent ~node in
@@ -163,10 +174,14 @@ let run_stage session env ~parent ~node ~sources ~props =
     when Sset.subset want_srcs entry.ce_srcs
          && Sset.subset want_props entry.ce_props ->
     session.ss_hits <- session.ss_hits + 1;
+    Obs.Metrics.incr m_stage_hits;
+    log_stage "hit" key;
     entry.ce_result
   | Some entry ->
     (* partial reuse: extract only the signals not yet covered *)
     session.ss_misses <- session.ss_misses + 1;
+    Obs.Metrics.incr m_stage_misses;
+    log_stage "partial-miss" key;
     let missing_srcs = Sset.elements (Sset.diff want_srcs entry.ce_srcs) in
     let missing_props = Sset.elements (Sset.diff want_props entry.ce_props) in
     let delta = extract missing_srcs missing_props in
@@ -176,6 +191,8 @@ let run_stage session env ~parent ~node ~sources ~props =
     entry.ce_result
   | None ->
     session.ss_misses <- session.ss_misses + 1;
+    Obs.Metrics.incr m_stage_misses;
+    log_stage "miss" key;
     let r = extract sources props in
     Hashtbl.add session.ss_cache key
       { ce_srcs = want_srcs; ce_props = want_props; ce_result = r };
@@ -185,6 +202,9 @@ let run_stage session env ~parent ~node ~sources ~props =
     level by level, composing the per-level constraints and reusing
     previously extracted ones through [session]. *)
 let compositional session env ~mut_path =
+  Obs.Span.with_ "extract.compositional"
+    ~attrs:[ ("mut", Obs.Json.String mut_path) ]
+  @@ fun () ->
   let t0 = Sys.time () in
   let hits0 = session.ss_hits and misses0 = session.ss_misses in
   let node0 = mut_node env mut_path in

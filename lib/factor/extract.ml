@@ -267,6 +267,11 @@ and prop_from_site ctx node em signal site trace =
     [stop].  When [stop] is the tree root, reaching it records chip
     pin accessibility; otherwise the still-open requests on [stop]'s
     ports are returned as boundaries for the compositional flow. *)
+let m_source_walks = Obs.Metrics.counter "factor.extract.source_walks"
+let m_prop_walks = Obs.Metrics.counter "factor.extract.prop_walks"
+let m_visited = Obs.Metrics.counter "factor.extract.visited_signals"
+let m_dead_ends = Obs.Metrics.counter "factor.extract.dead_ends"
+
 let run ~ed ~tree ~chains ~stop ~granularity ~node ~sources ~props =
   let ctx =
     { ed; tree; chains; stop; granularity;
@@ -279,8 +284,22 @@ let run ~ed ~tree ~chains ~stop ~granularity ~node ~sources ~props =
       reached_po = false;
       visit_count = 0 }
   in
-  List.iter (fun s -> find_source_logic ctx node s []) sources;
-  List.iter (fun s -> find_prop_paths ctx node s []) props;
+  List.iter
+    (fun s ->
+      Obs.Metrics.incr m_source_walks;
+      Obs.Span.with_ "extract.source"
+        ~attrs:[ ("signal", Obs.Json.String s) ]
+        (fun () -> find_source_logic ctx node s []))
+    sources;
+  List.iter
+    (fun s ->
+      Obs.Metrics.incr m_prop_walks;
+      Obs.Span.with_ "extract.prop"
+        ~attrs:[ ("signal", Obs.Json.String s) ]
+        (fun () -> find_prop_paths ctx node s []))
+    props;
+  Obs.Metrics.add m_visited ctx.visit_count;
+  Obs.Metrics.add m_dead_ends (List.length ctx.dead_ends);
   { rs_slice = ctx.slice;
     rs_dead_ends = List.rev ctx.dead_ends;
     rs_boundary_sources = ctx.boundary_sources;

@@ -30,6 +30,7 @@ type characteristics = {
 
 (** Synthesize the whole design once; reused by Tables 1 and 4. *)
 let full_circuit (env : Compose.env) =
+  Obs.Span.with_ "flow.full_circuit" @@ fun () ->
   let ed = env.Compose.ed in
   let flat = Synth.Flatten.flatten ed ed.Design.Elaborate.ed_top in
   (Synth.Lower.lower flat).Synth.Lower.circuit
@@ -82,6 +83,9 @@ let standalone_fault_count env spec =
   List.length (Atpg.Fault.collapse c (Atpg.Fault.all c))
 
 let transform env session mode spec ~surrounding_before =
+  Obs.Span.with_ "flow.transform"
+    ~attrs:[ ("mut", Obs.Json.String spec.ms_name) ]
+  @@ fun () ->
   let stats =
     match mode with
     | Conventional -> Compose.conventional env ~mut_path:spec.ms_path
@@ -128,6 +132,9 @@ type atpg_row = {
 
 (** Test generation on the stand-alone module (Table 4, columns 4-5). *)
 let standalone_atpg env spec cfg =
+  Obs.Span.with_ "flow.standalone_atpg"
+    ~attrs:[ ("mut", Obs.Json.String spec.ms_name) ]
+  @@ fun () ->
   let node = H.find_path env.Compose.tree spec.ms_path in
   let ed = env.Compose.ed in
   let flat = Synth.Flatten.flatten ed node.H.nd_module in
@@ -146,6 +153,9 @@ let standalone_atpg env spec cfg =
 (** Raw test generation at processor level, targeting the MUT's faults
     (Table 4, columns 2-3). *)
 let processor_atpg ~full spec cfg =
+  Obs.Span.with_ "flow.processor_atpg"
+    ~attrs:[ ("mut", Obs.Json.String spec.ms_name) ]
+  @@ fun () ->
   let faults = Atpg.Fault.collapse full (Atpg.Fault.all ~within:spec.ms_path full) in
   let r = Atpg.Gen.run full cfg faults in
   { ar_name = spec.ms_name;
@@ -164,6 +174,9 @@ let processor_atpg ~full spec cfg =
     situation) — they lower the fault coverage but not the ATPG
     effectiveness. *)
 let transformed_atpg (row : transform_row) cfg =
+  Obs.Span.with_ "flow.transformed_atpg"
+    ~attrs:[ ("mut", Obs.Json.String row.tr_name) ]
+  @@ fun () ->
   let c = row.tr_transformed.Transform.tf_circuit in
   let piers = Pier.identify c in
   let faults =

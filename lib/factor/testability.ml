@@ -214,6 +214,19 @@ let report_to_string r =
 (** [analyze env ~mut_path ~dead_ends] assembles the per-MUT testability
     report the tool prints during extraction. *)
 let analyze env ~mut_path ~dead_ends =
-  { rp_mut = mut_path;
-    rp_dead_ends = dead_ends;
-    rp_hard_coded = hard_coded_inputs env ~mut_path }
+  Obs.Span.with_ "testability.analyze"
+    ~attrs:[ ("mut", Obs.Json.String mut_path) ]
+  @@ fun () ->
+  let report =
+    { rp_mut = mut_path;
+      rp_dead_ends = dead_ends;
+      rp_hard_coded = hard_coded_inputs env ~mut_path }
+  in
+  if Obs.Log.enabled Obs.Log.Info
+     && (report.rp_dead_ends <> [] || report.rp_hard_coded <> [])
+  then
+    Obs.Log.event Obs.Log.Info "testability.issues"
+      [ ("mut", Obs.Json.String mut_path);
+        ("dead_ends", Obs.Json.Int (List.length report.rp_dead_ends));
+        ("hard_coded", Obs.Json.Int (List.length report.rp_hard_coded)) ];
+  report

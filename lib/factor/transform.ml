@@ -50,12 +50,21 @@ let split_gates c ~mut_path =
 (** [synthesize design ~top ~mut_path] elaborates, flattens and lowers a
     (possibly sliced) design, reporting the usual statistics. *)
 let synthesize design ~top ~mut_path =
+  Obs.Span.with_ "transform.synthesize"
+    ~attrs:[ ("mut", Obs.Json.String mut_path) ]
+  @@ fun () ->
   let t0 = Sys.time () in
   let ed = Design.Elaborate.elaborate design ~top in
   let flat = Synth.Flatten.flatten ed ed.Design.Elaborate.ed_top in
   let { Synth.Lower.circuit; warnings } = Synth.Lower.lower flat in
   let dt = Sys.time () -. t0 in
   let (inside, outside) = split_gates circuit ~mut_path in
+  if Obs.Log.enabled Obs.Log.Info then
+    Obs.Log.event Obs.Log.Info "transform.synthesize"
+      [ ("mut", Obs.Json.String mut_path);
+        ("mut_gates", Obs.Json.Int inside);
+        ("surrounding_gates", Obs.Json.Int outside);
+        ("warnings", Obs.Json.Int (List.length warnings)) ];
   { tf_design = design;
     tf_circuit = circuit;
     tf_mut_path = mut_path;
@@ -74,10 +83,14 @@ let synthesize design ~top ~mut_path =
     also appended to [tf_warnings] so flows that only surface warnings
     cannot miss it. *)
 let validate tf =
+  Obs.Span.with_ "transform.validate" @@ fun () ->
   let rebuilt = Synth.Opt.rebuild tf.tf_circuit in
   match Synth.Opt.equivalent_exact tf.tf_circuit rebuilt with
   | Synth.Opt.Equal -> { tf with tf_validation = Some "equal" }
   | Synth.Opt.Differ name ->
+    Obs.Log.event Obs.Log.Warn "transform.validate.differ"
+      [ ("mut", Obs.Json.String tf.tf_mut_path);
+        ("output", Obs.Json.String name) ];
     let msg = "transformed-module validation failed: differ on " ^ name in
     { tf with
       tf_validation = Some ("differ on " ^ name);

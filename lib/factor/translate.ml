@@ -93,6 +93,12 @@ let validate ~chip ~mut_path ~piers tests =
 
 (** [translate_all ~chip ~transformed tests] is the whole translation for
     a test set. *)
+let m_translated = Obs.Metrics.counter "factor.translate.tests"
+
 let translate_all ~chip ~transformed tests =
+  Obs.Span.with_ "translate"
+    ~attrs:[ ("tests", Obs.Json.Int (List.length tests)) ]
+  @@ fun () ->
+  Obs.Metrics.add m_translated (List.length tests);
   let mapping = mapping ~chip ~transformed in
   List.map (test ~chip ~mapping) tests

@@ -319,11 +319,20 @@ let build_analysis c =
     value, shared by every engine that needs an evaluation order.
     Domain-safe: lookups and inserts are serialized, so concurrent fault
     shards on the same circuit share one [info]. *)
+let analysis_hits = Obs.Metrics.counter "factor.netlist.analysis_hits"
+let analysis_misses = Obs.Metrics.counter "factor.netlist.analysis_misses"
+
 let analysis c =
   Mutex.protect analysis_mutex (fun () ->
       match List.find_opt (fun (c', _) -> c' == c) !analysis_cache with
-      | Some (_, info) -> info
+      | Some (_, info) ->
+        Obs.Metrics.incr analysis_hits;
+        info
       | None ->
+        Obs.Metrics.incr analysis_misses;
+        if Obs.Log.enabled Obs.Log.Debug then
+          Obs.Log.event Obs.Log.Debug "netlist.analysis miss"
+            [ ("nets", Obs.Json.Int (num_nets c)) ];
         let info = build_analysis c in
         let rec keep k = function
           | [] -> []

@@ -1,0 +1,21 @@
+(** A minimal JSON value and printer — just enough for the observability
+    layer's machine-readable artifacts (Chrome traces, metrics dumps,
+    structured log lines) without pulling a JSON dependency into the
+    library stack. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact rendering (no insignificant whitespace).  Strings are escaped
+    per RFC 8259; non-finite floats render as [null] so the output is
+    always parseable. *)
+val to_string : t -> string
+
+(** Append the compact rendering to a buffer. *)
+val to_buffer : Buffer.t -> t -> unit

@@ -1,0 +1,158 @@
+type counter = int Atomic.t
+
+type gauge = float Atomic.t
+
+type histogram = {
+  h_bounds : float array;         (* strictly increasing upper bounds *)
+  h_counts : int Atomic.t array;  (* length = bounds + 1; last = overflow *)
+  h_sum : float Atomic.t;
+  h_max : float Atomic.t;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+(* Seconds-scale latency bounds: 1 µs .. ~524 s, doubling. *)
+let default_buckets = Array.init 30 (fun i -> 1e-6 *. Float.pow 2.0 (float_of_int i))
+
+let intern name make project kind =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m ->
+        (match project m with
+         | Some v -> v
+         | None ->
+           invalid_arg
+             (Printf.sprintf
+                "Obs.Metrics: %s already registered with a kind other than %s"
+                name kind))
+      | None ->
+        let (m, v) = make () in
+        Hashtbl.add registry name m;
+        v)
+
+let counter name =
+  intern name
+    (fun () ->
+      let c = Atomic.make 0 in
+      (Counter c, c))
+    (function Counter c -> Some c | _ -> None)
+    "counter"
+
+let incr c = ignore (Atomic.fetch_and_add c 1)
+let add c k = ignore (Atomic.fetch_and_add c k)
+let value c = Atomic.get c
+
+let gauge name =
+  intern name
+    (fun () ->
+      let g = Atomic.make 0.0 in
+      (Gauge g, g))
+    (function Gauge g -> Some g | _ -> None)
+    "gauge"
+
+let set g v = Atomic.set g v
+let get g = Atomic.get g
+
+let histogram ?(buckets = default_buckets) name =
+  intern name
+    (fun () ->
+      Array.iteri
+        (fun i b ->
+          if i > 0 && b <= buckets.(i - 1) then
+            invalid_arg
+              "Obs.Metrics.histogram: bounds must be strictly increasing")
+        buckets;
+      let h =
+        { h_bounds = Array.copy buckets;
+          h_counts =
+            Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+          h_sum = Atomic.make 0.0;
+          h_max = Atomic.make neg_infinity }
+      in
+      (Histogram h, h))
+    (function Histogram h -> Some h | _ -> None)
+    "histogram"
+
+(* CAS update loop for float cells (fetch-and-add only exists for ints). *)
+let rec cas_update cell f =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (f old)) then cas_update cell f
+
+let observe h v =
+  let nb = Array.length h.h_bounds in
+  let rec bucket i =
+    if i >= nb || v <= h.h_bounds.(i) then i else bucket (i + 1)
+  in
+  ignore (Atomic.fetch_and_add h.h_counts.(bucket 0) 1);
+  cas_update h.h_sum (fun s -> s +. v);
+  cas_update h.h_max (fun m -> if v > m then v else m)
+
+let count h =
+  Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 h.h_counts
+
+let sum h = Atomic.get h.h_sum
+
+let percentile h p =
+  let total = count h in
+  if total = 0 then 0.0
+  else begin
+    let rank =
+      max 1 (int_of_float (Float.ceil (p /. 100.0 *. float_of_int total)))
+    in
+    let nb = Array.length h.h_bounds in
+    let rec walk i seen =
+      if i >= nb then Atomic.get h.h_max
+      else
+        let seen = seen + Atomic.get h.h_counts.(i) in
+        if seen >= rank then h.h_bounds.(i) else walk (i + 1) seen
+    in
+    walk 0 0
+  end
+
+let histogram_json h =
+  let n = count h in
+  Json.Obj
+    [ ("count", Json.Int n);
+      ("sum", Json.Float (sum h));
+      ("p50", Json.Float (percentile h 50.0));
+      ("p90", Json.Float (percentile h 90.0));
+      ("p99", Json.Float (percentile h 99.0));
+      ("max", Json.Float (if n = 0 then 0.0 else Atomic.get h.h_max)) ]
+
+let metric_json = function
+  | Counter c -> Json.Int (value c)
+  | Gauge g -> Json.Float (get g)
+  | Histogram h -> histogram_json h
+
+let dump () =
+  let entries =
+    Mutex.protect registry_lock (fun () ->
+        Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
+  in
+  let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+  Json.Obj (List.map (fun (name, m) -> (name, metric_json m)) entries)
+
+let dump_string () = Json.to_string (dump ())
+
+let find name =
+  Mutex.protect registry_lock (fun () ->
+      Option.map metric_json (Hashtbl.find_opt registry name))
+
+let reset () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> Atomic.set c 0
+          | Gauge g -> Atomic.set g 0.0
+          | Histogram h ->
+            Array.iter (fun cell -> Atomic.set cell 0) h.h_counts;
+            Atomic.set h.h_sum 0.0;
+            Atomic.set h.h_max neg_infinity)
+        registry)

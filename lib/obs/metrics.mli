@@ -1,0 +1,67 @@
+(** A process-wide registry of named counters, gauges and histograms.
+
+    One registry serves every subsystem so a single {!dump} yields the
+    whole picture of a run: net evaluations, SAT conflicts, PODEM
+    backtracks, cache hits, pool steals.  Metrics are interned by name —
+    calling a constructor twice with the same name returns the same
+    metric — and every update is domain-safe.
+
+    Naming scheme: [factor.<subsystem>.<name>], e.g.
+    [factor.fsim.evals], [factor.sat.conflicts], [factor.pool.steals].
+
+    Hot-path cost: {!incr}/{!add} are single atomic fetch-and-adds with
+    no allocation, so engines may account from inner loops (though
+    batching increments locally and flushing once per batch, as the
+    fault simulator does, is still preferred). *)
+
+type counter
+type gauge
+type histogram
+
+(** [counter name] interns a monotonic integer counter.
+    @raise Invalid_argument if [name] exists with a different kind. *)
+val counter : string -> counter
+
+(** Allocation-free atomic increment. *)
+val incr : counter -> unit
+
+(** Allocation-free atomic add. *)
+val add : counter -> int -> unit
+
+val value : counter -> int
+
+(** [gauge name] interns a last-value-wins float gauge. *)
+val gauge : string -> gauge
+
+val set : gauge -> float -> unit
+val get : gauge -> float
+
+(** [histogram ?buckets name] interns a histogram with the given strictly
+    increasing bucket upper bounds (default: exponential bounds suited to
+    seconds-scale latencies, 1 µs to ~500 s).  Observations above the
+    last bound land in an overflow bucket. *)
+val histogram : ?buckets:float array -> string -> histogram
+
+val observe : histogram -> float -> unit
+val count : histogram -> int
+val sum : histogram -> float
+
+(** [percentile h p] (with [0 < p <= 100]) returns the upper bound of the
+    bucket containing the [p]-th percentile observation — exact when the
+    bucket bounds enumerate the observed values, otherwise an upper
+    estimate.  Overflow observations report the maximum observed value.
+    Returns [0.] when the histogram is empty. *)
+val percentile : histogram -> float -> float
+
+(** Snapshot of the whole registry as a JSON object keyed by metric name,
+    sorted.  Counters render as integers, gauges as floats, histograms as
+    [{count, sum, p50, p90, p99, max}]. *)
+val dump : unit -> Json.t
+
+val dump_string : unit -> string
+
+(** Look up one metric's snapshot value by name. *)
+val find : string -> Json.t option
+
+(** Zero every registered metric (tests and benchmark deltas). *)
+val reset : unit -> unit

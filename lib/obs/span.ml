@@ -1,0 +1,148 @@
+type event = {
+  ev_name : string;
+  ev_ts : float;
+  ev_dur : float;
+  ev_self : float;
+  ev_tid : int;
+  ev_attrs : (string * Json.t) list;
+}
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* Open-span frame on a domain's stack.  [f_child] accumulates the wall
+   time of direct children so self time falls out at span end without
+   post-hoc interval analysis. *)
+type frame = { mutable f_child : float }
+
+type buffer = {
+  mutable b_events : event list;
+  mutable b_stack : frame list;
+  b_lock : Mutex.t;  (* events read cross-domain; writes are owner-only *)
+}
+
+(* Every domain's buffer, so a single domain can merge them all. *)
+let buffers : buffer list ref = ref []
+let buffers_lock = Mutex.create ()
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { b_events = []; b_stack = []; b_lock = Mutex.create () }
+      in
+      Mutex.protect buffers_lock (fun () -> buffers := b :: !buffers);
+      b)
+
+let record ~attrs name t0 t1 frame parent b =
+  let dur = t1 -. t0 in
+  let ev =
+    { ev_name = name;
+      ev_ts = t0;
+      ev_dur = dur;
+      ev_self = Float.max 0.0 (dur -. frame.f_child);
+      ev_tid = (Domain.self () :> int);
+      ev_attrs = attrs }
+  in
+  (match parent with Some p -> p.f_child <- p.f_child +. dur | None -> ());
+  Mutex.protect b.b_lock (fun () -> b.b_events <- ev :: b.b_events)
+
+let with_ ?(attrs = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let b = Domain.DLS.get key in
+    let parent = match b.b_stack with p :: _ -> Some p | [] -> None in
+    let frame = { f_child = 0.0 } in
+    b.b_stack <- frame :: b.b_stack;
+    let t0 = Unix.gettimeofday () in
+    match f () with
+    | v ->
+      let t1 = Unix.gettimeofday () in
+      b.b_stack <- List.tl b.b_stack;
+      record ~attrs name t0 t1 frame parent b;
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      let t1 = Unix.gettimeofday () in
+      b.b_stack <- List.tl b.b_stack;
+      record
+        ~attrs:(("error", Json.String (Printexc.to_string e)) :: attrs)
+        name t0 t1 frame parent b;
+      Printexc.raise_with_backtrace e bt
+  end
+
+let events () =
+  let bs = Mutex.protect buffers_lock (fun () -> !buffers) in
+  List.concat_map
+    (fun b -> Mutex.protect b.b_lock (fun () -> b.b_events))
+    bs
+
+let clear () =
+  let bs = Mutex.protect buffers_lock (fun () -> !buffers) in
+  List.iter
+    (fun b -> Mutex.protect b.b_lock (fun () -> b.b_events <- []))
+    bs
+
+let chrome_event ev =
+  let args =
+    match ev.ev_attrs with [] -> [] | attrs -> [ ("args", Json.Obj attrs) ]
+  in
+  Json.Obj
+    ([ ("name", Json.String ev.ev_name);
+       ("cat", Json.String "factor");
+       ("ph", Json.String "X");
+       ("ts", Json.Float (ev.ev_ts *. 1e6));
+       ("dur", Json.Float (ev.ev_dur *. 1e6));
+       ("pid", Json.Int 1);
+       ("tid", Json.Int ev.ev_tid) ]
+    @ args)
+
+let write_chrome_trace file =
+  let evs =
+    List.sort (fun a b -> Float.compare a.ev_ts b.ev_ts) (events ())
+  in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create 4096 in
+      Json.to_buffer buf (Json.List (List.map chrome_event evs));
+      Buffer.add_char buf '\n';
+      Buffer.output_buffer oc buf)
+
+let profile () =
+  let tbl : (string, (int * float * float) ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  List.iter
+    (fun ev ->
+      match Hashtbl.find_opt tbl ev.ev_name with
+      | Some r ->
+        let (n, tot, self) = !r in
+        r := (n + 1, tot +. ev.ev_dur, self +. ev.ev_self)
+      | None -> Hashtbl.add tbl ev.ev_name (ref (1, ev.ev_dur, ev.ev_self)))
+    (events ());
+  Hashtbl.fold
+    (fun name r acc ->
+      let (n, tot, self) = !r in
+      (name, n, tot, self) :: acc)
+    tbl []
+  |> List.sort (fun (_, _, _, s1) (_, _, _, s2) -> Float.compare s2 s1)
+
+let profile_to_string () =
+  let rows = profile () in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-32s %8s %12s %12s\n" "span" "count" "total(s)"
+       "self(s)");
+  let traced =
+    List.fold_left (fun acc (_, _, _, self) -> acc +. self) 0.0 rows
+  in
+  List.iter
+    (fun (name, n, tot, self) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-32s %8d %12.4f %12.4f\n" name n tot self))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf "%-32s %8s %12s %12.4f\n" "(traced wall)" "" "" traced);
+  Buffer.contents buf

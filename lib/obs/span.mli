@@ -1,0 +1,49 @@
+(** Nestable timed spans with attributes, carried per-domain.
+
+    A span covers one phase of work — [parse], [synth.optimize],
+    [atpg.fault] — and spans nest: a span opened while another is live on
+    the same domain becomes its child.  Each finished span records wall
+    duration and {e self} time (duration minus time spent in child
+    spans), which is what the [--profile] summary reports.
+
+    Tracing is off by default.  When disabled, {!with_} is a direct call
+    to its thunk — no allocation, no timing — so instrumentation may stay
+    in hot paths unconditionally.  Each domain buffers its own events;
+    {!events}, {!write_chrome_trace} and {!profile} merge the buffers. *)
+
+(** One finished span. *)
+type event = {
+  ev_name : string;
+  ev_ts : float;                    (* start, seconds since epoch *)
+  ev_dur : float;                   (* wall duration, seconds *)
+  ev_self : float;                  (* duration minus child spans *)
+  ev_tid : int;                     (* domain id *)
+  ev_attrs : (string * Json.t) list;
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** [with_ ?attrs name f] runs [f ()] inside a span named [name].  When
+    tracing is disabled this is exactly [f ()].  The span is recorded
+    even when [f] raises. *)
+val with_ : ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+
+(** All finished spans from every domain, in no particular order. *)
+val events : unit -> event list
+
+(** Drop all recorded spans (does not change the enabled flag). *)
+val clear : unit -> unit
+
+(** Write the recorded spans as a Chrome trace-event JSON file (an array
+    of complete ["ph":"X"] events, timestamps in microseconds), loadable
+    in [chrome://tracing] or Perfetto. *)
+val write_chrome_trace : string -> unit
+
+(** Aggregated per-name profile rows: [(name, count, total, self)],
+    sorted by self time descending.  Totals double-count nested spans of
+    the same name; self times of all rows sum to the traced wall time. *)
+val profile : unit -> (string * int * float * float) list
+
+(** Human-readable rendering of {!profile}. *)
+val profile_to_string : unit -> string

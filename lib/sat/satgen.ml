@@ -133,6 +133,9 @@ let attempt c ~cone ~frames ~piers ~pier_set ~fnet ~stuck ~conflict_limit =
 
 let run ?(max_frames = 1) ?(conflict_limit = 20_000) ?(piers = []) c ~net
     ~stuck =
+  Obs.Span.with_ "sat.atpg"
+    ~attrs:[ ("net", Obs.Json.Int net); ("stuck", Obs.Json.Bool stuck) ]
+  @@ fun () ->
   let cone = fault_cone c net in
   let pier_set = Array.make (Netlist.num_ffs c) false in
   List.iter (fun i -> pier_set.(i) <- true) piers;

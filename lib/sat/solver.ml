@@ -572,9 +572,25 @@ let search s (assumptions : lit array) budget limit =
   done;
   Option.get !result
 
+(* Process-wide totals across every solver instance, so one metrics
+   dump reflects all SAT work of a run (ATPG rescues, equivalence
+   checks, untestability proofs). *)
+let m_solves = Obs.Metrics.counter "factor.sat.solves"
+let m_conflicts = Obs.Metrics.counter "factor.sat.conflicts"
+let m_decisions = Obs.Metrics.counter "factor.sat.decisions"
+let m_propagations = Obs.Metrics.counter "factor.sat.propagations"
+let m_sat = Obs.Metrics.counter "factor.sat.sat"
+let m_unsat = Obs.Metrics.counter "factor.sat.unsat"
+let m_unknown = Obs.Metrics.counter "factor.sat.unknown"
+
 let solve ?(assumptions = []) ?(conflict_limit = max_int) s =
-  if not s.ok then Unsat
+  if not s.ok then begin
+    Obs.Metrics.incr m_solves;
+    Obs.Metrics.incr m_unsat;
+    Unsat
+  end
   else begin
+    let c0 = s.conflicts and d0 = s.decisions and p0 = s.propagations in
     let assumptions = Array.of_list assumptions in
     let limit =
       if conflict_limit = max_int then max_int
@@ -588,7 +604,17 @@ let solve ?(assumptions = []) ?(conflict_limit = max_int) s =
       | Unsat -> Unsat
       | Unknown -> if s.conflicts >= limit then Unknown else restarts (k + 1)
     in
-    restarts 0
+    let outcome = restarts 0 in
+    Obs.Metrics.incr m_solves;
+    Obs.Metrics.add m_conflicts (s.conflicts - c0);
+    Obs.Metrics.add m_decisions (s.decisions - d0);
+    Obs.Metrics.add m_propagations (s.propagations - p0);
+    Obs.Metrics.incr
+      (match outcome with
+       | Sat -> m_sat
+       | Unsat -> m_unsat
+       | Unknown -> m_unknown);
+    outcome
   end
 
 let value s v = v < Array.length s.model && s.model.(v)

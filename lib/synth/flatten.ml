@@ -73,6 +73,9 @@ let rec expr_to_lvalue e =
 (** [flatten ed root] flattens the subtree rooted at module [root].
     Unconnected input ports are tied to zero. *)
 let flatten ed root =
+  Obs.Span.with_ "synth.flatten"
+    ~attrs:[ ("root", Obs.Json.String root) ]
+  @@ fun () ->
   let root_m = find_emodule ed root in
   let signals = ref Smap.empty in
   let items = ref [] in

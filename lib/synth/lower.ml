@@ -784,6 +784,7 @@ and fill_full ctx s vec =
     @raise Error on combinational cycles, multiple drivers, inferred
     latches, or unsupported constructs. *)
 let lower flat =
+  Obs.Span.with_ "synth.lower" @@ fun () ->
   let module U = Verilog.Ast_util in
   let b = N.create_builder () in
   (* pre-scan: signals registered by clocked blocks *)

@@ -122,9 +122,16 @@ let rebuild ?(tie = []) c =
 
 (** [optimize ?tie c] rebuilds and reports before/after statistics. *)
 let optimize ?tie c =
+  Obs.Span.with_ "synth.optimize" @@ fun () ->
   let before = N.stats c in
   let c' = rebuild ?tie c in
   let after = N.stats c' in
+  if Obs.Log.enabled Obs.Log.Info then
+    Obs.Log.event Obs.Log.Info "synth.optimize"
+      [ ("nets_before", Obs.Json.Int (N.num_nets c));
+        ("nets_after", Obs.Json.Int (N.num_nets c'));
+        ("gates_before", Obs.Json.Int (N.gate_equivalents before));
+        ("gates_after", Obs.Json.Int (N.gate_equivalents after)) ];
   ( c',
     { op_nets_before = N.num_nets c;
       op_nets_after = N.num_nets c';
@@ -210,6 +217,7 @@ let equivalent ?(rounds = 16) ?(cycles = 4) ~rng a b =
     solver that hits its conflict limit reports [Differ
     "sat-inconclusive"] — the check fails closed. *)
 let equivalent_exact ?(rounds = 4) ?(cycles = 4) ?rng a b =
+  Obs.Span.with_ "synth.equiv_exact" @@ fun () ->
   let rng =
     match rng with Some r -> r | None -> Random.State.make [| 0x5eed |]
   in

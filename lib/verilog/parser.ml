@@ -620,6 +620,9 @@ let parse_module st =
 (** [parse_design src] parses Verilog source text into a design.
     @raise Error on syntax errors; @raise Lexer.Error on lexical errors. *)
 let parse_design src =
+  Obs.Span.with_ "parse"
+    ~attrs:[ ("bytes", Obs.Json.Int (String.length src)) ]
+  @@ fun () ->
   let toks = Array.of_list (Lexer.tokenize src) in
   let st = { toks; idx = 0 } in
   let rec go acc =

@@ -1,0 +1,455 @@
+(** Tests for the observability layer: span nesting and self-time
+    accounting, histogram percentiles, domain-safe metric updates through
+    the real pool, Chrome-trace and JSONL well-formedness (validated with
+    an independent mini JSON parser), and the zero-allocation guarantee
+    for disabled tracing. *)
+
+open Testutil
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON parser — deliberately independent of Obs.Json's       *)
+(* printer so the artifact tests are not self-certifying.               *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | JNull
+  | JBool of bool
+  | JNum of float
+  | JStr of string
+  | JList of json list
+  | JObj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance ()
+    else fail (Printf.sprintf "expected %c, got %c" c (peek ()))
+  in
+  let literal lit v = String.iter expect lit; v in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance (); Buffer.contents b
+      | '\255' -> fail "unterminated string"
+      | '\\' ->
+        advance ();
+        (match peek () with
+         | '"' -> Buffer.add_char b '"'; advance ()
+         | '\\' -> Buffer.add_char b '\\'; advance ()
+         | '/' -> Buffer.add_char b '/'; advance ()
+         | 'b' -> Buffer.add_char b '\b'; advance ()
+         | 'f' -> Buffer.add_char b '\012'; advance ()
+         | 'n' -> Buffer.add_char b '\n'; advance ()
+         | 'r' -> Buffer.add_char b '\r'; advance ()
+         | 't' -> Buffer.add_char b '\t'; advance ()
+         | 'u' ->
+           advance ();
+           if !pos + 4 > n then fail "truncated \\u escape";
+           (* keep the code point symbolic; exact decoding is not under test *)
+           Buffer.add_string b ("\\u" ^ String.sub s !pos 4);
+           pos := !pos + 4
+         | _ -> fail "bad escape");
+        go ()
+      | c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while num_char (peek ()) do advance () done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> JNum f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then (advance (); JObj [])
+      else
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); members ((k, v) :: acc)
+          | '}' -> advance (); JObj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or } in object"
+        in
+        members []
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then (advance (); JList [])
+      else
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); elems (v :: acc)
+          | ']' -> advance (); JList (List.rev (v :: acc))
+          | _ -> fail "expected , or ] in array"
+        in
+        elems []
+    | '"' -> JStr (parse_string ())
+    | 't' -> literal "true" (JBool true)
+    | 'f' -> literal "false" (JBool false)
+    | 'n' -> literal "null" JNull
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* Busy-wait so spans have a measurable, purely-CPU duration. *)
+let spin seconds =
+  let t0 = Engine.Clock.now () in
+  let acc = ref 0 in
+  while Engine.Clock.now () -. t0 < seconds do
+    acc := !acc + 1
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let find_event name =
+  match
+    List.find_opt (fun e -> e.Obs.Span.ev_name = name) (Obs.Span.events ())
+  with
+  | Some e -> e
+  | None -> Alcotest.failf "span %S was not recorded" name
+
+(* ------------------------------------------------------------------ *)
+(* Spans.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let span_nesting_self_time () =
+  Obs.Span.clear ();
+  Obs.Span.set_enabled true;
+  Obs.Span.with_ "outer" (fun () ->
+      Obs.Span.with_ "inner" (fun () -> spin 0.004);
+      spin 0.002);
+  Obs.Span.set_enabled false;
+  let outer = find_event "outer" and inner = find_event "inner" in
+  check_bool "inner starts within outer" true
+    (inner.Obs.Span.ev_ts >= outer.Obs.Span.ev_ts);
+  check_bool "inner ends within outer" true
+    (inner.Obs.Span.ev_ts +. inner.Obs.Span.ev_dur
+     <= outer.Obs.Span.ev_ts +. outer.Obs.Span.ev_dur +. 1e-6);
+  check_bool "leaf self time equals its duration" true
+    (abs_float (inner.Obs.Span.ev_self -. inner.Obs.Span.ev_dur) < 1e-9);
+  check_bool "outer self time excludes the child" true
+    (abs_float
+       (outer.Obs.Span.ev_self
+        -. (outer.Obs.Span.ev_dur -. inner.Obs.Span.ev_dur))
+     < 1e-9);
+  (* the profile's self column must sum to the traced wall time *)
+  let rows = Obs.Span.profile () in
+  let self_sum = List.fold_left (fun a (_, _, _, s) -> a +. s) 0.0 rows in
+  check_bool "profile self times sum to root duration" true
+    (abs_float (self_sum -. outer.Obs.Span.ev_dur) < 1e-9);
+  Obs.Span.clear ()
+
+let span_exception_recorded () =
+  Obs.Span.clear ();
+  Obs.Span.set_enabled true;
+  (match Obs.Span.with_ "boom" (fun () -> failwith "expected") with
+   | () -> Alcotest.fail "with_ must re-raise"
+   | exception Failure _ -> ());
+  Obs.Span.set_enabled false;
+  let ev = find_event "boom" in
+  check_bool "raising span carries an error attribute" true
+    (List.mem_assoc "error" ev.Obs.Span.ev_attrs);
+  Obs.Span.clear ()
+
+let disabled_tracing_no_alloc () =
+  Obs.Span.set_enabled false;
+  let acc = ref 0 in
+  let f () = incr acc in
+  (* warm-up, then measure: a disabled span must be a direct call *)
+  for _ = 1 to 1_000 do
+    Obs.Span.with_ "noop" f
+  done;
+  let before = Gc.allocated_bytes () in
+  for _ = 1 to 10_000 do
+    Obs.Span.with_ "noop" f
+  done;
+  let after = Gc.allocated_bytes () in
+  ignore (Sys.opaque_identity !acc);
+  (* allow the boxed floats of the measurement itself, nothing more *)
+  check_bool
+    (Printf.sprintf "10k disabled spans allocated %.0f bytes" (after -. before))
+    true
+    (after -. before < 1024.0)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_registry () =
+  let c = Obs.Metrics.counter "test.obs.counter" in
+  let base = Obs.Metrics.value c in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 41;
+  check_int "counter accumulates" (base + 42) (Obs.Metrics.value c);
+  check_int "interning returns the same counter" (base + 42)
+    (Obs.Metrics.value (Obs.Metrics.counter "test.obs.counter"));
+  (match Obs.Metrics.gauge "test.obs.counter" with
+   | _ -> Alcotest.fail "kind mismatch must raise"
+   | exception Invalid_argument _ -> ());
+  let g = Obs.Metrics.gauge "test.obs.gauge" in
+  Obs.Metrics.set g 2.5;
+  (match Obs.Metrics.find "test.obs.gauge" with
+   | Some (Obs.Json.Float f) ->
+     check_bool "gauge snapshot" true (abs_float (f -. 2.5) < 1e-12)
+   | _ -> Alcotest.fail "gauge missing from registry");
+  match parse_json (Obs.Metrics.dump_string ()) with
+  | JObj fields ->
+    (match List.assoc_opt "test.obs.counter" fields with
+     | Some (JNum v) ->
+       check_bool "dump renders the counter" true
+         (v = float_of_int (base + 42))
+     | _ -> Alcotest.fail "counter missing from dump");
+    let keys = List.map fst fields in
+    check_bool "dump keys are sorted" true (List.sort compare keys = keys)
+  | _ -> Alcotest.fail "dump must be a JSON object"
+
+let histogram_percentiles () =
+  let bounds = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  let h = Obs.Metrics.histogram ~buckets:bounds "test.obs.hist" in
+  check_bool "empty histogram percentile is 0" true
+    (Obs.Metrics.percentile h 50.0 = 0.0);
+  for v = 1 to 100 do
+    Obs.Metrics.observe h (float_of_int v)
+  done;
+  check_int "count" 100 (Obs.Metrics.count h);
+  check_bool "sum" true (abs_float (Obs.Metrics.sum h -. 5050.0) < 1e-9);
+  (* the bounds enumerate the observed values, so percentiles are exact *)
+  List.iter
+    (fun p ->
+      check_bool
+        (Printf.sprintf "p%.0f" p)
+        true
+        (Obs.Metrics.percentile h p = p))
+    [ 1.0; 50.0; 90.0; 99.0; 100.0 ];
+  let o = Obs.Metrics.histogram ~buckets:[| 1.0 |] "test.obs.hist_overflow" in
+  Obs.Metrics.observe o 0.5;
+  Obs.Metrics.observe o 123.0;
+  check_bool "overflow percentile reports the observed max" true
+    (Obs.Metrics.percentile o 100.0 = 123.0)
+
+let concurrent_updates () =
+  let c = Obs.Metrics.counter "test.obs.parallel" in
+  let base = Obs.Metrics.value c in
+  let h = Obs.Metrics.histogram "test.obs.parallel_hist" in
+  let hbase = Obs.Metrics.count h in
+  Obs.Span.clear ();
+  Obs.Span.set_enabled true;
+  let pool = Engine.Pool.create 4 in
+  ignore
+    (Engine.Pool.run_all pool
+       (List.init 4 (fun d () ->
+            Obs.Span.with_ "par.task" (fun () ->
+                for i = 1 to 100_000 do
+                  Obs.Metrics.incr c;
+                  if i land 1023 = 0 then
+                    Obs.Metrics.observe h (float_of_int (d + 1))
+                done))));
+  Engine.Pool.shutdown pool;
+  Obs.Span.set_enabled false;
+  check_int "4 x 100k concurrent increments all land" 400_000
+    (Obs.Metrics.value c - base);
+  check_int "concurrent observations all land"
+    (4 * (100_000 / 1024))
+    (Obs.Metrics.count h - hbase);
+  let tasks =
+    List.filter
+      (fun e -> e.Obs.Span.ev_name = "par.task")
+      (Obs.Span.events ())
+  in
+  check_int "every worker recorded its span" 4 (List.length tasks);
+  Obs.Span.clear ()
+
+(* ------------------------------------------------------------------ *)
+(* Artifacts.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let chrome_trace_wellformed () =
+  Obs.Span.clear ();
+  Obs.Span.set_enabled true;
+  Obs.Span.with_ "root"
+    ~attrs:[ ("path", Obs.Json.String "a\"b\\c\nd") ]
+    (fun () ->
+      Obs.Span.with_ "child" (fun () -> spin 0.001);
+      Obs.Span.with_ "child" (fun () -> spin 0.001));
+  Obs.Span.set_enabled false;
+  let file = Filename.temp_file "factor_trace" ".json" in
+  Obs.Span.write_chrome_trace file;
+  let src = read_file file in
+  Sys.remove file;
+  let field ev k =
+    match ev with
+    | JObj fields ->
+      (match List.assoc_opt k fields with
+       | Some v -> v
+       | None -> Alcotest.failf "trace event missing field %S" k)
+    | _ -> Alcotest.fail "trace event must be an object"
+  in
+  let num ev k =
+    match field ev k with
+    | JNum f -> f
+    | _ -> Alcotest.failf "trace field %S must be a number" k
+  in
+  match parse_json src with
+  | JList evs ->
+    check_int "three events" 3 (List.length evs);
+    List.iter
+      (fun ev ->
+        (match field ev "ph" with
+         | JStr "X" -> ()
+         | _ -> Alcotest.fail "ph must be \"X\"");
+        (match field ev "name" with
+         | JStr _ -> ()
+         | _ -> Alcotest.fail "name must be a string");
+        check_bool "ts and dur are non-negative" true
+          (num ev "ts" >= 0.0 && num ev "dur" >= 0.0);
+        ignore (num ev "pid");
+        ignore (num ev "tid"))
+      evs;
+    let tss = List.map (fun ev -> num ev "ts") evs in
+    check_bool "events sorted by start time" true
+      (List.sort compare tss = tss);
+    let named n =
+      List.filter (fun ev -> field ev "name" = JStr n) evs
+    in
+    let root =
+      match named "root" with [ r ] -> r | _ -> Alcotest.fail "one root"
+    in
+    List.iter
+      (fun child ->
+        check_bool "child nests inside root in the trace" true
+          (num child "ts" >= num root "ts" -. 1.0
+           && num child "ts" +. num child "dur"
+              <= num root "ts" +. num root "dur" +. 5.0))
+      (named "child")
+  | _ -> Alcotest.fail "trace must be a JSON array"
+
+let log_jsonl_wellformed () =
+  let file = Filename.temp_file "factor_log" ".jsonl" in
+  Obs.Log.set_level (Some Obs.Log.Debug);
+  check_bool "debug gate open" true (Obs.Log.enabled Obs.Log.Debug);
+  Obs.Log.set_file (Some file);
+  Obs.Log.event Obs.Log.Info "test.event"
+    [ ("k", Obs.Json.Int 7); ("s", Obs.Json.String "x\"y\\z") ];
+  Obs.Log.event Obs.Log.Debug "test.debug" [];
+  Obs.Log.close ();
+  Obs.Log.set_file None;
+  Obs.Log.set_level None;
+  check_bool "gate closed after reset" true
+    (not (Obs.Log.enabled Obs.Log.Error));
+  let lines =
+    String.split_on_char '\n' (read_file file)
+    |> List.filter (fun l -> l <> "")
+  in
+  Sys.remove file;
+  check_int "two JSONL records" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match parse_json line with
+      | JObj fields ->
+        check_bool "record has ts/level/msg" true
+          (List.mem_assoc "ts" fields
+           && List.mem_assoc "level" fields
+           && List.mem_assoc "msg" fields)
+      | _ -> Alcotest.fail "each log line must be a JSON object")
+    lines;
+  match parse_json (List.hd lines) with
+  | JObj fields ->
+    (match List.assoc_opt "k" fields with
+     | Some (JNum 7.0) -> ()
+     | _ -> Alcotest.fail "caller attribute lost");
+    (match List.assoc_opt "msg" fields with
+     | Some (JStr "test.event") -> ()
+     | _ -> Alcotest.fail "msg mangled")
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline integration: engine counters feed the shared registry.     *)
+(* ------------------------------------------------------------------ *)
+
+let fsim_metrics_smoke () =
+  let c =
+    circuit
+      {|module top (input a, b, c, output y, z);
+          assign y = (a & b) | c;
+          assign z = a ^ b ^ c;
+        endmodule|}
+  in
+  let faults = Atpg.Fault.all c in
+  let rng = Random.State.make [| 7; fuzz_seed |] in
+  let tests =
+    List.init 4 (fun _ ->
+        Atpg.Pattern.random ~rng ~num_pis:(Netlist.num_pis c) ~frames:1
+          ~piers:[])
+  in
+  let before = Atpg.Fsim.eval_count () in
+  ignore
+    (Atpg.Fsim.run c ~observe:Atpg.Fsim.default_observe ~faults tests);
+  check_bool "fault simulation advances factor.fsim.evals" true
+    (Atpg.Fsim.eval_count () > before);
+  match Obs.Metrics.find "factor.fsim.evals" with
+  | Some (Obs.Json.Int v) ->
+    check_int "registry mirrors the engine's counter" (Atpg.Fsim.eval_count ())
+      v
+  | _ -> Alcotest.fail "factor.fsim.evals missing from the registry"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "span",
+        [
+          test "nesting and self time" span_nesting_self_time;
+          test "exception path records the span" span_exception_recorded;
+          test "disabled tracing allocates nothing" disabled_tracing_no_alloc;
+        ] );
+      ( "metrics",
+        [
+          test "registry semantics" metrics_registry;
+          test "histogram percentiles" histogram_percentiles;
+          test "concurrent updates from four domains" concurrent_updates;
+        ] );
+      ( "artifacts",
+        [
+          test "chrome trace well-formedness" chrome_trace_wellformed;
+          test "JSONL log well-formedness" log_jsonl_wellformed;
+        ] );
+      ( "pipeline", [ test "fsim feeds the registry" fsim_metrics_smoke ] );
+    ]
