@@ -1188,19 +1188,27 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !trace_ref <> None then Obs.Span.set_enabled true;
+  (* never raise inside at_exit: an unwritable path gets a warning and
+     the other artifact still gets written *)
+  let write_artifact what f =
+    try f ()
+    with Sys_error msg -> Printf.eprintf "cannot write %s: %s\n" what msg
+  in
   at_exit (fun () ->
       (match !trace_ref with
        | Some f ->
-         Obs.Span.write_chrome_trace f;
-         Printf.eprintf "trace written to %s\n" f
+         write_artifact "trace" (fun () ->
+             Obs.Span.write_chrome_trace f;
+             Printf.eprintf "trace written to %s\n" f)
        | None -> ());
       match !metrics_ref with
       | Some f ->
-        let oc = open_out f in
-        output_string oc (metrics_json ());
-        output_char oc '\n';
-        close_out oc;
-        Printf.eprintf "metrics written to %s\n" f
+        write_artifact "metrics" (fun () ->
+            let oc = open_out f in
+            output_string oc (metrics_json ());
+            output_char oc '\n';
+            close_out oc;
+            Printf.eprintf "metrics written to %s\n" f)
       | None -> ());
   let target = !target in
   let run = function

@@ -70,22 +70,29 @@ let obs_setup trace profile metrics log_file quiet verbose =
      if Obs.Log.level () = None then Obs.Log.set_level (Some Obs.Log.Info)
    | None -> ());
   if trace <> None || profile then Obs.Span.set_enabled true;
+  (* an unwritable artifact path must not raise inside at_exit — warn
+     and keep going so the remaining artifacts and Log.close still run *)
+  let write_artifact what f =
+    try f () with Sys_error msg -> Obs.Log.warnf "cannot write %s: %s" what msg
+  in
   at_exit (fun () ->
       (match Engine.Pool.global_stats () with
        | Some _ -> Engine.Pool.publish_metrics (Engine.Pool.global ())
        | None -> ());
       (match trace with
        | Some f ->
-         Obs.Span.write_chrome_trace f;
-         Obs.Log.progressf "trace written to %s" f
+         write_artifact "trace" (fun () ->
+             Obs.Span.write_chrome_trace f;
+             Obs.Log.progressf "trace written to %s" f)
        | None -> ());
       (match metrics with
        | Some f ->
-         let oc = open_out f in
-         output_string oc (Obs.Metrics.dump_string ());
-         output_char oc '\n';
-         close_out oc;
-         Obs.Log.progressf "metrics written to %s" f
+         write_artifact "metrics" (fun () ->
+             let oc = open_out f in
+             output_string oc (Obs.Metrics.dump_string ());
+             output_char oc '\n';
+             close_out oc;
+             Obs.Log.progressf "metrics written to %s" f)
        | None -> ());
       if profile then begin
         print_string (Obs.Span.profile_to_string ());
@@ -208,7 +215,7 @@ let parse_cmd =
         in
         show tree;
         List.iter
-          (fun f -> Obs.Log.warnf "lint: %s" (Design.Lint.to_string f))
+          (fun f -> Obs.Log.notef "lint: %s" (Design.Lint.to_string f))
           (Design.Lint.check env.Factor.Compose.ed))
   in
   let doc = "Parse and elaborate a design; print the instance hierarchy." in

@@ -270,10 +270,7 @@ let run c cfg faults =
     sat_time := !sat_time +. dt;
     sat_stats := Sat.Solver.add_stats !sat_stats stats
   in
-  let podem_generate i =
-    Obs.Span.with_ "atpg.fault"
-      ~attrs:[ ("fault", Obs.Json.Int i) ]
-    @@ fun () ->
+  let podem_generate_body i =
     let fault = fault_arr.(i) in
     let fault_t0 = Engine.Clock.now () in
     let over_budget () = Engine.Clock.now () -. fault_t0 > cfg.g_fault_budget in
@@ -304,6 +301,15 @@ let run c cfg faults =
     let r = deepen 1 Podem.Exhausted in
     Obs.Metrics.observe m_fault_time (Engine.Clock.now () -. fault_t0);
     r
+  in
+  (* per-fault span: build the attr list only when tracing is live so
+     the disabled path stays allocation-free on this hot loop *)
+  let podem_generate i =
+    if Obs.Span.enabled () then
+      Obs.Span.with_ "atpg.fault"
+        ~attrs:[ ("fault", Obs.Json.Int i) ]
+        (fun () -> podem_generate_body i)
+    else podem_generate_body i
   in
   let podem_apply ~use_pool i = function
     | Podem.Detected test ->

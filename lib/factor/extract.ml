@@ -284,19 +284,25 @@ let run ~ed ~tree ~chains ~stop ~granularity ~node ~sources ~props =
       reached_po = false;
       visit_count = 0 }
   in
+  (* per-signal spans: guard attr construction so extraction with
+     tracing off allocates nothing for instrumentation *)
   List.iter
     (fun s ->
       Obs.Metrics.incr m_source_walks;
-      Obs.Span.with_ "extract.source"
-        ~attrs:[ ("signal", Obs.Json.String s) ]
-        (fun () -> find_source_logic ctx node s []))
+      if Obs.Span.enabled () then
+        Obs.Span.with_ "extract.source"
+          ~attrs:[ ("signal", Obs.Json.String s) ]
+          (fun () -> find_source_logic ctx node s [])
+      else find_source_logic ctx node s [])
     sources;
   List.iter
     (fun s ->
       Obs.Metrics.incr m_prop_walks;
-      Obs.Span.with_ "extract.prop"
-        ~attrs:[ ("signal", Obs.Json.String s) ]
-        (fun () -> find_prop_paths ctx node s []))
+      if Obs.Span.enabled () then
+        Obs.Span.with_ "extract.prop"
+          ~attrs:[ ("signal", Obs.Json.String s) ]
+          (fun () -> find_prop_paths ctx node s [])
+      else find_prop_paths ctx node s [])
     props;
   Obs.Metrics.add m_visited ctx.visit_count;
   Obs.Metrics.add m_dead_ends (List.length ctx.dead_ends);

@@ -23,11 +23,21 @@ let escape_to buf s =
     s;
   Buffer.add_char buf '"'
 
+(* Shortest decimal form that parses back to the identical float — try
+   15, 16, then 17 significant digits (%.17g always round-trips a finite
+   double).  Precision matters: epoch-seconds timestamps and the
+   microsecond values in Chrome traces collapse to one another under a
+   lossy "%.6g". *)
 let float_to_string f =
   if not (Float.is_finite f) then "null"
   else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.6g" f
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s
+    else
+      let s = Printf.sprintf "%.16g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
 
 let rec to_buffer buf = function
   | Null -> Buffer.add_string buf "null"

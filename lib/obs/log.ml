@@ -116,3 +116,10 @@ let warnf fmt =
       emit_console ("warning: " ^ s);
       event Warn s [])
     fmt
+
+let notef fmt =
+  Printf.ksprintf
+    (fun s ->
+      emit_console s;
+      event Warn s [])
+    fmt

@@ -48,3 +48,7 @@ val verbosef : ('a, unit, string, unit) format4 -> 'a
 (** Warning: always printed to stderr (even under [--quiet]) and also
     emitted as a structured [Warn] event when the level gate allows. *)
 val warnf : ('a, unit, string, unit) format4 -> 'a
+
+(** Like {!warnf} but printed verbatim — no ["warning: "] prefix.  Use
+    for findings that carry their own tag (e.g. ["lint: ..."]). *)
+val notef : ('a, unit, string, unit) format4 -> 'a

@@ -22,7 +22,12 @@ type buffer = {
   b_lock : Mutex.t;  (* events read cross-domain; writes are owner-only *)
 }
 
-(* Every domain's buffer, so a single domain can merge them all. *)
+(* Every domain's buffer, so a single domain can merge them all.  A
+   buffer stays registered after its domain exits — [clear] empties it
+   but never unlinks it — so repeated pool resize/shutdown cycles leak
+   one small record per dead domain.  Fine for a CLI process; a
+   long-lived service cycling pools would want pruning, or buffers
+   keyed by domain id and reused. *)
 let buffers : buffer list ref = ref []
 let buffers_lock = Mutex.create ()
 
@@ -83,7 +88,10 @@ let clear () =
     (fun b -> Mutex.protect b.b_lock (fun () -> b.b_events <- []))
     bs
 
-let chrome_event ev =
+(* Trace timestamps are rebased to the earliest recorded span so the
+   microsecond values stay far below the float integer-precision
+   boundary — epoch seconds times 1e6 would not survive a double. *)
+let chrome_event ~origin ev =
   let args =
     match ev.ev_attrs with [] -> [] | attrs -> [ ("args", Json.Obj attrs) ]
   in
@@ -91,7 +99,7 @@ let chrome_event ev =
     ([ ("name", Json.String ev.ev_name);
        ("cat", Json.String "factor");
        ("ph", Json.String "X");
-       ("ts", Json.Float (ev.ev_ts *. 1e6));
+       ("ts", Json.Float ((ev.ev_ts -. origin) *. 1e6));
        ("dur", Json.Float (ev.ev_dur *. 1e6));
        ("pid", Json.Int 1);
        ("tid", Json.Int ev.ev_tid) ]
@@ -101,12 +109,13 @@ let write_chrome_trace file =
   let evs =
     List.sort (fun a b -> Float.compare a.ev_ts b.ev_ts) (events ())
   in
+  let origin = match evs with [] -> 0.0 | ev :: _ -> ev.ev_ts in
   let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       let buf = Buffer.create 4096 in
-      Json.to_buffer buf (Json.List (List.map chrome_event evs));
+      Json.to_buffer buf (Json.List (List.map (chrome_event ~origin) evs));
       Buffer.add_char buf '\n';
       Buffer.output_buffer oc buf)
 

@@ -26,7 +26,13 @@ val enabled : unit -> bool
 
 (** [with_ ?attrs name f] runs [f ()] inside a span named [name].  When
     tracing is disabled this is exactly [f ()].  The span is recorded
-    even when [f] raises. *)
+    even when [f] raises.
+
+    The [attrs] list is built by the {e caller}, so it is allocated even
+    when tracing is off.  On hot per-fault / per-signal paths, guard the
+    whole call:
+    {[ if Span.enabled () then Span.with_ "x" ~attrs:[...] body
+       else body () ]} *)
 val with_ : ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
 
 (** All finished spans from every domain, in no particular order. *)
@@ -36,8 +42,9 @@ val events : unit -> event list
 val clear : unit -> unit
 
 (** Write the recorded spans as a Chrome trace-event JSON file (an array
-    of complete ["ph":"X"] events, timestamps in microseconds), loadable
-    in [chrome://tracing] or Perfetto. *)
+    of complete ["ph":"X"] events, timestamps in microseconds since the
+    earliest recorded span), loadable in [chrome://tracing] or
+    Perfetto. *)
 val write_chrome_trace : string -> unit
 
 (** Aggregated per-name profile rows: [(name, count, total, self)],

@@ -131,11 +131,7 @@ let attempt c ~cone ~frames ~piers ~pier_set ~fnet ~stuck ~conflict_limit =
   in
   (result, decoded, Solver.stats sv)
 
-let run ?(max_frames = 1) ?(conflict_limit = 20_000) ?(piers = []) c ~net
-    ~stuck =
-  Obs.Span.with_ "sat.atpg"
-    ~attrs:[ ("net", Obs.Json.Int net); ("stuck", Obs.Json.Bool stuck) ]
-  @@ fun () ->
+let run_body ~max_frames ~conflict_limit ~piers c ~net ~stuck =
   let cone = fault_cone c net in
   let pier_set = Array.make (Netlist.num_ffs c) false in
   List.iter (fun i -> pier_set.(i) <- true) piers;
@@ -156,3 +152,13 @@ let run ?(max_frames = 1) ?(conflict_limit = 20_000) ?(piers = []) c ~net
   in
   let outcome = loop 1 in
   (outcome, !stats)
+
+(* per-fault span: guard attr construction so untraced SAT sweeps pay
+   nothing for instrumentation *)
+let run ?(max_frames = 1) ?(conflict_limit = 20_000) ?(piers = []) c ~net
+    ~stuck =
+  if Obs.Span.enabled () then
+    Obs.Span.with_ "sat.atpg"
+      ~attrs:[ ("net", Obs.Json.Int net); ("stuck", Obs.Json.Bool stuck) ]
+      (fun () -> run_body ~max_frames ~conflict_limit ~piers c ~net ~stuck)
+  else run_body ~max_frames ~conflict_limit ~piers c ~net ~stuck

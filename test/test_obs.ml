@@ -194,21 +194,49 @@ let disabled_tracing_no_alloc () =
   Obs.Span.set_enabled false;
   let acc = ref 0 in
   let f () = incr acc in
+  (* the guarded pattern hot sites use for spans that carry attributes:
+     nothing — not even the attr list — may be built when disabled *)
+  let guarded i =
+    if Obs.Span.enabled () then
+      Obs.Span.with_ "noop" ~attrs:[ ("i", Obs.Json.Int i) ] f
+    else f ()
+  in
   (* warm-up, then measure: a disabled span must be a direct call *)
-  for _ = 1 to 1_000 do
-    Obs.Span.with_ "noop" f
+  for i = 1 to 1_000 do
+    Obs.Span.with_ "noop" f;
+    guarded i
   done;
   let before = Gc.allocated_bytes () in
-  for _ = 1 to 10_000 do
-    Obs.Span.with_ "noop" f
+  for i = 1 to 10_000 do
+    Obs.Span.with_ "noop" f;
+    guarded i
   done;
   let after = Gc.allocated_bytes () in
   ignore (Sys.opaque_identity !acc);
   (* allow the boxed floats of the measurement itself, nothing more *)
   check_bool
-    (Printf.sprintf "10k disabled spans allocated %.0f bytes" (after -. before))
+    (Printf.sprintf "20k disabled spans allocated %.0f bytes" (after -. before))
     true
     (after -. before < 1024.0)
+
+(* Epoch timestamps and microsecond trace values must survive the JSON
+   printer bit-for-bit — a lossy float format collapses every event of a
+   run onto one timestamp. *)
+let float_round_trip () =
+  List.iter
+    (fun f ->
+      let s = Obs.Json.to_string (Obs.Json.Float f) in
+      match float_of_string_opt s with
+      | Some f' ->
+        check_bool (Printf.sprintf "%h survives printing as %s" f s) true
+          (f' = f)
+      | None -> Alcotest.failf "%h printed as unparsable %s" f s)
+    [ Unix.gettimeofday ();
+      1.7712345678901234e9;          (* epoch seconds *)
+      1.7712345678901234e15;         (* epoch microseconds *)
+      0.0012345678901234567;
+      Float.pi;
+      1e15 +. 0.5 ]
 
 (* ------------------------------------------------------------------ *)
 (* Metrics.                                                            *)
@@ -347,6 +375,13 @@ let chrome_trace_wellformed () =
     let tss = List.map (fun ev -> num ev "ts") evs in
     check_bool "events sorted by start time" true
       (List.sort compare tss = tss);
+    (* timestamps are rebased to the run origin and must not collapse:
+       the second child starts ~1ms after the first (root and first
+       child may legitimately share a microsecond) *)
+    check_bool "first event starts at the origin" true
+      (List.hd tss = 0.0);
+    check_bool "sequential spans keep distinct timestamps" true
+      (List.fold_left Float.max 0.0 tss >= 500.0);
     let named n =
       List.filter (fun ev -> field ev "name" = JStr n) evs
     in
@@ -439,6 +474,7 @@ let () =
           test "nesting and self time" span_nesting_self_time;
           test "exception path records the span" span_exception_recorded;
           test "disabled tracing allocates nothing" disabled_tracing_no_alloc;
+          test "floats print round-trippably" float_round_trip;
         ] );
       ( "metrics",
         [
