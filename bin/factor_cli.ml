@@ -175,6 +175,21 @@ let apply_jobs j =
   Engine.Pool.set_jobs j;
   j
 
+(* --fsim: which fault-simulation engine backs grading, generation,
+   compaction and diagnosis.  Packed (PPSFP) is the default; the others
+   are escape hatches and differential baselines. *)
+let fsim_arg =
+  let doc =
+    "Fault-simulation engine: 'packed' (pattern-parallel PPSFP, the \
+     default), 'event' (parallel-fault event-driven) or 'reference' \
+     (straight-line oracle).  All three produce identical detection \
+     flags."
+  in
+  Arg.(value & opt (enum Atpg.Fsim.engine_kinds) Atpg.Fsim.Packed
+       & info [ "fsim" ] ~docv:"ENGINE" ~doc)
+
+let apply_fsim kind = Atpg.Fsim.set_engine kind
+
 (* the top module: explicit flag, the bundled benchmark's top, or the
    last module in the file *)
 let resolve_top design path top =
@@ -327,10 +342,11 @@ let atpg_cmd =
            Atpg.Gen.Hybrid
          & info [ "engine" ] ~docv:"ENGINE" ~doc)
   in
-  let run () path top mut budget frames use_piers engine jobs output =
+  let run () path top mut budget frames use_piers engine jobs fsim output =
     handle_errors (fun () ->
         Obs.Span.with_ "cli.atpg" @@ fun () ->
         let jobs = apply_jobs jobs in
+        apply_fsim fsim;
         let design = read_design path in
         let top = resolve_top design path top in
         let ed = Design.Elaborate.elaborate design ~top in
@@ -376,7 +392,8 @@ let atpg_cmd =
   let doc = "Run sequential test generation on a design." in
   Cmd.v (Cmd.info "atpg" ~doc)
     Term.(const run $ obs_term $ design_arg $ top_arg $ mut_opt $ budget
-          $ frames $ piers_flag $ engine_arg $ jobs_arg $ out_vectors)
+          $ frames $ piers_flag $ engine_arg $ jobs_arg $ fsim_arg
+          $ out_vectors)
 
 (* ------------------------------ sat ------------------------------- *)
 
@@ -489,10 +506,11 @@ let grade_cmd =
     let doc = "Treat load/store-reachable registers as observable." in
     Arg.(value & flag & info [ "piers" ] ~doc)
   in
-  let run () path vec_file top mut use_piers jobs =
+  let run () path vec_file top mut use_piers jobs fsim =
     handle_errors (fun () ->
         Obs.Span.with_ "cli.grade" @@ fun () ->
         let jobs = apply_jobs jobs in
+        apply_fsim fsim;
         let design = read_design path in
         let top = resolve_top design path top in
         let ed = Design.Elaborate.elaborate design ~top in
@@ -525,15 +543,16 @@ let grade_cmd =
   let doc = "Fault-simulate a vector file against a design (grade tests)." in
   Cmd.v (Cmd.info "grade" ~doc)
     Term.(const run $ obs_term $ design_arg $ vec_arg $ top_arg $ mut_opt
-          $ piers_flag $ jobs_arg)
+          $ piers_flag $ jobs_arg $ fsim_arg)
 
 (* ------------------------------ demo ------------------------------ *)
 
 let demo_cmd =
-  let run () jobs =
+  let run () jobs fsim =
     handle_errors (fun () ->
         Obs.Span.with_ "cli.demo" @@ fun () ->
         let jobs = apply_jobs jobs in
+        apply_fsim fsim;
         let env = Factor.Compose.make_env (Arm.Rtl.design ()) ~top:Arm.Rtl.top in
         let session = Factor.Compose.create_session () in
         (* extraction is sequential (it fills the shared constraint
@@ -577,7 +596,8 @@ let demo_cmd =
           rows atpg_rows)
   in
   let doc = "FACTOR-ise the bundled ARM benchmark end to end." in
-  Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ obs_term $ jobs_arg)
+  Cmd.v (Cmd.info "demo" ~doc)
+    Term.(const run $ obs_term $ jobs_arg $ fsim_arg)
 
 let () =
   let doc = "hierarchical functional test generation and testability analysis" in

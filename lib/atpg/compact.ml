@@ -21,28 +21,28 @@ let run c ~observe ~faults tests =
   let n = Array.length fault_arr in
   let detected = Array.make n false in
   let keep = ref [] in
-  List.iter
-    (fun test ->
-      let remaining =
-        Array.of_list
-          (List.filter (fun i -> not detected.(i)) (List.init n Fun.id))
-      in
-      if Array.length remaining > 0 then begin
-        (* fault-simulate this single test against what is left *)
-        let flags =
-          Fsim.run_test c ~observe ~faults:fault_arr ~active:remaining test
-        in
-        let news = ref 0 in
-        Array.iteri
-          (fun k i ->
-            if flags.(k) && not detected.(i) then begin
-              detected.(i) <- true;
-              incr news
-            end)
-          remaining;
-        if !news > 0 then keep := test :: !keep
-      end)
-    (List.rev tests);
+  (* One packed pass computes the full fault x test detection matrix
+     (the packed engine words the test set into pattern lanes); the
+     greedy reverse-order scan then just reads bytes.  Detection of a
+     fault by a test is independent of every other fault and test, so
+     the kept set is identical to re-simulating the shrinking remainder
+     per test. *)
+  let tests_arr = Array.of_list tests in
+  let nt = Array.length tests_arr in
+  let sigs =
+    Fsim.run_matrix c ~observe ~faults:fault_arr
+      ~active:(Array.init n Fun.id) tests_arr
+  in
+  for ti = nt - 1 downto 0 do
+    let news = ref 0 in
+    for i = 0 to n - 1 do
+      if (not detected.(i)) && Bytes.get sigs.(i) ti = '\001' then begin
+        detected.(i) <- true;
+        incr news
+      end
+    done;
+    if !news > 0 then keep := tests_arr.(ti) :: !keep
+  done;
   let kept = !keep in
   { cp_tests = kept;
     cp_before = List.length tests;

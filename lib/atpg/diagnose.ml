@@ -15,19 +15,15 @@ type dictionary = {
 }
 
 (* Signature of one fault over the tests: fault simulation without
-   dropping (diagnosis needs the full signature, not first detection). *)
+   dropping (diagnosis needs the full signature, not first detection).
+   This is exactly [Fsim.run_matrix] — under the packed engine the whole
+   dictionary costs one good simulation plus one sweep per fault per
+   word of tests. *)
 let signatures c ~observe ~faults tests =
   let fault_arr = Array.of_list faults in
-  let nf = Array.length fault_arr in
-  let nt = List.length tests in
-  let sigs = Array.init nf (fun _ -> Bytes.make nt '\000') in
-  let all = Array.init nf Fun.id in
-  List.iteri
-    (fun ti test ->
-      let flags = Fsim.run_test c ~observe ~faults:fault_arr ~active:all test in
-      Array.iteri (fun fi hit -> if hit then Bytes.set sigs.(fi) ti '\001') flags)
-    tests;
-  sigs
+  Fsim.run_matrix c ~observe ~faults:fault_arr
+    ~active:(Array.init (Array.length fault_arr) Fun.id)
+    (Array.of_list tests)
 
 (** [build c ~observe ~faults tests] precomputes the dictionary. *)
 let build c ~observe ~faults tests =

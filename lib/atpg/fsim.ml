@@ -1,25 +1,35 @@
-(** Parallel-fault sequential fault simulation: bit column 0 carries the
-    good circuit, columns 1..63 carry one faulty circuit each, all driven
-    by the same test sequence.  Flip-flops start at X (except loaded PIER
-    registers), so detection is conservative exactly like the pattern
-    translation the paper performs.
+(** Sequential fault simulation behind three interchangeable engines.
 
-    Two engines share the detection semantics:
+    - {b Packed} (PPSFP, the default): test patterns are packed into the
+      lanes of a native machine word ({!Sim.Packed}, up to
+      [Sys.int_size] patterns per word).  The good circuit is simulated
+      once per word — every gate evaluation settles a whole word of
+      patterns in a handful of unboxed bit ops over dual-rail planes —
+      and each fault is then event-driven through the word: injection is
+      a per-net stuck mask (two AND/OR ops), and only nets whose packed
+      value diverges from the good planes are re-evaluated, seeded at
+      the injection site and at flip-flops whose faulty state word
+      differs.
+    - {b Event}: the parallel-fault engine — bit column 0 of a
+      {!Sim.Logic3} word carries the good circuit, columns 1..63 one
+      faulty circuit each, one test at a time.  Still used for
+      single-test grading ({!run_test}), where there is only one pattern
+      to pack.
+    - {b Reference}: the straight-line oracle — every net re-evaluated
+      on every frame of every 63-fault batch.  Kept as the differential
+      oracle ({!run_batch_reference}) and benchmark baseline.
 
-    - {!run_batch_reference}: the straight-line engine — every net is
-      re-evaluated on every frame of every batch.  Kept as the oracle for
-      differential testing and as the benchmark baseline.
-    - the event-driven engine behind {!run} and {!run_test}: the
-      fault-free circuit is simulated once per test and its per-frame net
-      values cached; each fault batch then only re-evaluates nets inside
-      the fanout cones that actually diverge from the good value, driven
-      by a levelized event queue seeded at the injection sites and at
-      flip-flops whose faulty state differs from the good state.  Fault
-      injection is an O(1) per-net mask lookup instead of a hash probe. *)
+    All engines share the detection semantics: flip-flops start at X
+    (except loaded PIER registers), so detection is conservative exactly
+    like the pattern translation the paper performs, and a fault's
+    detection by a test never depends on other faults or tests — which
+    is why fault dropping, sharding and word-packing are all
+    bit-identical to the serial reference. *)
 
 module N = Netlist
 module A = N.Analysis
 module L = Sim.Logic3
+module P = Sim.Packed
 
 type observe = {
   ob_pos : bool;        (** observe primary outputs every cycle *)
@@ -28,16 +38,61 @@ type observe = {
 
 let default_observe = { ob_pos = true; ob_pier_ffs = [] }
 
-(* Net evaluations performed by either engine since program start; the
-   microbenchmark reports deltas of this.  Backed by the process-wide
-   metrics registry so a metrics dump sees it too; hot loops accumulate
-   locally and flush once per batch. *)
+(* ------------------------------------------------------------------ *)
+(* Engine selection.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type engine_kind = Packed | Event | Reference
+
+let engine_kinds =
+  [ ("packed", Packed); ("event", Event); ("reference", Reference) ]
+
+let engine_kind_name = function
+  | Packed -> "packed"
+  | Event -> "event"
+  | Reference -> "reference"
+
+(* Process-global default, overridable per call with [?engine]; the CLI
+   [--fsim] flag sets this once at startup. *)
+let default_kind = ref Packed
+let set_engine k = default_kind := k
+let current_engine () = !default_kind
+let resolve engine = Option.value engine ~default:!default_kind
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: each engine owns its own eval counter so a registry dump    *)
+(* (and BENCH_fsim's [metrics] section) is attributable per engine.     *)
+(* Hot loops accumulate locally and flush once per batch.               *)
+(* ------------------------------------------------------------------ *)
+
 let eval_counter = Obs.Metrics.counter "factor.fsim.evals"
 let eval_count () = Obs.Metrics.value eval_counter
 let add_evals k = Obs.Metrics.add eval_counter k
 
+let ref_eval_counter = Obs.Metrics.counter "factor.fsim.ref_evals"
+let ref_eval_count () = Obs.Metrics.value ref_eval_counter
+let add_ref_evals k = Obs.Metrics.add ref_eval_counter k
+
+let packed_eval_counter = Obs.Metrics.counter "factor.fsim.packed_evals"
+let packed_eval_count () = Obs.Metrics.value packed_eval_counter
+let add_packed_evals k = Obs.Metrics.add packed_eval_counter k
+
 let good_sims_counter = Obs.Metrics.counter "factor.fsim.good_sims"
 let batches_counter = Obs.Metrics.counter "factor.fsim.batches"
+
+(* One packed word = up to [Sim.Packed.width] tests simulated together. *)
+let packed_words_counter = Obs.Metrics.counter "factor.fsim.packed_words"
+let packed_word_count () = Obs.Metrics.value packed_words_counter
+
+(* One packed batch = one fault set swept through one word. *)
+let packed_batches_counter = Obs.Metrics.counter "factor.fsim.packed_batches"
+
+let packed_batch_hist = Obs.Metrics.histogram "factor.fsim.packed_batch_s"
+
+let evals_for = function
+  | Packed -> packed_eval_count ()
+  | Event -> eval_count ()
+  | Reference -> ref_eval_count ()
 
 (* Columns (other than 0) whose value provably differs from column 0. *)
 let detected_mask (v : L.t) : int64 =
@@ -72,7 +127,7 @@ let inject table net (v : L.t) : L.t =
 (** [run_batch_reference c ~order ~faults ~observe test] simulates [test]
     against at most 63 faults by evaluating every net on every frame;
     returns a bool array aligned with [faults] marking the detected
-    ones.  The oracle the event-driven engine is checked against. *)
+    ones.  The oracle the other engines are checked against. *)
 let run_batch_reference c ~order ~faults ~observe (test : Pattern.test) =
   let nf = List.length faults in
   assert (nf <= 63);
@@ -104,7 +159,7 @@ let run_batch_reference c ~order ~faults ~observe (test : Pattern.test) =
         in
         values.(net) <- inject table net v)
       order;
-    add_evals (Array.length order)
+    add_ref_evals (Array.length order)
   in
   let frames = Array.length test.Pattern.p_vectors in
   for f = 0 to frames - 1 do
@@ -125,6 +180,45 @@ let run_batch_reference c ~order ~faults ~observe (test : Pattern.test) =
     (fun i _ ->
       Int64.logand (Int64.shift_right_logical !detected (i + 1)) 1L = 1L)
     faults
+
+(* One test against the faults selected by [active], in 63-fault
+   reference batches; flags align with [active]. *)
+let run_test_reference c ~observe ~(faults : Fault.t array)
+    ~(active : int array) test =
+  let order = (N.analysis c).A.order in
+  let len = Array.length active in
+  let flags = Array.make len false in
+  let pos = ref 0 in
+  while !pos < len do
+    let k = min 63 (len - !pos) in
+    let start = !pos in
+    let batch = List.init k (fun i -> faults.(active.(start + i))) in
+    let res = run_batch_reference c ~order ~faults:batch ~observe test in
+    List.iteri (fun i hit -> if hit then flags.(start + i) <- true) res;
+    pos := !pos + k
+  done;
+  flags
+
+(* Multi-test reference run with per-test fault dropping — the dropping
+   semantics every engine shares. *)
+let run_reference c ~observe ~faults tests =
+  let fault_arr = Array.of_list faults in
+  let n = Array.length fault_arr in
+  let detected = Array.make n false in
+  List.iter
+    (fun test ->
+      let active =
+        Array.of_list
+          (List.filter (fun i -> not detected.(i)) (List.init n Fun.id))
+      in
+      if Array.length active > 0 then begin
+        let flags =
+          run_test_reference c ~observe ~faults:fault_arr ~active test
+        in
+        Array.iteri (fun k i -> if flags.(k) then detected.(i) <- true) active
+      end)
+    tests;
+  detected
 
 (* ------------------------------------------------------------------ *)
 (* Event-driven engine.                                                *)
@@ -371,38 +465,15 @@ let run_active eng good ~observe ~(faults : Fault.t array) ~(active : int array)
     pos := !pos + k
   done
 
-(** [run_test c ~observe ~faults ~active test] simulates one test against
-    [faults.(i)] for each [i] in [active]; the result aligns with
-    [active].  The good circuit is simulated once and shared by every
-    63-fault batch. *)
-let run_test c ~observe ~faults ~active test =
+let run_test_event c ~observe ~faults ~active test =
   let eng = make_engine c in
   let good = good_sim eng test in
   let flags = Array.make (Array.length active) false in
   run_active eng good ~observe ~faults ~active ~flags test;
   flags
 
-(** [run_test_sharded ~jobs c ~observe ~faults ~active test] is
-    {!run_test} with the active faults sharded across the global domain
-    pool: each shard owns a disjoint contiguous slice of [active] and
-    its own injection state, the immutable circuit and its
-    [Netlist.Analysis] are shared.  Per-fault flags are independent, so
-    the ordered merge is bit-identical to the serial run. *)
-let run_test_sharded ~jobs c ~observe ~faults ~active test =
-  if jobs <= 1 || Array.length active < 128 then
-    run_test c ~observe ~faults ~active test
-  else
-    let pool = Engine.Pool.global () in
-    let parts =
-      Engine.Shard.map_chunks pool ~shards:jobs
-        (fun sub -> run_test c ~observe ~faults ~active:sub test)
-        active
-    in
-    Array.concat (Array.to_list parts)
-
-(** [run c ~observe ~faults tests] fault-simulates every test with fault
-    dropping; returns per-fault detection flags aligned with [faults]. *)
-let run c ~observe ~faults tests =
+(* Multi-test event-driven run with per-test fault dropping. *)
+let run_event c ~observe ~faults tests =
   let fault_arr = Array.of_list faults in
   let n = Array.length fault_arr in
   let detected = Array.make n false in
@@ -435,23 +506,595 @@ let run c ~observe ~faults tests =
   end;
   detected
 
-(** [run_sharded ~jobs c ~observe ~faults tests] is {!run} with the
-    fault list partitioned into [jobs] deterministic contiguous shards,
-    each simulated by its own domain with its own injection state and
-    local fault dropping over the shared immutable circuit; shard flags
-    are merged in shard order.  Detection of a fault never depends on
-    any other fault, so the result is bit-identical to the serial
-    {!run} for every [jobs]. *)
-let run_sharded ~jobs c ~observe ~faults tests =
-  let n = List.length faults in
-  if jobs <= 1 || n < 128 then run c ~observe ~faults tests
-  else begin
+(* ------------------------------------------------------------------ *)
+(* Packed engine (PPSFP): patterns in word lanes, one fault at a time.  *)
+(* ------------------------------------------------------------------ *)
+
+(* Good-simulation bit planes of one word of tests: [pg_hi.(f).(net)] /
+   [pg_lo.(f).(net)] are net values during frame [f]; [pg_sth.(f).(i)] /
+   [pg_stl.(f).(i)] the flip-flop state at the {e start} of frame [f]
+   (entry [frames] holds the state after the last frame, for PIER
+   observation).  Read-only once built, so shards may share one copy. *)
+type pgood = {
+  pg_hi : int array array;
+  pg_lo : int array array;
+  pg_sth : int array array;
+  pg_stl : int array array;
+}
+
+(* Per-domain scratch of the packed engine: structure-of-arrays planes
+   indexed by net, reused across frames, faults and words.  The sweep is
+   strictly activity-proportional — state divergence is tracked as a
+   list (fed by [xffd], a net -> flip-flop CSR), never by scanning all
+   flip-flops, so a fault with a five-net cone costs a handful of ops
+   per frame no matter how much state the circuit has. *)
+type pengine = {
+  xc : N.t;
+  xinfo : A.info;
+  xgh : int array;             (* good hi plane for the frame being built *)
+  xgl : int array;
+  xsh : int array;             (* good state hi plane *)
+  xsl : int array;
+  xfh : int array;             (* faulty hi plane, valid where xdirty *)
+  xfl : int array;
+  xdirty : bool array;
+  xqueued : bool array;
+  xtouched : int array;
+  mutable xtouched_n : int;
+  xbuckets : int list array;
+  xfsh : int array;            (* faulty state, valid where xsdirty *)
+  xfsl : int array;
+  xsdirty : bool array;
+  xsdirty_list : int array;    (* the flip-flops behind the xsdirty flags *)
+  mutable xsdirty_n : int;
+  xffd_off : int array;        (* net -> flip-flops it drives (CSR) *)
+  xffd : int array;
+}
+
+let make_pengine c =
+  let info = N.analysis c in
+  let n = N.num_nets c in
+  let nff = max 1 (N.num_ffs c) in
+  (* CSR of d-input net -> flip-flop indices *)
+  let xffd_off = Array.make (n + 1) 0 in
+  Array.iter (fun d -> xffd_off.(d + 1) <- xffd_off.(d + 1) + 1) c.N.ff_d;
+  for i = 1 to n do
+    xffd_off.(i) <- xffd_off.(i) + xffd_off.(i - 1)
+  done;
+  let xffd = Array.make (max 1 (N.num_ffs c)) 0 in
+  let cursor = Array.copy xffd_off in
+  Array.iteri
+    (fun i d ->
+      xffd.(cursor.(d)) <- i;
+      cursor.(d) <- cursor.(d) + 1)
+    c.N.ff_d;
+  { xc = c; xinfo = info;
+    xgh = Array.make n 0;
+    xgl = Array.make n 0;
+    xsh = Array.make nff 0;
+    xsl = Array.make nff 0;
+    xfh = Array.make n 0;
+    xfl = Array.make n 0;
+    xdirty = Array.make n false;
+    xqueued = Array.make n false;
+    xtouched = Array.make n 0;
+    xtouched_n = 0;
+    xbuckets = Array.make (info.A.max_level + 1) [];
+    xfsh = Array.make nff 0;
+    xfsl = Array.make nff 0;
+    xsdirty = Array.make nff false;
+    xsdirty_list = Array.make nff 0;
+    xsdirty_n = 0;
+    xffd_off;
+    xffd }
+
+let batch_of_tests c (chunk : Pattern.test array) =
+  P.make_batch ~num_pis:(N.num_pis c) ~num_ffs:(N.num_ffs c)
+    ~vectors:(Array.map (fun t -> t.Pattern.p_vectors) chunk)
+    ~loads:(Array.map (fun t -> t.Pattern.p_loads) chunk)
+
+(* Simulate the fault-free circuit over a whole word of tests: one
+   linear sweep of the topo order per frame, every gate settling all
+   lanes at once. *)
+let packed_good_sim eng (b : P.batch) =
+  Obs.Metrics.incr packed_words_counter;
+  let c = eng.xc in
+  let n = N.num_nets c in
+  let nff = N.num_ffs c in
+  let frames = b.P.b_frames in
+  let pg_hi = Array.init frames (fun _ -> Array.make n 0) in
+  let pg_lo = Array.init frames (fun _ -> Array.make n 0) in
+  let pg_sth = Array.init (frames + 1) (fun _ -> Array.make (max 1 nff) 0) in
+  let pg_stl = Array.init (frames + 1) (fun _ -> Array.make (max 1 nff) 0) in
+  let gh = eng.xgh and gl = eng.xgl in
+  let sh = eng.xsh and sl = eng.xsl in
+  Array.fill sh 0 (Array.length sh) 0;
+  Array.fill sl 0 (Array.length sl) 0;
+  for i = 0 to nff - 1 do
+    sh.(i) <- b.P.b_load_hi.(i);
+    sl.(i) <- b.P.b_load_lo.(i)
+  done;
+  let order = eng.xinfo.A.order in
+  let m = b.P.b_mask in
+  for f = 0 to frames - 1 do
+    Array.blit sh 0 pg_sth.(f) 0 nff;
+    Array.blit sl 0 pg_stl.(f) 0 nff;
+    let pih = b.P.b_pi_hi.(f) and pil = b.P.b_pi_lo.(f) in
+    Array.iter
+      (fun net ->
+        match c.N.drv.(net) with
+        | N.Pi i -> gh.(net) <- pih.(i); gl.(net) <- pil.(i)
+        | N.Ff i -> gh.(net) <- sh.(i); gl.(net) <- sl.(i)
+        | N.C0 -> gh.(net) <- 0; gl.(net) <- m
+        | N.C1 -> gh.(net) <- m; gl.(net) <- 0
+        | N.G1 (N.Inv, a) -> gh.(net) <- gl.(a); gl.(net) <- gh.(a)
+        | N.G1 (N.Buff, a) -> gh.(net) <- gh.(a); gl.(net) <- gl.(a)
+        | N.G2 (N.And, a, b) ->
+          gh.(net) <- gh.(a) land gh.(b);
+          gl.(net) <- gl.(a) lor gl.(b)
+        | N.G2 (N.Or, a, b) ->
+          gh.(net) <- gh.(a) lor gh.(b);
+          gl.(net) <- gl.(a) land gl.(b)
+        | N.G2 (N.Xor, a, b) ->
+          gh.(net) <- (gh.(a) land gl.(b)) lor (gl.(a) land gh.(b));
+          gl.(net) <- (gh.(a) land gh.(b)) lor (gl.(a) land gl.(b))
+        | N.G2 (N.Nand, a, b) ->
+          gh.(net) <- gl.(a) lor gl.(b);
+          gl.(net) <- gh.(a) land gh.(b)
+        | N.G2 (N.Nor, a, b) ->
+          gh.(net) <- gl.(a) land gl.(b);
+          gl.(net) <- gh.(a) lor gh.(b)
+        | N.G2 (N.Xnor, a, b) ->
+          gh.(net) <- (gh.(a) land gh.(b)) lor (gl.(a) land gl.(b));
+          gl.(net) <- (gh.(a) land gl.(b)) lor (gl.(a) land gh.(b))
+        | N.Mux (s, a, b) ->
+          gh.(net) <-
+            (gh.(s) land gh.(b)) lor (gl.(s) land gh.(a))
+            lor (gh.(a) land gh.(b));
+          gl.(net) <-
+            (gh.(s) land gl.(b)) lor (gl.(s) land gl.(a))
+            lor (gl.(a) land gl.(b)))
+      order;
+    add_packed_evals (Array.length order);
+    Array.blit gh 0 pg_hi.(f) 0 n;
+    Array.blit gl 0 pg_lo.(f) 0 n;
+    Array.iteri
+      (fun i d ->
+        sh.(i) <- gh.(d);
+        sl.(i) <- gl.(d))
+      c.N.ff_d
+  done;
+  Array.blit sh 0 pg_sth.(frames) 0 nff;
+  Array.blit sl 0 pg_stl.(frames) 0 nff;
+  { pg_hi; pg_lo; pg_sth; pg_stl }
+
+(* Event-drive one fault through the whole word: injection is two mask
+   ops at the fault net, and only nets whose packed value diverges from
+   the good planes are re-evaluated.  Returns the per-lane detection
+   mask, already restricted to the lanes still inside their own test
+   ([b_active]) and, for PIER observation, to each lane's own final
+   frame ([b_last]).  With [stop_on_detect] the sweep ends at the first
+   frame that detects the fault in any lane — sound whenever the caller
+   only fault-drops on the mask (the remaining frames could only set
+   more lane bits), and the dominant saving on dropping runs where most
+   faults fall in the first frames of the first word. *)
+(* PIER membership as a bitmap over flip-flop indices, built once per
+   word (or run) so the sweep never walks the pier list. *)
+let pier_flags c observe =
+  let a = Array.make (max 1 (N.num_ffs c)) false in
+  List.iter (fun ff -> a.(ff) <- true) observe.ob_pier_ffs;
+  a
+
+let packed_sweep eng good (b : P.batch) ~observe ~piers ~stop_on_detect
+    (flt : Fault.t) =
+  let c = eng.xc in
+  let info = eng.xinfo in
+  let inj_net = flt.Fault.f_net in
+  let inj_hi = if flt.Fault.f_stuck then b.P.b_mask else 0 in
+  let inj_lo = if flt.Fault.f_stuck then 0 else b.P.b_mask in
+  (* clear state divergence left over from an early-exited sweep *)
+  for k = 0 to eng.xsdirty_n - 1 do
+    eng.xsdirty.(eng.xsdirty_list.(k)) <- false
+  done;
+  eng.xsdirty_n <- 0;
+  let detected = ref 0 in
+  let evals = ref 0 in
+  let frames = b.P.b_frames in
+  let fr = ref 0 in
+  while !fr < frames && not (stop_on_detect && !detected <> 0) do
+    let f = !fr in
+    let gh = good.pg_hi.(f) and gl = good.pg_lo.(f) in
+    let gsh = good.pg_sth.(f) and gsl = good.pg_stl.(f) in
+    let pih = b.P.b_pi_hi.(f) and pil = b.P.b_pi_lo.(f) in
+    let vh a = if eng.xdirty.(a) then eng.xfh.(a) else gh.(a) in
+    let vl a = if eng.xdirty.(a) then eng.xfl.(a) else gl.(a) in
+    let schedule net =
+      if not eng.xqueued.(net) then begin
+        eng.xqueued.(net) <- true;
+        let lv = info.A.level.(net) in
+        eng.xbuckets.(lv) <- net :: eng.xbuckets.(lv)
+      end
+    in
+    schedule inj_net;
+    for k = 0 to eng.xsdirty_n - 1 do
+      schedule c.N.ff_q.(eng.xsdirty_list.(k))
+    done;
+    for lv = 0 to info.A.max_level do
+      let rec drain = function
+        | [] -> ()
+        | net :: rest ->
+          eng.xqueued.(net) <- false;
+          let nh = ref 0 and nl = ref 0 in
+          if net = inj_net then begin
+            nh := inj_hi;
+            nl := inj_lo
+          end
+          else begin
+            (match c.N.drv.(net) with
+             | N.Pi i -> nh := pih.(i); nl := pil.(i)
+             | N.Ff i ->
+               if eng.xsdirty.(i) then begin
+                 nh := eng.xfsh.(i);
+                 nl := eng.xfsl.(i)
+               end
+               else begin
+                 nh := gsh.(i);
+                 nl := gsl.(i)
+               end
+             | N.C0 -> nh := 0; nl := b.P.b_mask
+             | N.C1 -> nh := b.P.b_mask; nl := 0
+             | N.G1 (N.Inv, a) -> nh := vl a; nl := vh a
+             | N.G1 (N.Buff, a) -> nh := vh a; nl := vl a
+             | N.G2 (N.And, a, b) ->
+               nh := vh a land vh b;
+               nl := vl a lor vl b
+             | N.G2 (N.Or, a, b) ->
+               nh := vh a lor vh b;
+               nl := vl a land vl b
+             | N.G2 (N.Xor, a, b) ->
+               nh := (vh a land vl b) lor (vl a land vh b);
+               nl := (vh a land vh b) lor (vl a land vl b)
+             | N.G2 (N.Nand, a, b) ->
+               nh := vl a lor vl b;
+               nl := vh a land vh b
+             | N.G2 (N.Nor, a, b) ->
+               nh := vl a land vl b;
+               nl := vh a lor vh b
+             | N.G2 (N.Xnor, a, b) ->
+               nh := (vh a land vh b) lor (vl a land vl b);
+               nl := (vh a land vl b) lor (vl a land vh b)
+             | N.Mux (s, a, b) ->
+               nh :=
+                 (vh s land vh b) lor (vl s land vh a)
+                 lor (vh a land vh b);
+               nl :=
+                 (vh s land vl b) lor (vl s land vl a)
+                 lor (vl a land vl b))
+          end;
+          incr evals;
+          if !nh <> gh.(net) || !nl <> gl.(net) then begin
+            eng.xfh.(net) <- !nh;
+            eng.xfl.(net) <- !nl;
+            eng.xdirty.(net) <- true;
+            eng.xtouched.(eng.xtouched_n) <- net;
+            eng.xtouched_n <- eng.xtouched_n + 1;
+            for k = info.A.fanout_off.(net) to info.A.fanout_off.(net + 1) - 1 do
+              schedule info.A.fanout.(k)
+            done
+          end;
+          drain rest
+      in
+      let bk = eng.xbuckets.(lv) in
+      eng.xbuckets.(lv) <- [];
+      drain bk
+    done;
+    if observe.ob_pos then begin
+      let act = b.P.b_active.(f) in
+      Array.iter
+        (fun po ->
+          if eng.xdirty.(po) then
+            detected :=
+              !detected
+              lor (((gh.(po) land eng.xfl.(po))
+                    lor (gl.(po) land eng.xfh.(po)))
+                   land act))
+        c.N.pos
+    end;
+    (* capture next faulty state: drop last frame's divergence, then walk
+       the nets that diverged this frame and mark exactly the flip-flops
+       they feed — cost proportional to the fault's activity, not to the
+       amount of state in the circuit *)
+    for k = 0 to eng.xsdirty_n - 1 do
+      eng.xsdirty.(eng.xsdirty_list.(k)) <- false
+    done;
+    eng.xsdirty_n <- 0;
+    for k = 0 to eng.xtouched_n - 1 do
+      let d = eng.xtouched.(k) in
+      for j = eng.xffd_off.(d) to eng.xffd_off.(d + 1) - 1 do
+        let i = eng.xffd.(j) in
+        eng.xfsh.(i) <- eng.xfh.(d);
+        eng.xfsl.(i) <- eng.xfl.(d);
+        if not eng.xsdirty.(i) then begin
+          eng.xsdirty.(i) <- true;
+          eng.xsdirty_list.(eng.xsdirty_n) <- i;
+          eng.xsdirty_n <- eng.xsdirty_n + 1
+        end
+      done
+    done;
+    (* each lane observes PIER state after its own last frame; walk the
+       diverged flip-flops (few) against the pier bitmap, not the pier
+       list (possibly large) *)
+    let last = b.P.b_last.(f) in
+    if last <> 0 && eng.xsdirty_n > 0 then begin
+      let nsh = good.pg_sth.(f + 1) and nsl = good.pg_stl.(f + 1) in
+      for k = 0 to eng.xsdirty_n - 1 do
+        let ff = eng.xsdirty_list.(k) in
+        if piers.(ff) then
+          detected :=
+            !detected
+            lor (((nsh.(ff) land eng.xfsl.(ff))
+                  lor (nsl.(ff) land eng.xfsh.(ff)))
+                 land last)
+      done
+    end;
+    for k = 0 to eng.xtouched_n - 1 do
+      eng.xdirty.(eng.xtouched.(k)) <- false
+    done;
+    eng.xtouched_n <- 0;
+    incr fr
+  done;
+  add_packed_evals !evals;
+  !detected land b.P.b_mask
+
+(* Sweep the active faults through one word, observing the per-word time
+   histogram and the packed-sweep span; [apply k det] receives the index
+   into [active] and its nonzero lane mask. *)
+let packed_word eng c ~observe ~stop_on_detect ~(faults : Fault.t array)
+    ~(active : int array) (chunk : Pattern.test array) ~apply =
+  let t0 = Engine.Clock.now () in
+  Obs.Metrics.incr packed_batches_counter;
+  let sweep () =
+    let b = batch_of_tests c chunk in
+    let good = packed_good_sim eng b in
+    let piers = pier_flags c observe in
+    Array.iteri
+      (fun k i ->
+        let det =
+          packed_sweep eng good b ~observe ~piers ~stop_on_detect faults.(i)
+        in
+        if det <> 0 then apply k det)
+      active
+  in
+  (if Obs.Span.enabled () then
+     Obs.Span.with_ "fsim.packed"
+       ~attrs:
+         [ ("tests", Obs.Json.Int (Array.length chunk));
+           ("faults", Obs.Json.Int (Array.length active)) ]
+       sweep
+   else sweep ());
+  Obs.Metrics.observe packed_batch_hist (Engine.Clock.now () -. t0)
+
+(* Multi-test packed run: word-sized chunks of tests in order, fault
+   dropping at word granularity.  Because detection of a fault by a test
+   never depends on other faults or tests, the flags are bit-identical
+   to the per-test-dropping reference. *)
+let run_packed c ~observe ~faults tests =
+  let fault_arr = Array.of_list faults in
+  let n = Array.length fault_arr in
+  let detected = Array.make n false in
+  if n > 0 then begin
+    let eng = make_pengine c in
+    let tests_arr = Array.of_list tests in
+    let nt = Array.length tests_arr in
+    let pos = ref 0 in
+    let remaining = ref n in
+    while !pos < nt && !remaining > 0 do
+      let len = min P.width (nt - !pos) in
+      let chunk = Array.sub tests_arr !pos len in
+      pos := !pos + len;
+      let active = Array.make !remaining 0 in
+      let k = ref 0 in
+      for i = 0 to n - 1 do
+        if not detected.(i) then begin
+          active.(!k) <- i;
+          incr k
+        end
+      done;
+      packed_word eng c ~observe ~stop_on_detect:true ~faults:fault_arr
+        ~active chunk
+        ~apply:(fun k _det ->
+          detected.(active.(k)) <- true;
+          decr remaining)
+    done
+  end;
+  detected
+
+(* Sharded packed run: the outer word loop stays sequential (so fault
+   dropping between words is preserved), the active faults of each word
+   are sharded across the pool.  The good planes are computed once per
+   word and shared read-only by every shard. *)
+let run_sharded_packed ~jobs c ~observe ~faults tests =
+  let fault_arr = Array.of_list faults in
+  let n = Array.length fault_arr in
+  let detected = Array.make n false in
+  if n > 0 then begin
     let pool = Engine.Pool.global () in
-    let fault_arr = Array.of_list faults in
+    let tests_arr = Array.of_list tests in
+    let nt = Array.length tests_arr in
+    let pos = ref 0 in
+    let remaining = ref n in
+    while !pos < nt && !remaining > 0 do
+      let len = min P.width (nt - !pos) in
+      let chunk = Array.sub tests_arr !pos len in
+      pos := !pos + len;
+      let active = Array.make !remaining 0 in
+      let k = ref 0 in
+      for i = 0 to n - 1 do
+        if not detected.(i) then begin
+          active.(!k) <- i;
+          incr k
+        end
+      done;
+      let t0 = Engine.Clock.now () in
+      Obs.Metrics.incr packed_batches_counter;
+      let sweep () =
+        let b = batch_of_tests c chunk in
+        let good = packed_good_sim (make_pengine c) b in
+        let piers = pier_flags c observe in
+        let parts =
+          Engine.Shard.map_chunks pool ~shards:jobs
+            (fun sub ->
+              let eng = make_pengine c in
+              Array.map
+                (fun i ->
+                  packed_sweep eng good b ~observe ~piers
+                    ~stop_on_detect:true fault_arr.(i)
+                  <> 0)
+                sub)
+            active
+        in
+        let k = ref 0 in
+        Array.iter
+          (fun part ->
+            Array.iter
+              (fun hit ->
+                if hit then begin
+                  detected.(active.(!k)) <- true;
+                  decr remaining
+                end;
+                incr k)
+              part)
+          parts
+      in
+      (if Obs.Span.enabled () then
+         Obs.Span.with_ "fsim.packed"
+           ~attrs:
+             [ ("tests", Obs.Json.Int len);
+               ("faults", Obs.Json.Int (Array.length active));
+               ("shards", Obs.Json.Int jobs) ]
+           sweep
+       else sweep ());
+      Obs.Metrics.observe packed_batch_hist (Engine.Clock.now () -. t0)
+    done
+  end;
+  detected
+
+(* ------------------------------------------------------------------ *)
+(* Engine dispatch.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** [run_test c ~observe ~faults ~active test] simulates one test against
+    [faults.(i)] for each [i] in [active]; the result aligns with
+    [active].  A single test offers only one lane to pack, so the
+    packed default falls back to the event-driven parallel-fault engine
+    (which already words 63 faults per evaluation); [~engine:Reference]
+    forces the straight-line oracle. *)
+let run_test ?engine c ~observe ~faults ~active test =
+  match resolve engine with
+  | Reference -> run_test_reference c ~observe ~faults ~active test
+  | Packed | Event -> run_test_event c ~observe ~faults ~active test
+
+(** [run_test_sharded ~jobs ...] is {!run_test} with the active faults
+    sharded across the global domain pool: each shard owns a disjoint
+    contiguous slice of [active] and its own injection state, the
+    immutable circuit and its [Netlist.Analysis] are shared.  Per-fault
+    flags are independent, so the ordered merge is bit-identical to the
+    serial run. *)
+let run_test_sharded ?engine ~jobs c ~observe ~faults ~active test =
+  let kind = resolve engine in
+  if kind = Reference || jobs <= 1 || Array.length active < 128 then
+    run_test ~engine:kind c ~observe ~faults ~active test
+  else
+    let pool = Engine.Pool.global () in
     let parts =
       Engine.Shard.map_chunks pool ~shards:jobs
-        (fun shard -> run c ~observe ~faults:(Array.to_list shard) tests)
-        fault_arr
+        (fun sub -> run_test_event c ~observe ~faults ~active:sub test)
+        active
     in
     Array.concat (Array.to_list parts)
-  end
+
+(** [run c ~observe ~faults tests] fault-simulates every test with fault
+    dropping; returns per-fault detection flags aligned with [faults].
+    All three engines produce bit-identical flags. *)
+let run ?engine c ~observe ~faults tests =
+  match resolve engine with
+  | Packed -> run_packed c ~observe ~faults tests
+  | Event -> run_event c ~observe ~faults tests
+  | Reference -> run_reference c ~observe ~faults tests
+
+(** [run_sharded ~jobs ...] is {!run} parallelized over the global
+    domain pool.  Packed: the word-sized pattern chunks stay sequential
+    (preserving fault dropping between words) and each word's active
+    faults are sharded, every shard sweeping its slice against one
+    shared good simulation.  Event: the fault list is partitioned into
+    [jobs] contiguous shards with local fault dropping.  Detection of a
+    fault never depends on any other fault, so both are bit-identical
+    to the serial {!run} for every [jobs].  Falls back to the serial
+    engine for [jobs <= 1] or small fault lists; [~engine:Reference] is
+    always serial. *)
+let run_sharded ?engine ~jobs c ~observe ~faults tests =
+  let kind = resolve engine in
+  let n = List.length faults in
+  if jobs <= 1 || n < 128 then run ~engine:kind c ~observe ~faults tests
+  else
+    match kind with
+    | Packed -> run_sharded_packed ~jobs c ~observe ~faults tests
+    | Reference -> run_reference c ~observe ~faults tests
+    | Event ->
+      let pool = Engine.Pool.global () in
+      let fault_arr = Array.of_list faults in
+      let parts =
+        Engine.Shard.map_chunks pool ~shards:jobs
+          (fun shard -> run_event c ~observe ~faults:(Array.to_list shard) tests)
+          fault_arr
+      in
+      Array.concat (Array.to_list parts)
+
+(** [run_matrix c ~observe ~faults ~active tests] computes the full
+    detection matrix without fault dropping: one signature per index in
+    [active], one byte per test ([1] = detected).  The packed engine
+    sweeps word-sized test chunks, so the whole matrix costs one good
+    simulation plus one event-driven sweep per fault per word —
+    Compact's reverse-order replay and Diagnose's dictionary both read
+    their answers straight out of this matrix. *)
+let run_matrix ?engine c ~observe ~(faults : Fault.t array)
+    ~(active : int array) (tests : Pattern.test array) =
+  let nt = Array.length tests in
+  let sigs = Array.init (Array.length active) (fun _ -> Bytes.make nt '\000') in
+  (if Array.length active > 0 && nt > 0 then
+     match resolve engine with
+     | Packed ->
+       let eng = make_pengine c in
+       let pos = ref 0 in
+       while !pos < nt do
+         let len = min P.width (nt - !pos) in
+         let chunk = Array.sub tests !pos len in
+         let off = !pos in
+         pos := !pos + len;
+         packed_word eng c ~observe ~stop_on_detect:false ~faults ~active chunk
+           ~apply:(fun k det ->
+             for l = 0 to len - 1 do
+               if (det lsr l) land 1 = 1 then
+                 Bytes.set sigs.(k) (off + l) '\001'
+             done)
+       done
+     | Event ->
+       let eng = make_engine c in
+       Array.iteri
+         (fun ti test ->
+           let good = good_sim eng test in
+           let flags = Array.make (Array.length active) false in
+           run_active eng good ~observe ~faults ~active ~flags test;
+           Array.iteri
+             (fun k hit -> if hit then Bytes.set sigs.(k) ti '\001')
+             flags)
+         tests
+     | Reference ->
+       Array.iteri
+         (fun ti test ->
+           let flags = run_test_reference c ~observe ~faults ~active test in
+           Array.iteri
+             (fun k hit -> if hit then Bytes.set sigs.(k) ti '\001')
+             flags)
+         tests);
+  sigs

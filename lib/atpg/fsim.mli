@@ -1,13 +1,20 @@
-(** Parallel-fault sequential fault simulation: bit column 0 carries the
-    good circuit, columns 1..63 one faulty circuit each.  Flip-flops
-    start at X except loaded PIER registers, so detection is exactly as
-    conservative as chip-level pattern translation requires.
+(** Sequential fault simulation behind three interchangeable engines
+    with bit-identical detection flags:
 
-    {!run} and {!run_test} use the event-driven engine: the fault-free
-    circuit is simulated once per test and cached, and each fault batch
-    only re-evaluates nets that diverge from the good value, seeded at
-    the injection sites.  {!run_batch_reference} is the straight-line
-    oracle both engines are checked against. *)
+    - [Packed] (default): PPSFP — up to [Sim.Packed.width] test patterns
+      ride the lanes of a native word, the good circuit is simulated
+      once per word, and each fault is event-driven through the word
+      with two-mask injection.
+    - [Event]: parallel-fault — bit column 0 of a {!Sim.Logic3} word
+      carries the good circuit, columns 1..63 one faulty circuit each,
+      one test at a time.
+    - [Reference]: the straight-line oracle — every net re-evaluated on
+      every frame ({!run_batch_reference}); differential-testing and
+      benchmark baseline.
+
+    Flip-flops start at X except loaded PIER registers, so detection is
+    exactly as conservative as chip-level pattern translation
+    requires. *)
 
 type observe = {
   ob_pos : bool;           (** observe primary outputs every cycle *)
@@ -15,6 +22,21 @@ type observe = {
 }
 
 val default_observe : observe
+
+(** {1 Engine selection} *)
+
+type engine_kind = Packed | Event | Reference
+
+(** Name/constructor pairs, e.g. for a [Cmdliner.Arg.enum]. *)
+val engine_kinds : (string * engine_kind) list
+
+val engine_kind_name : engine_kind -> string
+
+(** Set the process-global default engine (the CLI [--fsim] flag);
+    every entry point also takes a per-call [?engine] override. *)
+val set_engine : engine_kind -> unit
+
+val current_engine : unit -> engine_kind
 
 (** Columns (other than 0) whose value provably differs from the good
     circuit in column 0 — exposed for other parallel-fault analyses. *)
@@ -28,10 +50,12 @@ val run_batch_reference :
   Pattern.test -> bool list
 
 (** [run_test c ~observe ~faults ~active test] simulates one test against
-    [faults.(i)] for each [i] in [active] (event-driven, batched in
-    groups of 63 over one shared good simulation); the result aligns
-    with [active]. *)
+    [faults.(i)] for each [i] in [active]; the result aligns with
+    [active].  A single test offers only one pattern lane, so [Packed]
+    falls back to the event-driven engine here (already 63 faults per
+    word); [~engine:Reference] forces the oracle. *)
 val run_test :
+  ?engine:engine_kind ->
   Netlist.t -> observe:observe -> faults:Fault.t array -> active:int array ->
   Pattern.test -> bool array
 
@@ -39,26 +63,65 @@ val run_test :
     sharded across the global domain pool (disjoint contiguous slices,
     one injection state per domain, shared immutable circuit and
     analysis); bit-identical to {!run_test}.  Falls back to the serial
-    engine for [jobs <= 1] or small active sets. *)
+    engine for [jobs <= 1], small active sets or [Reference]. *)
 val run_test_sharded :
+  ?engine:engine_kind ->
   jobs:int -> Netlist.t -> observe:observe -> faults:Fault.t array ->
   active:int array -> Pattern.test -> bool array
 
 (** [run c ~observe ~faults tests] fault-simulates every test with fault
-    dropping; per-fault detection flags align with [faults]. *)
+    dropping; per-fault detection flags align with [faults].  All three
+    engines return bit-identical flags: detection of a fault by a test
+    never depends on other faults or tests, so packing tests into word
+    lanes (and dropping at word granularity) changes evaluation counts
+    only. *)
 val run :
+  ?engine:engine_kind ->
   Netlist.t -> observe:observe -> faults:Fault.t list -> Pattern.test list ->
   bool array
 
-(** [run_sharded ~jobs ...] is {!run} with the fault list partitioned
-    into [jobs] deterministic shards simulated in parallel and merged in
-    shard order; bit-identical to {!run} for every [jobs] (per-fault
-    detection is independent of other faults).  Falls back to the serial
-    engine for [jobs <= 1] or small fault lists. *)
+(** [run_sharded ~jobs ...] is {!run} parallelized over the global
+    domain pool and bit-identical to it for every [jobs].  Packed: the
+    word-sized pattern chunks stay sequential (fault dropping between
+    words is preserved) and each word's active faults are sharded
+    against one shared good simulation.  Event: contiguous fault shards
+    with local dropping.  Falls back to the serial engine for
+    [jobs <= 1], small fault lists or [Reference]. *)
 val run_sharded :
+  ?engine:engine_kind ->
   jobs:int -> Netlist.t -> observe:observe -> faults:Fault.t list ->
   Pattern.test list -> bool array
 
-(** Net evaluations performed by either engine since program start; the
-    benchmark reports deltas of this. *)
+(** [run_matrix c ~observe ~faults ~active tests] is the full detection
+    matrix without fault dropping: one signature per index in [active],
+    one byte per test ([1] = detected).  Under the packed engine the
+    whole matrix costs one good simulation plus one sweep per fault per
+    word-sized test chunk; Compact and Diagnose read their answers
+    straight out of it. *)
+val run_matrix :
+  ?engine:engine_kind ->
+  Netlist.t -> observe:observe -> faults:Fault.t array -> active:int array ->
+  Pattern.test array -> Bytes.t array
+
+(** {1 Evaluation counters}
+
+    Each engine owns its own counter in the metrics registry
+    ([factor.fsim.evals] / [factor.fsim.ref_evals] /
+    [factor.fsim.packed_evals]) so benchmark deltas are attributable
+    per engine. *)
+
+(** Event-driven engine net evaluations since program start. *)
 val eval_count : unit -> int
+
+(** Straight-line reference engine net evaluations since program start. *)
+val ref_eval_count : unit -> int
+
+(** Packed engine net evaluations (each settles a whole word of
+    patterns) since program start. *)
+val packed_eval_count : unit -> int
+
+(** Packed words simulated (one word = up to [Sim.Packed.width] tests). *)
+val packed_word_count : unit -> int
+
+(** The eval counter of the given engine — what BENCH_fsim deltas. *)
+val evals_for : engine_kind -> int

@@ -232,10 +232,24 @@ let run c cfg faults =
             (fun acc o -> if o = Some Detected then acc + 1 else acc)
             0 outcome
         in
-        List.iter
-          (fun test ->
-            confirm_and_drop (indices_where (fun o -> o = None)) test)
-          random_tests;
+        (* grade the whole batch in one multi-test run: the packed
+           engine words the batch into pattern lanes, and because the
+           batch is kept or discarded as a unit, only the OR of the
+           per-test detections matters — identical outcomes to the
+           per-test loop. *)
+        let active = indices_where (fun o -> o = None) in
+        if Array.length active > 0 then begin
+          let sub = List.map (fun i -> fault_arr.(i)) (Array.to_list active) in
+          let flags =
+            match pool with
+            | Some _ ->
+              Fsim.run_sharded ~jobs c ~observe ~faults:sub random_tests
+            | None -> Fsim.run c ~observe ~faults:sub random_tests
+          in
+          Array.iteri
+            (fun k i -> if flags.(k) then outcome.(i) <- Some Detected)
+            active
+        end;
         let after =
           Array.fold_left
             (fun acc o -> if o = Some Detected then acc + 1 else acc)

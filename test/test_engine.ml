@@ -149,14 +149,27 @@ let fsim_sharded_matches_serial () =
   in
   let observe = Atpg.Fsim.default_observe in
   Pool.set_jobs 4;
+  (* enough faults that run_sharded really shards instead of falling
+     back to the serial path *)
+  check_bool "fault list large enough to shard" true
+    (List.length faults >= 128);
   let serial = Atpg.Fsim.run c ~observe ~faults tests in
   List.iter
-    (fun jobs ->
-      check_bool
-        (Printf.sprintf "run_sharded ~jobs:%d = run" jobs)
-        true
-        (Atpg.Fsim.run_sharded ~jobs c ~observe ~faults tests = serial))
-    [ 1; 2; 3; 4 ];
+    (fun (ename, engine) ->
+      let eserial = Atpg.Fsim.run ~engine c ~observe ~faults tests in
+      check_bool (ename ^ " agrees with the default engine") true
+        (eserial = serial);
+      List.iter
+        (fun jobs ->
+          check_bool
+            (Printf.sprintf "%s run_sharded ~jobs:%d = run" ename jobs)
+            true
+            (Atpg.Fsim.run_sharded ~engine ~jobs c ~observe ~faults tests
+             = eserial))
+        [ 1; 2; 3; 4 ])
+    [ ("packed", Atpg.Fsim.Packed);
+      ("event", Atpg.Fsim.Event);
+      ("reference", Atpg.Fsim.Reference) ];
   (* per-test entry point, all faults active *)
   let fault_arr = Array.of_list faults in
   let active = Array.init (Array.length fault_arr) Fun.id in

@@ -29,31 +29,9 @@ let gates_match_interpreter gm =
       ok)
     (stimulus gm ~frames:6)
 
-(* The event-driven fault simulator against the straight-line reference
-   engine: identical detection flags on random circuits, fault lists and
-   test sequences (with random PIER loads and observations). *)
-let fsim_matches_reference gm =
-  let (_, circuit) = build gm in
-  let seed = Hashtbl.hash gm.gm_src + 3 in
-  let rng = Random.State.make [| seed |] in
-  let all_faults = Atpg.Fault.all circuit in
-  (* a random subset of the fault universe, in random order *)
-  let faults =
-    List.filter (fun _ -> Random.State.int rng 4 > 0) all_faults
-  in
-  let piers =
-    List.filter
-      (fun _ -> Random.State.bool rng)
-      (List.init (Netlist.num_ffs circuit) Fun.id)
-  in
-  let observe = { Atpg.Fsim.ob_pos = true; ob_pier_ffs = piers } in
-  let tests =
-    List.init 4 (fun _ ->
-        Atpg.Pattern.random ~rng ~num_pis:(Netlist.num_pis circuit)
-          ~frames:(1 + Random.State.int rng 4) ~piers)
-  in
-  let event_flags = Atpg.Fsim.run circuit ~observe ~faults tests in
-  (* reference: same fault-dropping semantics, straight-line engine *)
+(* Detection flags with per-test fault dropping via the straight-line
+   reference engine — the oracle both production engines must match. *)
+let reference_flags circuit ~observe ~faults tests =
   let order = (Netlist.analysis circuit).Netlist.Analysis.order in
   let fault_arr = Array.of_list faults in
   let n = Array.length fault_arr in
@@ -86,7 +64,64 @@ let fsim_matches_reference gm =
       in
       batches !remaining)
     tests;
-  event_flags = ref_flags
+  ref_flags
+
+(* A fault simulator engine against the straight-line reference:
+   identical detection flags on random circuits, fault lists and test
+   sequences (random PIER loads and observations; flip-flops outside
+   the loaded set start X, so X propagation is exercised throughout). *)
+let fsim_matches_reference ~engine gm =
+  let (_, circuit) = build gm in
+  let seed = Hashtbl.hash gm.gm_src + 3 in
+  let rng = Random.State.make [| seed |] in
+  let all_faults = Atpg.Fault.all circuit in
+  (* a random subset of the fault universe, in random order *)
+  let faults =
+    List.filter (fun _ -> Random.State.int rng 4 > 0) all_faults
+  in
+  let piers =
+    List.filter
+      (fun _ -> Random.State.bool rng)
+      (List.init (Netlist.num_ffs circuit) Fun.id)
+  in
+  let observe = { Atpg.Fsim.ob_pos = true; ob_pier_ffs = piers } in
+  let tests =
+    List.init 4 (fun _ ->
+        Atpg.Pattern.random ~rng ~num_pis:(Netlist.num_pis circuit)
+          ~frames:(1 + Random.State.int rng 4) ~piers)
+  in
+  Atpg.Fsim.run ~engine circuit ~observe ~faults tests
+  = reference_flags circuit ~observe ~faults tests
+
+(* Word-boundary pattern counts for the packed engine: 1 (partial
+   word), 63 (one lane short of full), 64 (word + 1), 65, 127 (two
+   words + partial).  Ragged frame counts inside each word stress the
+   per-lane active/last masks. *)
+let packed_word_boundaries gm =
+  let (_, circuit) = build gm in
+  let seed = Hashtbl.hash gm.gm_src + 11 in
+  let rng = Random.State.make [| seed |] in
+  let faults =
+    List.filter (fun _ -> Random.State.int rng 3 > 0)
+      (Atpg.Fault.all circuit)
+  in
+  let piers =
+    List.filter
+      (fun _ -> Random.State.bool rng)
+      (List.init (Netlist.num_ffs circuit) Fun.id)
+  in
+  let observe = { Atpg.Fsim.ob_pos = true; ob_pier_ffs = piers } in
+  List.for_all
+    (fun count ->
+      let tests =
+        List.init count (fun _ ->
+            Atpg.Pattern.random ~rng ~num_pis:(Netlist.num_pis circuit)
+              ~frames:(1 + Random.State.int rng 3) ~piers)
+      in
+      Atpg.Fsim.run ~engine:Atpg.Fsim.Packed circuit ~observe ~faults
+        tests
+      = reference_flags circuit ~observe ~faults tests)
+    [ 1; 63; 64; 65; 127 ]
 
 let fuzz_tests =
   [ qtest "random rtl: printer round trip" ~count:60 gen_arbitrary
@@ -97,8 +132,12 @@ let fuzz_tests =
         String.equal s1 s2);
     qtest "random rtl: gates match the interpreter" ~count:60 gen_arbitrary
       gates_match_interpreter;
+    qtest "random rtl: packed fsim matches the reference engine" ~count:60
+      gen_arbitrary (fsim_matches_reference ~engine:Atpg.Fsim.Packed);
     qtest "random rtl: event-driven fsim matches the reference engine"
-      ~count:60 gen_arbitrary fsim_matches_reference;
+      ~count:60 gen_arbitrary (fsim_matches_reference ~engine:Atpg.Fsim.Event);
+    qtest "random rtl: packed fsim at word-boundary pattern counts"
+      ~count:12 gen_arbitrary packed_word_boundaries;
     qtest "random rtl: optimizer preserves behaviour" ~count:40 gen_arbitrary
       (fun gm ->
         let (_, circuit) = build gm in

@@ -455,16 +455,25 @@ let fsim_metrics_smoke () =
         Atpg.Pattern.random ~rng ~num_pis:(Netlist.num_pis c) ~frames:1
           ~piers:[])
   in
-  let before = Atpg.Fsim.eval_count () in
+  let before = Atpg.Fsim.packed_eval_count () in
+  let words_before = Atpg.Fsim.packed_word_count () in
   ignore
     (Atpg.Fsim.run c ~observe:Atpg.Fsim.default_observe ~faults tests);
-  check_bool "fault simulation advances factor.fsim.evals" true
-    (Atpg.Fsim.eval_count () > before);
-  match Obs.Metrics.find "factor.fsim.evals" with
+  check_bool "fault simulation advances factor.fsim.packed_evals" true
+    (Atpg.Fsim.packed_eval_count () > before);
+  check_bool "fault simulation advances factor.fsim.packed_words" true
+    (Atpg.Fsim.packed_word_count () > words_before);
+  let before_ev = Atpg.Fsim.eval_count () in
+  ignore
+    (Atpg.Fsim.run ~engine:Atpg.Fsim.Event c
+       ~observe:Atpg.Fsim.default_observe ~faults tests);
+  check_bool "the event engine advances factor.fsim.evals" true
+    (Atpg.Fsim.eval_count () > before_ev);
+  match Obs.Metrics.find "factor.fsim.packed_evals" with
   | Some (Obs.Json.Int v) ->
-    check_int "registry mirrors the engine's counter" (Atpg.Fsim.eval_count ())
-      v
-  | _ -> Alcotest.fail "factor.fsim.evals missing from the registry"
+    check_int "registry mirrors the engine's counter"
+      (Atpg.Fsim.packed_eval_count ()) v
+  | _ -> Alcotest.fail "factor.fsim.packed_evals missing from the registry"
 
 let () =
   Alcotest.run "obs"

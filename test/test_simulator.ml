@@ -220,6 +220,89 @@ let vcd_tests =
         (* one declaration-free timestamp: later samples changed nothing *)
         check_int "single timestamp" 1 count_ts) ]
 
+(* ------------------------------------------------------------------ *)
+(* Packed pattern words: the PPSFP kernels must agree with the Logic3
+   reference operators in every lane, and the pattern-to-plane
+   transpose must place each test's bits in its own lane. *)
+
+module P = Sim.Packed
+
+let word_of vs =
+  fst
+    (List.fold_left (fun (w, i) v -> (P.set w i v, i + 1)) (P.x, 0) vs)
+
+let both_rails r = r.P.p_hi land r.P.p_lo
+
+let packed_tests =
+  [ qtest "packed kernels match the three-valued truth tables" ~count:300
+      QCheck.(list_of_size (Gen.int_bound P.width) (triple opt3 opt3 opt3))
+      (fun triples ->
+        let sw = word_of (List.map (fun (s, _, _) -> s) triples) in
+        let aw = word_of (List.map (fun (_, a, _) -> a) triples) in
+        let bw = word_of (List.map (fun (_, _, b) -> b) triples) in
+        let results =
+          [ (P.v_and aw bw); (P.v_or aw bw); (P.v_xor aw bw); (P.v_not aw);
+            (P.v_mux sw aw bw) ]
+        in
+        List.for_all (fun r -> both_rails r = 0) results
+        && List.for_all
+             (fun (i, (s, a, b)) ->
+               P.get (P.v_and aw bw) i = ref_and a b
+               && P.get (P.v_or aw bw) i = ref_or a b
+               && P.get (P.v_xor aw bw) i = ref_xor a b
+               && P.get (P.v_not aw) i = ref_not a
+               && P.get (P.v_mux sw aw bw) i = ref_mux s a b)
+             (List.mapi (fun i t -> (i, t)) triples));
+    qtest "packed diff/known flag exactly the binary lanes" ~count:300
+      QCheck.(list_of_size (Gen.int_bound P.width) (pair opt3 opt3))
+      (fun pairs ->
+        let aw = word_of (List.map fst pairs) in
+        let bw = word_of (List.map snd pairs) in
+        List.for_all
+          (fun (i, (a, b)) ->
+            let bit m = m land (1 lsl i) <> 0 in
+            bit (P.known aw) = Option.is_some a
+            && bit (P.diff aw bw)
+               = (match (a, b) with
+                  | (Some x, Some y) -> x <> y
+                  | _ -> false))
+          (List.mapi (fun i p -> (i, p)) pairs));
+    test "make_batch transposes ragged tests into lanes" (fun () ->
+        (* test 0: one frame, PIs = 10; test 1: two frames, 01 then 11 *)
+        let vectors =
+          [| [| [| true; false |] |];
+             [| [| false; true |]; [| true; true |] |] |]
+        in
+        let loads = [| [ (0, true) ]; [] |] in
+        let b = P.make_batch ~num_pis:2 ~num_ffs:2 ~vectors ~loads in
+        check_int "lanes" 2 b.P.b_lanes;
+        check_int "frames" 2 b.P.b_frames;
+        check_int "active frame 0" 0b11 b.P.b_active.(0);
+        check_int "active frame 1" 0b10 b.P.b_active.(1);
+        check_int "last frame 0" 0b01 b.P.b_last.(0);
+        check_int "last frame 1" 0b10 b.P.b_last.(1);
+        check_int "pi0 frame 0 hi" 0b01 b.P.b_pi_hi.(0).(0);
+        check_int "pi0 frame 0 lo" 0b10 b.P.b_pi_lo.(0).(0);
+        check_int "pi1 frame 0 hi" 0b10 b.P.b_pi_hi.(0).(1);
+        check_int "pi1 frame 0 lo" 0b01 b.P.b_pi_lo.(0).(1);
+        (* lane 0 is past its last frame at frame 1: X inputs *)
+        check_int "pi0 frame 1 hi" 0b10 b.P.b_pi_hi.(1).(0);
+        check_int "pi0 frame 1 lo" 0b00 b.P.b_pi_lo.(1).(0);
+        (* register loads: ff0 loads 1 in lane 0 only, ff1 starts X *)
+        check_int "ff0 load hi" 0b01 b.P.b_load_hi.(0);
+        check_int "ff0 load lo" 0b00 b.P.b_load_lo.(0);
+        check_int "ff1 load hi" 0b00 b.P.b_load_hi.(1);
+        check_int "ff1 load lo" 0b00 b.P.b_load_lo.(1));
+    test "make_batch rejects more tests than lanes" (fun () ->
+        let vectors = Array.make (P.width + 1) [| [||] |] in
+        let loads = Array.make (P.width + 1) [] in
+        check_bool "raises" true
+          (try
+             ignore (P.make_batch ~num_pis:0 ~num_ffs:0 ~vectors ~loads);
+             false
+           with Invalid_argument _ -> true)) ]
+
 let () =
   Alcotest.run "sim"
-    [ ("logic3", logic3_tests); ("eval", sim_tests); ("vcd", vcd_tests) ]
+    [ ("logic3", logic3_tests); ("eval", sim_tests); ("vcd", vcd_tests);
+      ("packed", packed_tests) ]
