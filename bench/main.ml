@@ -5,7 +5,8 @@
 
     Usage: [bench/main.exe [table1|table2|table3|table4|table5|table6|
                             testability|translate|ablations|micro|fsim|
-                            fsim_smoke|sat|sat_smoke|par|par_smoke|all]
+                            fsim_smoke|sat|sat_smoke|par|par_smoke|
+                            chaos_smoke|all]
                            [-j N] [--seed S]]. *)
 
 module Flow = Factor.Flow
@@ -1039,7 +1040,8 @@ let bench_par () =
   in
   Engine.Pool.set_jobs jobs;
   let (par_rows, flow_par) =
-    timed (fun () -> Flow.transformed_atpg_all ~jobs rows cfg)
+    timed (fun () ->
+        Flow.completed_rows (Flow.transformed_atpg_all ~jobs rows cfg))
   in
   if List.exists2 (fun a b -> atpg_row_key a <> atpg_row_key b)
        serial_rows par_rows
@@ -1172,6 +1174,105 @@ let bench_par_smoke () =
     "par smoke: arm_alu identical at 1 and 4 jobs (%d faults, coverage %.2f%%)\n"
     r4.Atpg.Gen.r_total r4.Atpg.Gen.r_coverage
 
+(* CI chaos smoke: with failure injection pinned to one MUT's flow seam
+   and budget starvation pinned to another's, the MUT-parallel flow must
+   finish promptly (no hang), degrade exactly those rows, keep the
+   healthy row bit-identical to an undisturbed run, and exit 0. *)
+let bench_chaos_smoke () =
+  let jobs = max 1 !jobs_ref in
+  Engine.Pool.set_jobs jobs;
+  (* a purpose-built three-MUT hierarchy: ARM-scale generation takes
+     minutes with the uncapped budgets determinism needs, and the gate
+     is about the degradation machinery, not ATPG throughput *)
+  let src =
+    {|module leafa (input [3:0] a, b, output [3:0] y);
+        assign y = (a & b) | (a ^ b);
+      endmodule
+      module leafb (input [3:0] a, b, output [3:0] y);
+        assign y = (a + b) ^ (a & b);
+      endmodule
+      module core (input [3:0] p, q, output [3:0] r, s, t);
+        wire [3:0] m;
+        assign m = p & 4'd11;
+        leafa u_alpha (.a(m), .b(q), .y(r));
+        leafb u_beta (.a(q), .b(p), .y(s));
+        leafa u_gamma (.a(p), .b(m), .y(t));
+      endmodule
+      module top (input [3:0] i1, i2, output [3:0] o1, o2, o3);
+        core u_core (.p(i1), .q(i2), .r(o1), .s(o2), .t(o3));
+      endmodule|}
+  in
+  let env =
+    Factor.Compose.make_env (Verilog.Parser.parse_design src) ~top:"top"
+  in
+  let session = Factor.Compose.create_session () in
+  let rows =
+    List.map
+      (fun (name, path) ->
+        let spec = { Flow.ms_name = name; ms_path = path } in
+        let ch =
+          Flow.characteristics env ~full:(Flow.full_circuit env) spec
+        in
+        Flow.transform env session Flow.Compositional spec
+          ~surrounding_before:ch.Flow.ch_surrounding_gates)
+      [ ("alpha", "u_core.u_alpha"); ("beta", "u_core.u_beta");
+        ("gamma", "u_core.u_gamma") ]
+  in
+  let cfg =
+    { hybrid_cfg with
+      Atpg.Gen.g_fault_budget = 1e9;
+      g_total_budget = 1e9;
+      g_seed = !seed_ref;
+      g_jobs = 1 }
+  in
+  let status (m : Flow.mut_outcome) =
+    match m.Flow.mo_status with
+    | Flow.Mut_ok -> "ok"
+    | Flow.Mut_degraded _ -> "degraded"
+    | Flow.Mut_failed _ -> "failed"
+    | Flow.Mut_skipped _ -> "skipped"
+  in
+  let clean = Flow.transformed_atpg_all ~jobs rows cfg in
+  if not (List.for_all (fun m -> status m = "ok") clean) then begin
+    prerr_endline "chaos smoke: undisturbed run must be all-ok";
+    exit 1
+  end;
+  Engine.Chaos.set ~seed:!seed_ref ~rate:1.0 ~mode:Engine.Chaos.Fail_only
+    ~prefix:"flow.mut:beta,flow.budget:gamma" ();
+  let chaotic =
+    Fun.protect ~finally:Engine.Chaos.clear (fun () ->
+        Flow.transformed_atpg_all ~jobs rows cfg)
+  in
+  List.iter2
+    (fun (c : Flow.mut_outcome) (m : Flow.mut_outcome) ->
+      let expect =
+        match m.Flow.mo_name with
+        | "beta" -> "failed"
+        | "gamma" -> "degraded"
+        | _ -> "ok"
+      in
+      if status m <> expect then begin
+        Printf.eprintf "chaos smoke: %s is %s, expected %s\n" m.Flow.mo_name
+          (status m) expect;
+        exit 1
+      end;
+      (* healthy rows must not even notice the siblings dying *)
+      if expect = "ok"
+         && (match (c.Flow.mo_row, m.Flow.mo_row) with
+             | Some a, Some b -> atpg_row_key a <> atpg_row_key b
+             | _ -> true)
+      then begin
+        Printf.eprintf
+          "chaos smoke: healthy row %s differs from the undisturbed run\n"
+          m.Flow.mo_name;
+        exit 1
+      end)
+    clean chaotic;
+  Printf.printf
+    "chaos smoke: %d MUTs — beta killed, gamma budget-starved, survivors \
+     bit-identical (seed %d, %d jobs)\n"
+    (List.length rows) !seed_ref jobs
+
 (* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -1251,6 +1352,7 @@ let () =
     | "sat_smoke" -> bench_sat_smoke ()
     | "par" -> bench_par ()
     | "par_smoke" -> bench_par_smoke ()
+    | "chaos_smoke" -> bench_chaos_smoke ()
     | "all" ->
       table1 ();
       table2 ();
@@ -1263,7 +1365,7 @@ let () =
       generality ()
     | other ->
       Printf.eprintf
-        "unknown target %S (expected table1..table6, testability, translate, generality, variance, ablations, micro, fsim, sat, sat_smoke, par, par_smoke, all)\n"
+        "unknown target %S (expected table1..table6, testability, translate, generality, variance, ablations, micro, fsim, sat, sat_smoke, par, par_smoke, chaos_smoke, all)\n"
         other;
       exit 1
   in

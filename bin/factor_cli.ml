@@ -13,6 +13,15 @@
 
 open Cmdliner
 
+(* Re-raise front-end failures with the offending file attached, so the
+   diagnostic reads file:line:col. *)
+let parse_with_file file src =
+  try Verilog.Parser.parse_design src with
+  | (Verilog.Lexer.Error _ | Verilog.Parser.Error _) as e ->
+    (match Factor.Errors.of_exn ~file e with
+     | Some t -> raise (Factor.Errors.Error t)
+     | None -> raise e)
+
 (* "@arm" selects the bundled processor; "@gcd", "@fifo", "@arbiter",
    "@traffic", "@dma" select corpus designs; anything else is a file. *)
 let read_design path =
@@ -20,7 +29,8 @@ let read_design path =
   else if String.length path > 1 && path.[0] = '@' then begin
     let name = String.sub path 1 (String.length path - 1) in
     match Circuits.Collection.find name with
-    | entry -> Verilog.Parser.parse_design entry.Circuits.Collection.e_source
+    | entry ->
+      parse_with_file path entry.Circuits.Collection.e_source
     | exception Not_found ->
       Printf.eprintf "unknown bundled design %s (have: arm, %s)\n" path
         (String.concat ", "
@@ -30,27 +40,28 @@ let read_design path =
       exit 1
   end
   else begin
-    let ic = open_in_bin path in
+    let ic =
+      try open_in_bin path with
+      | Sys_error msg -> Factor.Errors.fail Factor.Errors.Io msg
+    in
     let n = in_channel_length ic in
     let src = really_input_string ic n in
     close_in ic;
-    Verilog.Parser.parse_design src
+    parse_with_file path src
   end
 
+(* Classify every user-provokable failure through the taxonomy and exit
+   with its stage's code (parse 2, elaborate 3, extract 4, solve 5,
+   io 6).  Anything unclassified is an internal bug: let it escape with
+   its backtrace. *)
 let handle_errors f =
   try f () with
-  | Verilog.Lexer.Error (msg, line) ->
-    Printf.eprintf "lexical error, line %d: %s\n" line msg;
-    exit 1
-  | Verilog.Parser.Error (msg, line) ->
-    Printf.eprintf "syntax error, line %d: %s\n" line msg;
-    exit 1
-  | Design.Elaborate.Error msg | Synth.Lower.Error msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 1
-  | Synth.Flatten.Error msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 1
+  | e ->
+    (match Factor.Errors.of_exn e with
+     | Some t ->
+       Printf.eprintf "%s\n" (Factor.Errors.to_string t);
+       exit (Factor.Errors.exit_code t)
+     | None -> raise e)
 
 (* ----------------------- observability flags ---------------------- *)
 
@@ -203,7 +214,9 @@ let resolve_top design path top =
     else
       (match List.rev design.Verilog.Ast.modules with
        | last :: _ -> last.Verilog.Ast.mod_name
-       | [] -> failwith "empty design")
+       | [] ->
+         Factor.Errors.fail ~file:path Factor.Errors.Elaborate
+           "empty design: no modules to pick a top from")
 
 (* ----------------------------- parse ------------------------------ *)
 
@@ -315,8 +328,17 @@ let atpg_cmd =
     Arg.(value & opt (some string) None & info [ "mut" ] ~docv:"PATH" ~doc)
   in
   let budget =
-    let doc = "Total CPU budget in seconds." in
+    let doc =
+      "Total wall-clock budget in seconds; on expiry the run returns \
+       promptly with partial results (remaining faults are counted as \
+       budget-skipped, not aborted)."
+    in
     Arg.(value & opt float 60.0 & info [ "budget" ] ~doc)
+  in
+  let fault_budget =
+    let doc = "Wall-clock budget in seconds for each individual fault." in
+    Arg.(value & opt (some float) None
+         & info [ "fault-budget" ] ~docv:"SECONDS" ~doc)
   in
   let frames =
     let doc = "Deepest time-frame expansion." in
@@ -342,7 +364,8 @@ let atpg_cmd =
            Atpg.Gen.Hybrid
          & info [ "engine" ] ~docv:"ENGINE" ~doc)
   in
-  let run () path top mut budget frames use_piers engine jobs fsim output =
+  let run () path top mut budget fault_budget frames use_piers engine jobs
+      fsim output =
     handle_errors (fun () ->
         Obs.Span.with_ "cli.atpg" @@ fun () ->
         let jobs = apply_jobs jobs in
@@ -362,6 +385,9 @@ let atpg_cmd =
         let cfg =
           { Atpg.Gen.default_config with
             g_total_budget = budget;
+            g_fault_budget =
+              Option.value fault_budget
+                ~default:Atpg.Gen.default_config.Atpg.Gen.g_fault_budget;
             g_max_frames = frames;
             g_piers = piers;
             g_engine = engine;
@@ -369,9 +395,9 @@ let atpg_cmd =
         in
         let r = Atpg.Gen.run c cfg faults in
         Printf.printf
-          "faults %d | detected %d | untestable %d | aborted %d\n"
+          "faults %d | detected %d | untestable %d | aborted %d | budget-skipped %d\n"
           r.Atpg.Gen.r_total r.Atpg.Gen.r_detected r.Atpg.Gen.r_untestable
-          r.Atpg.Gen.r_aborted;
+          r.Atpg.Gen.r_aborted r.Atpg.Gen.r_budget_skipped;
         Printf.printf
           "coverage %.2f%% | effectiveness %.2f%% | %d vectors | %.2f s wall (%.2f s cpu, %d jobs)\n"
           r.Atpg.Gen.r_coverage r.Atpg.Gen.r_effectiveness r.Atpg.Gen.r_vectors
@@ -392,8 +418,8 @@ let atpg_cmd =
   let doc = "Run sequential test generation on a design." in
   Cmd.v (Cmd.info "atpg" ~doc)
     Term.(const run $ obs_term $ design_arg $ top_arg $ mut_opt $ budget
-          $ frames $ piers_flag $ engine_arg $ jobs_arg $ fsim_arg
-          $ out_vectors)
+          $ fault_budget $ frames $ piers_flag $ engine_arg $ jobs_arg
+          $ fsim_arg $ out_vectors)
 
 (* ------------------------------ sat ------------------------------- *)
 
@@ -520,8 +546,7 @@ let grade_cmd =
         let tests =
           try Atpg.Pattern.read_file vec_file with
           | Atpg.Pattern.Parse_error msg ->
-            Printf.eprintf "bad vector file: %s\n" msg;
-            exit 1
+            Factor.Errors.fail ~file:vec_file Factor.Errors.Parse msg
         in
         let faults = Atpg.Fault.collapse c (Atpg.Fault.all ?within:mut c) in
         let observe =
@@ -548,7 +573,15 @@ let grade_cmd =
 (* ------------------------------ demo ------------------------------ *)
 
 let demo_cmd =
-  let run () jobs fsim =
+  let budget_opt =
+    let doc =
+      "Wall-clock budget in seconds for the whole generation phase; \
+       MUTs that exceed it are reported degraded or skipped."
+    in
+    Arg.(value & opt (some float) None
+         & info [ "budget" ] ~docv:"SECONDS" ~doc)
+  in
+  let run () jobs fsim budget =
     handle_errors (fun () ->
         Obs.Span.with_ "cli.demo" @@ fun () ->
         let jobs = apply_jobs jobs in
@@ -583,21 +616,41 @@ let demo_cmd =
                 tr_transformed = tf })
             Arm.Rtl.muts
         in
-        let atpg_rows =
-          Factor.Flow.transformed_atpg_all ~jobs rows
+        let run_budget =
+          match budget with
+          | None -> Engine.Budget.none
+          | Some s -> Engine.Budget.make ~deadline_in:s ()
+        in
+        let outcomes =
+          Factor.Flow.transformed_atpg_all ~jobs ~budget:run_budget rows
             { Atpg.Gen.default_config with g_total_budget = 60.0 }
         in
+        (* MUTs are isolated: a crashed or budget-starved row prints its
+           status but never fails the demo (exit stays 0). *)
         List.iter2
-          (fun row a ->
-            Printf.printf
-              "%-15s surrounding %5d gates | coverage %6.2f%% | %6.2f s\n%!"
-              row.Factor.Flow.tr_name row.Factor.Flow.tr_surrounding_gates
-              a.Factor.Flow.ar_coverage a.Factor.Flow.ar_testgen_time)
-          rows atpg_rows)
+          (fun row (o : Factor.Flow.mut_outcome) ->
+            match (o.Factor.Flow.mo_row, o.Factor.Flow.mo_status) with
+            | Some a, status ->
+              Printf.printf
+                "%-15s surrounding %5d gates | coverage %6.2f%% | %6.2f s%s\n%!"
+                row.Factor.Flow.tr_name row.Factor.Flow.tr_surrounding_gates
+                a.Factor.Flow.ar_coverage a.Factor.Flow.ar_testgen_time
+                (match status with
+                 | Factor.Flow.Mut_degraded why -> " [degraded: " ^ why ^ "]"
+                 | _ -> "")
+            | None, Factor.Flow.Mut_failed why ->
+              Printf.printf "%-15s [failed: %s]\n%!"
+                row.Factor.Flow.tr_name why
+            | None, Factor.Flow.Mut_skipped why ->
+              Printf.printf "%-15s [skipped: %s]\n%!"
+                row.Factor.Flow.tr_name why
+            | None, (Factor.Flow.Mut_ok | Factor.Flow.Mut_degraded _) ->
+              Printf.printf "%-15s [no result]\n%!" row.Factor.Flow.tr_name)
+          rows outcomes)
   in
   let doc = "FACTOR-ise the bundled ARM benchmark end to end." in
   Cmd.v (Cmd.info "demo" ~doc)
-    Term.(const run $ obs_term $ jobs_arg $ fsim_arg)
+    Term.(const run $ obs_term $ jobs_arg $ fsim_arg $ budget_opt)
 
 let () =
   let doc = "hierarchical functional test generation and testability analysis" in

@@ -183,13 +183,13 @@ let run_batch_reference c ~order ~faults ~observe (test : Pattern.test) =
 
 (* One test against the faults selected by [active], in 63-fault
    reference batches; flags align with [active]. *)
-let run_test_reference c ~observe ~(faults : Fault.t array)
-    ~(active : int array) test =
+let run_test_reference ?(budget = Engine.Budget.none) c ~observe
+    ~(faults : Fault.t array) ~(active : int array) test =
   let order = (N.analysis c).A.order in
   let len = Array.length active in
   let flags = Array.make len false in
   let pos = ref 0 in
-  while !pos < len do
+  while !pos < len && not (Engine.Budget.poll budget) do
     let k = min 63 (len - !pos) in
     let start = !pos in
     let batch = List.init k (fun i -> faults.(active.(start + i))) in
@@ -201,19 +201,23 @@ let run_test_reference c ~observe ~(faults : Fault.t array)
 
 (* Multi-test reference run with per-test fault dropping — the dropping
    semantics every engine shares. *)
-let run_reference c ~observe ~faults tests =
+let run_reference ?(budget = Engine.Budget.none) c ~observe ~faults
+    tests =
   let fault_arr = Array.of_list faults in
   let n = Array.length fault_arr in
   let detected = Array.make n false in
   List.iter
     (fun test ->
       let active =
-        Array.of_list
-          (List.filter (fun i -> not detected.(i)) (List.init n Fun.id))
+        if Engine.Budget.poll budget then [||]
+        else
+          Array.of_list
+            (List.filter (fun i -> not detected.(i)) (List.init n Fun.id))
       in
       if Array.length active > 0 then begin
         let flags =
-          run_test_reference c ~observe ~faults:fault_arr ~active test
+          run_test_reference ~budget c ~observe ~faults:fault_arr ~active
+            test
         in
         Array.iteri (fun k i -> if flags.(k) then detected.(i) <- true) active
       end)
@@ -450,11 +454,12 @@ let simulate_batch eng good ~observe (batch : Fault.t array) test =
 
 (* Run one test against the faults selected by [active], batching in
    groups of 63 against a single shared good simulation. *)
-let run_active eng good ~observe ~(faults : Fault.t array) ~(active : int array)
+let run_active ?(budget = Engine.Budget.none) eng good ~observe
+    ~(faults : Fault.t array) ~(active : int array)
     ~(flags : bool array) test =
   let len = Array.length active in
   let pos = ref 0 in
-  while !pos < len do
+  while !pos < len && not (Engine.Budget.poll budget) do
     let k = min 63 (len - !pos) in
     let batch = Array.init k (fun i -> faults.(active.(!pos + i))) in
     let det = simulate_batch eng good ~observe batch test in
@@ -465,15 +470,16 @@ let run_active eng good ~observe ~(faults : Fault.t array) ~(active : int array)
     pos := !pos + k
   done
 
-let run_test_event c ~observe ~faults ~active test =
+let run_test_event ?(budget = Engine.Budget.none) c ~observe ~faults
+    ~active test =
   let eng = make_engine c in
   let good = good_sim eng test in
   let flags = Array.make (Array.length active) false in
-  run_active eng good ~observe ~faults ~active ~flags test;
+  run_active ~budget eng good ~observe ~faults ~active ~flags test;
   flags
 
 (* Multi-test event-driven run with per-test fault dropping. *)
-let run_event c ~observe ~faults tests =
+let run_event ?(budget = Engine.Budget.none) c ~observe ~faults tests =
   let fault_arr = Array.of_list faults in
   let n = Array.length fault_arr in
   let detected = Array.make n false in
@@ -486,7 +492,7 @@ let run_event c ~observe ~faults tests =
         for i = 0 to n - 1 do
           if not detected.(i) then incr remaining
         done;
-        if !remaining > 0 then begin
+        if !remaining > 0 && not (Engine.Budget.poll budget) then begin
           let active = Array.make !remaining 0 in
           let k = ref 0 in
           for i = 0 to n - 1 do
@@ -497,7 +503,8 @@ let run_event c ~observe ~faults tests =
           done;
           let good = good_sim eng test in
           let flags = Array.make !remaining false in
-          run_active eng good ~observe ~faults:fault_arr ~active ~flags test;
+          run_active ~budget eng good ~observe ~faults:fault_arr ~active
+            ~flags test;
           Array.iteri
             (fun j hit -> if hit then detected.(active.(j)) <- true)
             flags
@@ -849,20 +856,25 @@ let packed_sweep eng good (b : P.batch) ~observe ~piers ~stop_on_detect
 (* Sweep the active faults through one word, observing the per-word time
    histogram and the packed-sweep span; [apply k det] receives the index
    into [active] and its nonzero lane mask. *)
-let packed_word eng c ~observe ~stop_on_detect ~(faults : Fault.t array)
-    ~(active : int array) (chunk : Pattern.test array) ~apply =
+let packed_word ?(budget = Engine.Budget.none) eng c ~observe
+    ~stop_on_detect ~(faults : Fault.t array) ~(active : int array)
+    (chunk : Pattern.test array) ~apply =
   let t0 = Engine.Clock.now () in
   Obs.Metrics.incr packed_batches_counter;
   let sweep () =
     let b = batch_of_tests c chunk in
     let good = packed_good_sim eng b in
     let piers = pier_flags c observe in
+    (* one atomic load per fault; the word loops above poll the clock *)
     Array.iteri
       (fun k i ->
-        let det =
-          packed_sweep eng good b ~observe ~piers ~stop_on_detect faults.(i)
-        in
-        if det <> 0 then apply k det)
+        if not (Engine.Budget.check budget) then begin
+          let det =
+            packed_sweep eng good b ~observe ~piers ~stop_on_detect
+              faults.(i)
+          in
+          if det <> 0 then apply k det
+        end)
       active
   in
   (if Obs.Span.enabled () then
@@ -878,7 +890,7 @@ let packed_word eng c ~observe ~stop_on_detect ~(faults : Fault.t array)
    dropping at word granularity.  Because detection of a fault by a test
    never depends on other faults or tests, the flags are bit-identical
    to the per-test-dropping reference. *)
-let run_packed c ~observe ~faults tests =
+let run_packed ?(budget = Engine.Budget.none) c ~observe ~faults tests =
   let fault_arr = Array.of_list faults in
   let n = Array.length fault_arr in
   let detected = Array.make n false in
@@ -888,7 +900,8 @@ let run_packed c ~observe ~faults tests =
     let nt = Array.length tests_arr in
     let pos = ref 0 in
     let remaining = ref n in
-    while !pos < nt && !remaining > 0 do
+    while !pos < nt && !remaining > 0
+          && not (Engine.Budget.poll budget) do
       let len = min P.width (nt - !pos) in
       let chunk = Array.sub tests_arr !pos len in
       pos := !pos + len;
@@ -900,8 +913,8 @@ let run_packed c ~observe ~faults tests =
           incr k
         end
       done;
-      packed_word eng c ~observe ~stop_on_detect:true ~faults:fault_arr
-        ~active chunk
+      packed_word ~budget eng c ~observe ~stop_on_detect:true
+        ~faults:fault_arr ~active chunk
         ~apply:(fun k _det ->
           detected.(active.(k)) <- true;
           decr remaining)
@@ -913,7 +926,8 @@ let run_packed c ~observe ~faults tests =
    dropping between words is preserved), the active faults of each word
    are sharded across the pool.  The good planes are computed once per
    word and shared read-only by every shard. *)
-let run_sharded_packed ~jobs c ~observe ~faults tests =
+let run_sharded_packed ?(budget = Engine.Budget.none) ~jobs c ~observe
+    ~faults tests =
   let fault_arr = Array.of_list faults in
   let n = Array.length fault_arr in
   let detected = Array.make n false in
@@ -923,7 +937,8 @@ let run_sharded_packed ~jobs c ~observe ~faults tests =
     let nt = Array.length tests_arr in
     let pos = ref 0 in
     let remaining = ref n in
-    while !pos < nt && !remaining > 0 do
+    while !pos < nt && !remaining > 0
+          && not (Engine.Budget.poll budget) do
       let len = min P.width (nt - !pos) in
       let chunk = Array.sub tests_arr !pos len in
       pos := !pos + len;
@@ -947,9 +962,10 @@ let run_sharded_packed ~jobs c ~observe ~faults tests =
               let eng = make_pengine c in
               Array.map
                 (fun i ->
-                  packed_sweep eng good b ~observe ~piers
-                    ~stop_on_detect:true fault_arr.(i)
-                  <> 0)
+                  (not (Engine.Budget.check budget))
+                  && packed_sweep eng good b ~observe ~piers
+                       ~stop_on_detect:true fault_arr.(i)
+                     <> 0)
                 sub)
             active
         in
@@ -989,10 +1005,11 @@ let run_sharded_packed ~jobs c ~observe ~faults tests =
     packed default falls back to the event-driven parallel-fault engine
     (which already words 63 faults per evaluation); [~engine:Reference]
     forces the straight-line oracle. *)
-let run_test ?engine c ~observe ~faults ~active test =
+let run_test ?engine ?(budget = Engine.Budget.none) c ~observe ~faults
+    ~active test =
   match resolve engine with
-  | Reference -> run_test_reference c ~observe ~faults ~active test
-  | Packed | Event -> run_test_event c ~observe ~faults ~active test
+  | Reference -> run_test_reference ~budget c ~observe ~faults ~active test
+  | Packed | Event -> run_test_event ~budget c ~observe ~faults ~active test
 
 (** [run_test_sharded ~jobs ...] is {!run_test} with the active faults
     sharded across the global domain pool: each shard owns a disjoint
@@ -1000,15 +1017,17 @@ let run_test ?engine c ~observe ~faults ~active test =
     immutable circuit and its [Netlist.Analysis] are shared.  Per-fault
     flags are independent, so the ordered merge is bit-identical to the
     serial run. *)
-let run_test_sharded ?engine ~jobs c ~observe ~faults ~active test =
+let run_test_sharded ?engine ?(budget = Engine.Budget.none) ~jobs c
+    ~observe ~faults ~active test =
   let kind = resolve engine in
   if kind = Reference || jobs <= 1 || Array.length active < 128 then
-    run_test ~engine:kind c ~observe ~faults ~active test
+    run_test ~engine:kind ~budget c ~observe ~faults ~active test
   else
     let pool = Engine.Pool.global () in
     let parts =
       Engine.Shard.map_chunks pool ~shards:jobs
-        (fun sub -> run_test_event c ~observe ~faults ~active:sub test)
+        (fun sub ->
+          run_test_event ~budget c ~observe ~faults ~active:sub test)
         active
     in
     Array.concat (Array.to_list parts)
@@ -1016,11 +1035,11 @@ let run_test_sharded ?engine ~jobs c ~observe ~faults ~active test =
 (** [run c ~observe ~faults tests] fault-simulates every test with fault
     dropping; returns per-fault detection flags aligned with [faults].
     All three engines produce bit-identical flags. *)
-let run ?engine c ~observe ~faults tests =
+let run ?engine ?(budget = Engine.Budget.none) c ~observe ~faults tests =
   match resolve engine with
-  | Packed -> run_packed c ~observe ~faults tests
-  | Event -> run_event c ~observe ~faults tests
-  | Reference -> run_reference c ~observe ~faults tests
+  | Packed -> run_packed ~budget c ~observe ~faults tests
+  | Event -> run_event ~budget c ~observe ~faults tests
+  | Reference -> run_reference ~budget c ~observe ~faults tests
 
 (** [run_sharded ~jobs ...] is {!run} parallelized over the global
     domain pool.  Packed: the word-sized pattern chunks stay sequential
@@ -1032,20 +1051,24 @@ let run ?engine c ~observe ~faults tests =
     to the serial {!run} for every [jobs].  Falls back to the serial
     engine for [jobs <= 1] or small fault lists; [~engine:Reference] is
     always serial. *)
-let run_sharded ?engine ~jobs c ~observe ~faults tests =
+let run_sharded ?engine ?(budget = Engine.Budget.none) ~jobs c ~observe
+    ~faults tests =
   let kind = resolve engine in
   let n = List.length faults in
-  if jobs <= 1 || n < 128 then run ~engine:kind c ~observe ~faults tests
+  if jobs <= 1 || n < 128 then
+    run ~engine:kind ~budget c ~observe ~faults tests
   else
     match kind with
-    | Packed -> run_sharded_packed ~jobs c ~observe ~faults tests
-    | Reference -> run_reference c ~observe ~faults tests
+    | Packed -> run_sharded_packed ~budget ~jobs c ~observe ~faults tests
+    | Reference -> run_reference ~budget c ~observe ~faults tests
     | Event ->
       let pool = Engine.Pool.global () in
       let fault_arr = Array.of_list faults in
       let parts =
         Engine.Shard.map_chunks pool ~shards:jobs
-          (fun shard -> run_event c ~observe ~faults:(Array.to_list shard) tests)
+          (fun shard ->
+            run_event ~budget c ~observe ~faults:(Array.to_list shard)
+              tests)
           fault_arr
       in
       Array.concat (Array.to_list parts)
@@ -1057,8 +1080,9 @@ let run_sharded ?engine ~jobs c ~observe ~faults tests =
     simulation plus one event-driven sweep per fault per word —
     Compact's reverse-order replay and Diagnose's dictionary both read
     their answers straight out of this matrix. *)
-let run_matrix ?engine c ~observe ~(faults : Fault.t array)
-    ~(active : int array) (tests : Pattern.test array) =
+let run_matrix ?engine ?(budget = Engine.Budget.none) c ~observe
+    ~(faults : Fault.t array) ~(active : int array)
+    (tests : Pattern.test array) =
   let nt = Array.length tests in
   let sigs = Array.init (Array.length active) (fun _ -> Bytes.make nt '\000') in
   (if Array.length active > 0 && nt > 0 then
@@ -1066,12 +1090,13 @@ let run_matrix ?engine c ~observe ~(faults : Fault.t array)
      | Packed ->
        let eng = make_pengine c in
        let pos = ref 0 in
-       while !pos < nt do
+       while !pos < nt && not (Engine.Budget.poll budget) do
          let len = min P.width (nt - !pos) in
          let chunk = Array.sub tests !pos len in
          let off = !pos in
          pos := !pos + len;
-         packed_word eng c ~observe ~stop_on_detect:false ~faults ~active chunk
+         packed_word ~budget eng c ~observe ~stop_on_detect:false ~faults
+           ~active chunk
            ~apply:(fun k det ->
              for l = 0 to len - 1 do
                if (det lsr l) land 1 = 1 then
@@ -1082,19 +1107,26 @@ let run_matrix ?engine c ~observe ~(faults : Fault.t array)
        let eng = make_engine c in
        Array.iteri
          (fun ti test ->
-           let good = good_sim eng test in
-           let flags = Array.make (Array.length active) false in
-           run_active eng good ~observe ~faults ~active ~flags test;
-           Array.iteri
-             (fun k hit -> if hit then Bytes.set sigs.(k) ti '\001')
-             flags)
+           if not (Engine.Budget.poll budget) then begin
+             let good = good_sim eng test in
+             let flags = Array.make (Array.length active) false in
+             run_active ~budget eng good ~observe ~faults ~active ~flags
+               test;
+             Array.iteri
+               (fun k hit -> if hit then Bytes.set sigs.(k) ti '\001')
+               flags
+           end)
          tests
      | Reference ->
        Array.iteri
          (fun ti test ->
-           let flags = run_test_reference c ~observe ~faults ~active test in
-           Array.iteri
-             (fun k hit -> if hit then Bytes.set sigs.(k) ti '\001')
-             flags)
+           if not (Engine.Budget.poll budget) then begin
+             let flags =
+               run_test_reference ~budget c ~observe ~faults ~active test
+             in
+             Array.iteri
+               (fun k hit -> if hit then Bytes.set sigs.(k) ti '\001')
+               flags
+           end)
          tests);
   sigs

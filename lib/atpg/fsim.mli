@@ -14,7 +14,13 @@
 
     Flip-flops start at X except loaded PIER registers, so detection is
     exactly as conservative as chip-level pattern translation
-    requires. *)
+    requires.
+
+    Every run entry point takes an optional {!Engine.Budget} token and
+    degrades gracefully when it dies: the engines stop sweeping (outer
+    loops poll the clock per word/test/batch, the per-fault sweep is one
+    atomic load) and return the {e partial} flags accumulated so far —
+    missing work reads as "not detected", never as a wrong positive. *)
 
 type observe = {
   ob_pos : bool;           (** observe primary outputs every cycle *)
@@ -55,7 +61,7 @@ val run_batch_reference :
     falls back to the event-driven engine here (already 63 faults per
     word); [~engine:Reference] forces the oracle. *)
 val run_test :
-  ?engine:engine_kind ->
+  ?engine:engine_kind -> ?budget:Engine.Budget.t ->
   Netlist.t -> observe:observe -> faults:Fault.t array -> active:int array ->
   Pattern.test -> bool array
 
@@ -65,7 +71,7 @@ val run_test :
     analysis); bit-identical to {!run_test}.  Falls back to the serial
     engine for [jobs <= 1], small active sets or [Reference]. *)
 val run_test_sharded :
-  ?engine:engine_kind ->
+  ?engine:engine_kind -> ?budget:Engine.Budget.t ->
   jobs:int -> Netlist.t -> observe:observe -> faults:Fault.t array ->
   active:int array -> Pattern.test -> bool array
 
@@ -76,7 +82,7 @@ val run_test_sharded :
     lanes (and dropping at word granularity) changes evaluation counts
     only. *)
 val run :
-  ?engine:engine_kind ->
+  ?engine:engine_kind -> ?budget:Engine.Budget.t ->
   Netlist.t -> observe:observe -> faults:Fault.t list -> Pattern.test list ->
   bool array
 
@@ -88,7 +94,7 @@ val run :
     with local dropping.  Falls back to the serial engine for
     [jobs <= 1], small fault lists or [Reference]. *)
 val run_sharded :
-  ?engine:engine_kind ->
+  ?engine:engine_kind -> ?budget:Engine.Budget.t ->
   jobs:int -> Netlist.t -> observe:observe -> faults:Fault.t list ->
   Pattern.test list -> bool array
 
@@ -99,7 +105,7 @@ val run_sharded :
     word-sized test chunk; Compact and Diagnose read their answers
     straight out of it. *)
 val run_matrix :
-  ?engine:engine_kind ->
+  ?engine:engine_kind -> ?budget:Engine.Budget.t ->
   Netlist.t -> observe:observe -> faults:Fault.t array -> active:int array ->
   Pattern.test array -> Bytes.t array
 

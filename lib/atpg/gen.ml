@@ -54,13 +54,14 @@ let default_config = {
   g_deterministic = true;
 }
 
-type outcome = Detected | Untestable | Aborted_fault
+type outcome = Detected | Untestable | Aborted_fault | Budget_skipped
 
 type result = {
   r_total : int;
   r_detected : int;
   r_untestable : int;
   r_aborted : int;
+  r_budget_skipped : int;
   r_coverage : float;       (** percent detected *)
   r_effectiveness : float;  (** percent detected or proven untestable *)
   r_tests : Pattern.test list;
@@ -81,17 +82,41 @@ let m_faults = Obs.Metrics.counter "factor.atpg.faults"
 let m_detected = Obs.Metrics.counter "factor.atpg.detected"
 let m_untestable = Obs.Metrics.counter "factor.atpg.untestable"
 let m_aborted = Obs.Metrics.counter "factor.atpg.aborted"
+let m_budget_skipped = Obs.Metrics.counter "factor.atpg.budget_skipped"
 let m_sat_rescued = Obs.Metrics.counter "factor.atpg.sat_rescued"
 let m_fault_time = Obs.Metrics.histogram "factor.atpg.fault_time_s"
 
 (** [run c cfg faults] generates tests targeting [faults] on circuit [c]. *)
-let run c cfg faults =
+let run ?(budget = Engine.Budget.none) c cfg faults =
   Obs.Span.with_ "atpg.run"
     ~attrs:[ ("faults", Obs.Json.Int (List.length faults)) ]
   @@ fun () ->
   let t0_cpu = Sys.time () in
   let t0 = Engine.Clock.now () in
   let elapsed () = Engine.Clock.now () -. t0 in
+  (* the run token carries the total budget; every phase, pool task and
+     solver call watches it (or a child of it), so expiry also stops
+     in-flight work instead of merely skipping future faults *)
+  let run_tok =
+    Engine.Budget.sub
+      ?deadline_in:
+        (if cfg.g_total_budget = infinity then None
+         else Some cfg.g_total_budget)
+      budget
+  in
+  Fun.protect ~finally:(fun () -> Engine.Budget.detach run_tok)
+  @@ fun () ->
+  let dead () = Engine.Budget.poll run_tok in
+  (* deterministic chaos seam: one site per fault index, caught right
+     here so an injected failure costs exactly one fault *)
+  let with_chaos i ~crashed f =
+    if Engine.Chaos.active () then
+      try
+        Engine.Chaos.point ("atpg.fault:" ^ string_of_int i);
+        f ()
+      with Engine.Chaos.Injected _ -> crashed
+    else f ()
+  in
   let rng = Random.State.make [| cfg.g_seed |] in
   let observe =
     { Fsim.ob_pos = true; ob_pier_ffs = cfg.g_piers }
@@ -131,8 +156,11 @@ let run c cfg faults =
       let flags =
         match pool with
         | Some _ when use_pool ->
-          Fsim.run_test_sharded ~jobs c ~observe ~faults:fault_arr ~active test
-        | _ -> Fsim.run_test c ~observe ~faults:fault_arr ~active test
+          Fsim.run_test_sharded ~jobs ~budget:run_tok c ~observe
+            ~faults:fault_arr ~active test
+        | _ ->
+          Fsim.run_test ~budget:run_tok c ~observe ~faults:fault_arr
+            ~active test
       in
       Array.iteri
         (fun k i -> if flags.(k) then outcome.(i) <- Some Detected)
@@ -160,7 +188,7 @@ let run c cfg faults =
     match pool with
     | None ->
       for i = 0 to n - 1 do
-        if eligible i && elapsed () < cfg.g_total_budget then
+        if eligible i && not (dead ()) then
           apply ~use_pool:true i (generate i)
       done
     | Some pool when cfg.g_deterministic ->
@@ -171,7 +199,7 @@ let run c cfg faults =
         while !k < chunk && !next < n do
           let i = !next in
           incr next;
-          if eligible i && elapsed () < cfg.g_total_budget then begin
+          if eligible i && not (dead ()) then begin
             cand := i :: !cand;
             incr k
           end
@@ -185,8 +213,14 @@ let run c cfg faults =
         in
         List.iter
           (fun (i, fut) ->
-            let r = Engine.Pool.await fut in
-            if eligible i then apply ~use_pool:true i r)
+            (* a dead budget withdraws the round's queued candidates;
+               the ones already running abort through their own child
+               tokens, and both leave the fault unresolved (later
+               counted budget-skipped) exactly like the serial loop *)
+            if dead () then ignore (Engine.Pool.cancel fut : bool);
+            match Engine.Pool.await fut with
+            | r -> if eligible i then apply ~use_pool:true i r
+            | exception Engine.Pool.Cancelled -> ())
           futs
       done
     | Some pool ->
@@ -198,8 +232,8 @@ let run c cfg faults =
               Some
                 (Engine.Pool.submit pool (fun () ->
                      let live =
-                       Mutex.protect lock (fun () ->
-                           eligible i && elapsed () < cfg.g_total_budget)
+                       (not (dead ()))
+                       && Mutex.protect lock (fun () -> eligible i)
                      in
                      if live then begin
                        let r = generate i in
@@ -219,7 +253,7 @@ let run c cfg faults =
   Obs.Span.with_ "atpg.random" (fun () ->
       while (not !saturated)
             && !batch < cfg.g_random_batches
-            && elapsed () < cfg.g_total_budget
+            && (not (dead ()))
             && Array.exists (fun o -> o = None) outcome do
         incr batch;
         let random_tests =
@@ -243,8 +277,10 @@ let run c cfg faults =
           let flags =
             match pool with
             | Some _ ->
-              Fsim.run_sharded ~jobs c ~observe ~faults:sub random_tests
-            | None -> Fsim.run c ~observe ~faults:sub random_tests
+              Fsim.run_sharded ~jobs ~budget:run_tok c ~observe
+                ~faults:sub random_tests
+            | None ->
+              Fsim.run ~budget:run_tok c ~observe ~faults:sub random_tests
           in
           Array.iteri
             (fun k i -> if flags.(k) then outcome.(i) <- Some Detected)
@@ -269,12 +305,17 @@ let run c cfg faults =
   (* one SAT attempt at a fault; the caller accounts time and statistics
      at apply time so discarded parallel attempts leave no trace *)
   let sat_attempt i =
+    with_chaos i ~crashed:(Sat.Satgen.Gave_up, Sat.Solver.zero_stats, 0.0)
+    @@ fun () ->
     let a0 = Engine.Clock.now () in
+    let tok = Engine.Budget.sub run_tok in
     let (verdict, stats) =
+      Fun.protect ~finally:(fun () -> Engine.Budget.detach tok)
+      @@ fun () ->
       let fault = fault_arr.(i) in
       Sat.Satgen.run c ~max_frames:cfg.g_max_frames
         ~conflict_limit:cfg.g_sat_conflicts ~piers:cfg.g_piers
-        ~net:fault.Fault.f_net ~stuck:fault.Fault.f_stuck
+        ~budget:tok ~net:fault.Fault.f_net ~stuck:fault.Fault.f_stuck
     in
     let dt = Engine.Clock.now () -. a0 in
     Obs.Metrics.observe m_fault_time dt;
@@ -287,7 +328,12 @@ let run c cfg faults =
   let podem_generate_body i =
     let fault = fault_arr.(i) in
     let fault_t0 = Engine.Clock.now () in
-    let over_budget () = Engine.Clock.now () -. fault_t0 > cfg.g_fault_budget in
+    (* the per-fault budget is a child of the run token: whichever dies
+       first aborts the PODEM search from inside its decision loop *)
+    let tok = Engine.Budget.sub ~deadline_in:cfg.g_fault_budget run_tok in
+    Fun.protect ~finally:(fun () -> Engine.Budget.detach tok)
+    @@ fun () ->
+    let over_budget () = Engine.Budget.poll tok in
     let rec attempts frames try_no =
       if try_no > cfg.g_restarts then Podem.Aborted
       else if over_budget () then Podem.Aborted
@@ -298,7 +344,7 @@ let run c cfg faults =
             piers = cfg.g_piers;
             seed = (cfg.g_seed * 31) + try_no }
         in
-        match Podem.run c pcfg fault with
+        match Podem.run ~budget:tok c pcfg fault with
         | Podem.Detected t -> Podem.Detected t
         | Podem.Exhausted -> Podem.Exhausted
         | Podem.Aborted -> attempts frames (try_no + 1)
@@ -319,6 +365,7 @@ let run c cfg faults =
   (* per-fault span: build the attr list only when tracing is live so
      the disabled path stays allocation-free on this hot loop *)
   let podem_generate i =
+    with_chaos i ~crashed:Podem.Aborted @@ fun () ->
     if Obs.Span.enabled () then
       Obs.Span.with_ "atpg.fault"
         ~attrs:[ ("fault", Obs.Json.Int i) ]
@@ -416,7 +463,9 @@ let run c cfg faults =
     in
     Obs.Span.with_ "atpg.simgen" (fun () ->
         sweep ~eligible:aborted
-          ~generate:(fun i -> Simgen.run c simgen_cfg fault_arr.(i))
+          ~generate:(fun i ->
+            with_chaos i ~crashed:None (fun () ->
+                Simgen.run c simgen_cfg fault_arr.(i)))
           ~apply:(fun ~use_pool i result ->
               ignore i;
               match result with
@@ -428,9 +477,14 @@ let run c cfg faults =
                   test
               | None -> ()))
   end;
-  (* anything skipped by the total budget counts as aborted *)
+  (* a fault left unresolved by an expired total budget is neither hard
+     (aborted) nor easy — it simply never got its turn; count it apart
+     so coverage reports can tell "hard fault" from "ran out of time" *)
+  let skipped_mark =
+    if Engine.Budget.poll run_tok then Budget_skipped else Aborted_fault
+  in
   Array.iteri
-    (fun i o -> if o = None then outcome.(i) <- Some Aborted_fault)
+    (fun i o -> if o = None then outcome.(i) <- Some skipped_mark)
     outcome;
   let count what =
     Array.fold_left
@@ -440,20 +494,24 @@ let run c cfg faults =
   let detected = count Detected in
   let untestable = count Untestable in
   let aborted = count Aborted_fault in
+  let budget_skipped = count Budget_skipped in
   Obs.Metrics.add m_faults n;
   Obs.Metrics.add m_detected detected;
   Obs.Metrics.add m_untestable untestable;
   Obs.Metrics.add m_aborted aborted;
+  Obs.Metrics.add m_budget_skipped budget_skipped;
   Obs.Log.event Obs.Log.Info "atpg.done"
     [ ("faults", Obs.Json.Int n);
       ("detected", Obs.Json.Int detected);
       ("untestable", Obs.Json.Int untestable);
       ("aborted", Obs.Json.Int aborted);
+      ("budget_skipped", Obs.Json.Int budget_skipped);
       ("wall_s", Obs.Json.Float (elapsed ())) ];
   { r_total = n;
     r_detected = detected;
     r_untestable = untestable;
     r_aborted = aborted;
+    r_budget_skipped = budget_skipped;
     r_coverage = coverage detected n;
     r_effectiveness = coverage (detected + untestable) n;
     r_tests = List.rev !tests;

@@ -45,13 +45,18 @@ type config = {
 
 val default_config : config
 
-type outcome = Detected | Untestable | Aborted_fault
+type outcome =
+  | Detected
+  | Untestable
+  | Aborted_fault    (** the engines gave up on a hard fault *)
+  | Budget_skipped   (** never attempted: the total budget expired *)
 
 type result = {
   r_total : int;
   r_detected : int;
   r_untestable : int;
-  r_aborted : int;
+  r_aborted : int;          (** hard faults the engines gave up on *)
+  r_budget_skipped : int;   (** faults skipped by total-budget expiry *)
   r_coverage : float;       (** percent detected *)
   r_effectiveness : float;  (** percent detected or proven untestable *)
   r_tests : Pattern.test list;
@@ -65,5 +70,15 @@ type result = {
   r_sat_stats : Sat.Solver.stats;
 }
 
-(** [run c cfg faults] generates tests targeting [faults] on [c]. *)
-val run : Netlist.t -> config -> Fault.t list -> result
+(** [run c cfg faults] generates tests targeting [faults] on [c].
+
+    The whole run is governed by a hierarchical {!Engine.Budget} token:
+    a child of [budget] (when given) carrying [g_total_budget] as its
+    deadline.  Every phase loop, queued pool task, fault simulation and
+    SAT solve watches that token or a per-fault child of it, so expiry
+    or a [cancel] of [budget] stops in-flight work cooperatively and
+    returns partial results; faults never attempted are reported as
+    [Budget_skipped]. *)
+val run :
+  ?budget:Engine.Budget.t -> Netlist.t -> config -> Fault.t list ->
+  result

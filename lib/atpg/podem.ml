@@ -492,7 +492,7 @@ let m_exhausted = Obs.Metrics.counter "factor.podem.exhausted"
 let m_aborted = Obs.Metrics.counter "factor.podem.aborted"
 
 (** [run c cfg fault] attempts to generate a test for [fault]. *)
-let run c cfg fault =
+let run ?(budget = Engine.Budget.none) c cfg fault =
   let decisions = ref 0 in
   let m = make_model c cfg fault in
   let stack = ref [] in
@@ -503,7 +503,12 @@ let run c cfg fault =
     | In_pier i -> Printf.sprintf "pier %s" m.c.N.ff_names.(i)
   in
   let rec step () =
-    if detected m then Detected (extract_test m)
+    (* the decision loop's budget check is one atomic load; the clock
+       is consulted every 64 decisions *)
+    if Engine.Budget.check budget
+       || (!decisions land 63 = 0 && Engine.Budget.poll budget)
+    then Aborted
+    else if detected m then Detected (extract_test m)
     else
       match choose_objective m with
       | Some (f, net, v) ->
@@ -522,7 +527,8 @@ let run c cfg fault =
       | None -> dbg "dead end"; backtrack ()
   and backtrack () =
     m.backtracks <- m.backtracks + 1;
-    if m.backtracks > m.cfg.backtrack_limit then Aborted
+    if Engine.Budget.check budget then Aborted
+    else if m.backtracks > m.cfg.backtrack_limit then Aborted
     else
       let rec pop () =
         match !stack with

@@ -8,7 +8,7 @@
 type outcome =
   | Detected of Pattern.test
   | Exhausted  (** search space exhausted at this unrolling depth *)
-  | Aborted    (** backtrack limit reached *)
+  | Aborted    (** backtrack limit or budget reached *)
 
 type config = {
   frames : int;
@@ -22,5 +22,8 @@ val default_config : config
 (** Diagnostics hook: receives one line per search event when set. *)
 val debug_hook : (string -> unit) option ref
 
-(** [run c cfg fault] attempts to generate a test for [fault]. *)
-val run : Netlist.t -> config -> Fault.t -> outcome
+(** [run c cfg fault] attempts to generate a test for [fault].  A dead
+    [budget] token surfaces as [Aborted]: the decision loop loads the
+    token's flag on every decision and polls the clock every 64. *)
+val run : ?budget:Engine.Budget.t -> Netlist.t -> config -> Fault.t ->
+  outcome

@@ -14,6 +14,8 @@ type task = {
      critical section as the telemetry update so a stats read made
      after an await can never miss the awaited task's counters *)
   t_submitted : float;    (* Clock.now at submission, for queue-wait *)
+  mutable t_taken : bool;      (* a slot popped it; under [mutex] *)
+  mutable t_cancelled : bool;  (* drain without running; under [mutex] *)
 }
 
 (* A deque as two stacks: [front] head is the front, [back] head is the
@@ -64,6 +66,7 @@ type t = {
   (* telemetry, all under [mutex] *)
   mutable tasks : int;
   mutable steals : int;
+  mutable cancelled : int;
   mutable queue_wait : float;
   mutable run_time : float;
   busy : float array;
@@ -73,6 +76,7 @@ type stats = {
   ps_jobs : int;
   ps_tasks : int;
   ps_steals : int;
+  ps_cancelled : int;
   ps_queue_wait : float;
   ps_run_time : float;
   ps_busy : float array;
@@ -83,11 +87,15 @@ type 'a state =
   | Pending
   | Done of 'a
   | Failed of exn * Printexc.raw_backtrace
+  | Cancelled_state
 
 type 'a future = {
   f_pool : t;
+  f_task : task;
   mutable f_state : 'a state;
 }
+
+exception Cancelled
 
 let uid_counter = Atomic.make 0
 
@@ -104,8 +112,11 @@ let my_slot pool =
 (* Take a task while holding [pool.mutex]: own front first, then steal
    from the back of the other slots. *)
 let take pool slot =
+  let mark t = t.t_taken <- true in
   match pop_front pool.deques.(slot) with
-  | Some _ as t -> t
+  | Some t ->
+    mark t;
+    Some t
   | None ->
     let n = pool.jobs in
     let rec steal k =
@@ -113,29 +124,40 @@ let take pool slot =
       else
         let j = (slot + k) mod n in
         match pop_back pool.deques.(j) with
-        | Some _ as t ->
+        | Some t ->
           pool.steals <- pool.steals + 1;
-          t
+          mark t;
+          Some t
         | None -> steal (k + 1)
     in
     steal 1
 
 (* Run [t] outside the lock; account for it on [slot] and resolve its
-   future in one critical section. *)
+   future in one critical section.  A task cancelled while queued is
+   drained — accounted and discarded without running — so workers never
+   pay for work nobody will await. *)
 let run_task pool slot t =
-  let start = Clock.now () in
-  let commit = t.t_run () in
-  let stop = Clock.now () in
-  Mutex.lock pool.mutex;
-  pool.tasks <- pool.tasks + 1;
-  pool.queue_wait <- pool.queue_wait +. (start -. t.t_submitted);
-  pool.run_time <- pool.run_time +. (stop -. start);
-  pool.busy.(slot) <- pool.busy.(slot) +. (stop -. start);
-  commit ();
-  (* wakes both awaiting domains and idle workers; completions are rare
-     relative to task work, so a broadcast is cheap enough *)
-  Condition.broadcast pool.cond;
-  Mutex.unlock pool.mutex
+  if t.t_cancelled then begin
+    Mutex.lock pool.mutex;
+    pool.tasks <- pool.tasks + 1;
+    Condition.broadcast pool.cond;
+    Mutex.unlock pool.mutex
+  end
+  else begin
+    let start = Clock.now () in
+    let commit = t.t_run () in
+    let stop = Clock.now () in
+    Mutex.lock pool.mutex;
+    pool.tasks <- pool.tasks + 1;
+    pool.queue_wait <- pool.queue_wait +. (start -. t.t_submitted);
+    pool.run_time <- pool.run_time +. (stop -. start);
+    pool.busy.(slot) <- pool.busy.(slot) +. (stop -. start);
+    commit ();
+    (* wakes both awaiting domains and idle workers; completions are
+       rare relative to task work, so a broadcast is cheap enough *)
+    Condition.broadcast pool.cond;
+    Mutex.unlock pool.mutex
+  end
 
 let worker pool slot () =
   Domain.DLS.set slot_key (Some (pool.uid, slot));
@@ -178,6 +200,7 @@ let create jobs =
       created = Clock.now ();
       tasks = 0;
       steals = 0;
+      cancelled = 0;
       queue_wait = 0.0;
       run_time = 0.0;
       busy = Array.make jobs 0.0 }
@@ -189,15 +212,20 @@ let create jobs =
 let size pool = pool.jobs
 
 let submit pool f =
-  let fut = { f_pool = pool; f_state = Pending } in
-  let run () =
-    match f () with
+  let rec t =
+    { t_run = run; t_submitted = Clock.now ();
+      t_taken = false; t_cancelled = false }
+  and fut = { f_pool = pool; f_task = t; f_state = Pending }
+  and run () =
+    match
+      Chaos.point "pool.task";
+      f ()
+    with
     | v -> fun () -> fut.f_state <- Done v
     | exception e ->
       let bt = Printexc.get_raw_backtrace () in
       fun () -> fut.f_state <- Failed (e, bt)
   in
-  let t = { t_run = run; t_submitted = Clock.now () } in
   Mutex.lock pool.mutex;
   if pool.stopping then begin
     Mutex.unlock pool.mutex;
@@ -207,6 +235,26 @@ let submit pool f =
   Condition.signal pool.cond;
   Mutex.unlock pool.mutex;
   fut
+
+let m_pool_cancelled =
+  lazy (Obs.Metrics.counter "factor.pool.cancelled_tasks")
+
+let cancel fut =
+  let pool = fut.f_pool in
+  Mutex.lock pool.mutex;
+  let won =
+    match fut.f_state with
+    | Pending when not fut.f_task.t_taken ->
+      fut.f_task.t_cancelled <- true;
+      fut.f_state <- Cancelled_state;
+      pool.cancelled <- pool.cancelled + 1;
+      Condition.broadcast pool.cond;
+      true
+    | _ -> false
+  in
+  Mutex.unlock pool.mutex;
+  if won then Obs.Metrics.incr (Lazy.force m_pool_cancelled);
+  won
 
 let await fut =
   let pool = fut.f_pool in
@@ -221,6 +269,9 @@ let await fut =
     | Failed (e, bt) ->
       Mutex.unlock pool.mutex;
       Printexc.raise_with_backtrace e bt
+    | Cancelled_state ->
+      Mutex.unlock pool.mutex;
+      raise Cancelled
     | Pending ->
       (match take pool slot with
        | Some t ->
@@ -253,6 +304,7 @@ let stats pool =
     { ps_jobs = pool.jobs;
       ps_tasks = pool.tasks;
       ps_steals = pool.steals;
+      ps_cancelled = pool.cancelled;
       ps_queue_wait = pool.queue_wait;
       ps_run_time = pool.run_time;
       ps_busy = Array.copy pool.busy;
@@ -270,10 +322,10 @@ let stats_to_string s =
   in
   Buffer.add_string buf
     (Printf.sprintf
-       "pool: %d slots, %d tasks (%d stolen), run %.3fs, queue-wait \
-        %.3fs, wall %.3fs, utilization %.0f%%\n"
-       s.ps_jobs s.ps_tasks s.ps_steals s.ps_run_time s.ps_queue_wait
-       s.ps_wall (100.0 *. util));
+       "pool: %d slots, %d tasks (%d stolen, %d cancelled), run \
+        %.3fs, queue-wait %.3fs, wall %.3fs, utilization %.0f%%\n"
+       s.ps_jobs s.ps_tasks s.ps_steals s.ps_cancelled s.ps_run_time
+       s.ps_queue_wait s.ps_wall (100.0 *. util));
   Array.iteri
     (fun i busy ->
       Buffer.add_string buf
@@ -290,6 +342,7 @@ let publish_metrics pool =
   let catch_up c v = Obs.Metrics.add c (v - Obs.Metrics.value c) in
   catch_up (Obs.Metrics.counter "factor.pool.tasks") s.ps_tasks;
   catch_up (Obs.Metrics.counter "factor.pool.steals") s.ps_steals;
+  catch_up (Obs.Metrics.counter "factor.pool.cancelled") s.ps_cancelled;
   Obs.Metrics.set (Obs.Metrics.gauge "factor.pool.jobs")
     (float_of_int s.ps_jobs);
   Obs.Metrics.set (Obs.Metrics.gauge "factor.pool.queue_wait_s")

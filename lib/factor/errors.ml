@@ -1,0 +1,79 @@
+(** Structured error taxonomy for the FACTOR pipeline: every
+    user-provokable failure is classified into a stage, positioned when
+    the front end knows where it happened, and mapped to a stable exit
+    code by the CLI. *)
+
+type stage =
+  | Parse
+  | Elaborate
+  | Extract
+  | Solve
+  | Io
+
+type pos = { p_file : string; p_line : int; p_col : int }
+
+type t = {
+  e_stage : stage;
+  e_pos : pos option;
+  e_msg : string;
+}
+
+exception Error of t
+
+let make ?file ?line ?col stage msg =
+  let pos =
+    match (file, line) with
+    | Some f, Some l ->
+      Some { p_file = f; p_line = l; p_col = Option.value col ~default:0 }
+    | Some f, None -> Some { p_file = f; p_line = 0; p_col = 0 }
+    | None, _ -> None
+  in
+  { e_stage = stage; e_pos = pos; e_msg = msg }
+
+let fail ?file ?line ?col stage msg =
+  raise (Error (make ?file ?line ?col stage msg))
+
+let stage_name = function
+  | Parse -> "parse"
+  | Elaborate -> "elaborate"
+  | Extract -> "extract"
+  | Solve -> "solve"
+  | Io -> "io"
+
+let exit_code t =
+  match t.e_stage with
+  | Parse -> 2
+  | Elaborate -> 3
+  | Extract -> 4
+  | Solve -> 5
+  | Io -> 6
+
+let to_string t =
+  let where =
+    match t.e_pos with
+    | None -> ""
+    | Some { p_file; p_line = 0; _ } -> Printf.sprintf "%s: " p_file
+    | Some { p_file; p_line; p_col = 0 } ->
+      Printf.sprintf "%s:%d: " p_file p_line
+    | Some { p_file; p_line; p_col } ->
+      Printf.sprintf "%s:%d:%d: " p_file p_line p_col
+  in
+  Printf.sprintf "factor: %s error: %s%s" (stage_name t.e_stage) where t.e_msg
+
+let of_exn ?file exn =
+  let mk ?line ?col stage msg = Some (make ?file ?line ?col stage msg) in
+  match exn with
+  | Error t -> Some t
+  | Verilog.Lexer.Error (msg, line, col) -> mk ~line ~col Parse msg
+  | Verilog.Parser.Error (msg, line, col) -> mk ~line ~col Parse msg
+  | Atpg.Pattern.Parse_error msg -> mk Parse msg
+  | Design.Elaborate.Error msg -> mk Elaborate msg
+  | Synth.Flatten.Error msg -> mk Elaborate msg
+  | Synth.Lower.Error msg -> mk Elaborate msg
+  | Synth.Interp.Error msg -> mk Elaborate msg
+  | Netlist.Error msg -> mk Elaborate msg
+  | Reconstruct.Error msg -> mk Extract msg
+  | Engine.Chaos.Injected site ->
+    mk Solve (Printf.sprintf "chaos fault injected at %s" site)
+  | Sys_error msg -> mk Io msg
+  | _ -> None

@@ -173,7 +173,7 @@ let processor_atpg ~full spec cfg =
     tied away are untestable under functional constraints (the arm_alu
     situation) — they lower the fault coverage but not the ATPG
     effectiveness. *)
-let transformed_atpg (row : transform_row) cfg =
+let transformed_atpg ?(budget = Engine.Budget.none) (row : transform_row) cfg =
   Obs.Span.with_ "flow.transformed_atpg"
     ~attrs:[ ("mut", Obs.Json.String row.tr_name) ]
   @@ fun () ->
@@ -184,7 +184,7 @@ let transformed_atpg (row : transform_row) cfg =
       (Atpg.Fault.all ~within:row.tr_transformed.Transform.tf_mut_path c)
   in
   let cfg = { cfg with Atpg.Gen.g_piers = piers } in
-  let r = Atpg.Gen.run c cfg faults in
+  let r = Atpg.Gen.run ~budget c cfg faults in
   let universe = max row.tr_standalone_faults r.Atpg.Gen.r_total in
   let constrained_away = universe - r.Atpg.Gen.r_total in
   let pct n = 100.0 *. float_of_int n /. float_of_int (max 1 universe) in
@@ -199,21 +199,124 @@ let transformed_atpg (row : transform_row) cfg =
     ar_vectors = r.Atpg.Gen.r_vectors;
     ar_result = r }
 
-(** [transformed_atpg_all ?jobs rows cfg] produces every Table 5/6 row,
-    running the per-MUT generations as concurrent tasks on the global
-    domain pool and merging the rows in input order — bit-identical to
-    mapping {!transformed_atpg} serially because each MUT's generation
-    reads only its own transformed circuit and the shared immutable
-    analysis.  [jobs] defaults to the pool width; [jobs <= 1] runs
+(* ------------------------------------------------------------------ *)
+(* MUT isolation: each row of Tables 5/6 succeeds or fails on its own.  *)
+(* ------------------------------------------------------------------ *)
+
+type mut_status =
+  | Mut_ok
+  | Mut_degraded of string
+  | Mut_failed of string
+  | Mut_skipped of string
+
+type mut_outcome = {
+  mo_name : string;
+  mo_status : mut_status;
+  mo_row : atpg_row option;
+}
+
+let completed_rows outcomes =
+  List.filter_map (fun o -> o.mo_row) outcomes
+
+let m_mut_ok = Obs.Metrics.counter "factor.flow.mut_ok"
+let m_mut_degraded = Obs.Metrics.counter "factor.flow.mut_degraded"
+let m_mut_failed = Obs.Metrics.counter "factor.flow.mut_failed"
+let m_mut_skipped = Obs.Metrics.counter "factor.flow.mut_skipped"
+
+let outcome name status row =
+  (match status with
+   | Mut_ok -> Obs.Metrics.incr m_mut_ok
+   | Mut_degraded why ->
+     Obs.Metrics.incr m_mut_degraded;
+     Obs.Log.event Obs.Log.Warn "flow.mut_degraded"
+       [ ("mut", Obs.Json.String name); ("why", Obs.Json.String why) ]
+   | Mut_failed why ->
+     Obs.Metrics.incr m_mut_failed;
+     Obs.Log.event Obs.Log.Warn "flow.mut_failed"
+       [ ("mut", Obs.Json.String name); ("why", Obs.Json.String why) ]
+   | Mut_skipped why ->
+     Obs.Metrics.incr m_mut_skipped;
+     Obs.Log.event Obs.Log.Warn "flow.mut_skipped"
+       [ ("mut", Obs.Json.String name); ("why", Obs.Json.String why) ]);
+  { mo_name = name; mo_status = status; mo_row = row }
+
+(** Run one MUT under a child budget, converting every failure mode into
+    a row-local status: an exception (including an injected chaos fault)
+    becomes [Mut_failed], a budget that expired mid-generation becomes
+    [Mut_degraded] with whatever partial coverage was reached, and a
+    parent budget already dead before the row starts becomes
+    [Mut_skipped].  Never raises — sibling rows are unaffected. *)
+let run_one_mut ?mut_budget parent cfg (row : transform_row) =
+  let name = row.tr_name in
+  if Engine.Budget.poll parent then
+    outcome name (Mut_skipped "run budget exhausted before start") None
+  else begin
+    let tok = Engine.Budget.sub ?deadline_in:mut_budget parent in
+    Fun.protect ~finally:(fun () -> Engine.Budget.detach tok) @@ fun () ->
+    match
+      if Engine.Chaos.active () then begin
+        Engine.Chaos.point ("flow.mut:" ^ name);
+        (* a second seam starves the row's budget instead of crashing
+           it, driving the Degraded path deterministically *)
+        if Engine.Chaos.abort_point ("flow.budget:" ^ name) then
+          Engine.Budget.cancel tok
+      end;
+      transformed_atpg ~budget:tok row cfg
+    with
+    | r ->
+      let skipped = r.ar_result.Atpg.Gen.r_budget_skipped in
+      if skipped > 0 || Engine.Budget.check tok then begin
+        let cause =
+          match Engine.Budget.why tok with
+          | Some Engine.Budget.Cancelled -> "budget cancelled"
+          | _ -> "budget expired"
+        in
+        outcome name
+          (Mut_degraded
+             (Printf.sprintf "%s: %d fault(s) skipped" cause skipped))
+          (Some r)
+      end
+      else outcome name Mut_ok (Some r)
+    | exception e -> outcome name (Mut_failed (Printexc.to_string e)) None
+  end
+
+(** [transformed_atpg_all ?jobs ?budget ?mut_budget rows cfg] produces
+    every Table 5/6 row, running the per-MUT generations as concurrent
+    tasks on the global domain pool and merging the outcomes in input
+    order — bit-identical to the serial map because each MUT's
+    generation reads only its own transformed circuit and the shared
+    immutable analysis, and chaos/budget decisions key on the MUT name.
+    Each MUT is isolated (see {!run_one_mut}); [budget] bounds the whole
+    run and [mut_budget] (seconds) each row.  Rows whose task was still
+    queued when [budget] died are cancelled and reported as
+    [Mut_skipped].  [jobs] defaults to the pool width; [jobs <= 1] runs
     serially.  Per-row generation is kept serial ([g_jobs = 1]) when the
     rows themselves fan out, so the pool is not oversubscribed. *)
-let transformed_atpg_all ?jobs rows cfg =
+let transformed_atpg_all ?jobs ?(budget = Engine.Budget.none) ?mut_budget
+    rows cfg =
   let pool = Engine.Pool.global () in
   let jobs =
     match jobs with Some j -> max 1 j | None -> Engine.Pool.size pool
   in
   if jobs <= 1 || List.length rows <= 1 then
-    List.map (fun row -> transformed_atpg row cfg) rows
-  else
+    List.map (run_one_mut ?mut_budget budget cfg) rows
+  else begin
     let cfg = { cfg with Atpg.Gen.g_jobs = 1 } in
-    Engine.Shard.map_list pool (fun row -> transformed_atpg row cfg) rows
+    let futs =
+      List.map
+        (fun row ->
+          (row, Engine.Pool.submit pool (fun () ->
+                    run_one_mut ?mut_budget budget cfg row)))
+        rows
+    in
+    List.map
+      (fun (row, fut) ->
+        if Engine.Budget.poll budget then
+          ignore (Engine.Pool.cancel fut : bool);
+        match Engine.Pool.await fut with
+        | o -> o
+        | exception Engine.Pool.Cancelled ->
+          outcome row.tr_name
+            (Mut_skipped "run budget exhausted before start") None)
+      futs
+  end

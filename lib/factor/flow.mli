@@ -77,14 +77,41 @@ val processor_atpg : full:Netlist.t -> mut_spec -> Atpg.Gen.config -> atpg_row
 
 (** Test generation on a transformed module (Tables 5/6) with PIER pseudo
     ports.  Coverage is reported against the stand-alone fault universe;
-    constraint-tied faults count toward effectiveness only. *)
-val transformed_atpg : transform_row -> Atpg.Gen.config -> atpg_row
+    constraint-tied faults count toward effectiveness only.  [budget]
+    bounds the generation cooperatively; on expiry the row carries
+    partial coverage and a nonzero [r_budget_skipped]. *)
+val transformed_atpg :
+  ?budget:Engine.Budget.t -> transform_row -> Atpg.Gen.config -> atpg_row
 
-(** [transformed_atpg_all ?jobs rows cfg] maps {!transformed_atpg} over
-    the rows as concurrent tasks on the global domain pool (MUT-parallel
-    Tables 5/6), merging results in input order — bit-identical to the
-    serial map.  [jobs] defaults to the pool width; [jobs <= 1] is the
-    serial map.  Per-row generation is forced serial to avoid
-    oversubscribing the pool. *)
+(** {1 MUT isolation} *)
+
+type mut_status =
+  | Mut_ok                    (** full generation, no truncation *)
+  | Mut_degraded of string    (** budget expired mid-row: partial coverage *)
+  | Mut_failed of string      (** the row crashed; message captured *)
+  | Mut_skipped of string     (** run budget died before the row started *)
+
+type mut_outcome = {
+  mo_name : string;            (** MUT display name *)
+  mo_status : mut_status;
+  mo_row : atpg_row option;    (** present for [Mut_ok] / [Mut_degraded] *)
+}
+
+(** Rows that produced results ([Mut_ok] and [Mut_degraded]), input
+    order preserved. *)
+val completed_rows : mut_outcome list -> atpg_row list
+
+(** [transformed_atpg_all ?jobs ?budget ?mut_budget rows cfg] maps
+    {!transformed_atpg} over the rows as concurrent tasks on the global
+    domain pool (MUT-parallel Tables 5/6), merging outcomes in input
+    order — bit-identical to the serial map.  Each MUT is isolated: a
+    crash, hang-guard trip, or budget expiry yields a [Mut_failed] /
+    [Mut_degraded] outcome for that row only; siblings are unaffected
+    and the call never raises.  [budget] bounds the whole run (queued
+    rows are cancelled and [Mut_skipped] once it dies), [mut_budget]
+    (seconds) bounds each row.  [jobs] defaults to the pool width;
+    [jobs <= 1] is the serial map.  Per-row generation is forced serial
+    to avoid oversubscribing the pool. *)
 val transformed_atpg_all :
-  ?jobs:int -> transform_row list -> Atpg.Gen.config -> atpg_row list
+  ?jobs:int -> ?budget:Engine.Budget.t -> ?mut_budget:float ->
+  transform_row list -> Atpg.Gen.config -> mut_outcome list

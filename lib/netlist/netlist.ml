@@ -184,15 +184,18 @@ let mk_mux b s a0 a1 =
   else if is_const0 b a1 then mk_and b (mk_not b s) a0
   else hashcons b (Mux (s, a0, a1))
 
+exception Error of string  (** structural invariant violation *)
+
 (** Freeze the builder into an immutable netlist.
-    @raise Failure if some flip-flop was never given a d input. *)
+    @raise Error if some flip-flop was never given a d input. *)
 let finalize b =
   let pis = List.rev b.b_pis in
   let pos = List.rev b.b_pos in
   let ffs = List.rev b.b_ffs in
   List.iter
     (fun (name, _, d) ->
-      if d < 0 then failwith (Printf.sprintf "flip-flop %s has no d input" name))
+      if d < 0 then
+        raise (Error (Printf.sprintf "flip-flop %s has no d input" name)))
     ffs;
   { drv = Array.sub b.b_drv 0 b.b_n;
     origin = Array.sub b.b_origin 0 b.b_n;
@@ -228,7 +231,7 @@ let comb_cone c roots =
   seen
 
 (** Topological order of all nets: fanins before fanouts.  FF q nets are
-    sources.  @raise Failure on a combinational cycle. *)
+    sources.  @raise Error on a combinational cycle. *)
 let topological_order c =
   let n = num_nets c in
   let state = Array.make n 0 in
@@ -237,7 +240,7 @@ let topological_order c =
   let rec visit net =
     match state.(net) with
     | 2 -> ()
-    | 1 -> failwith "combinational cycle in netlist"
+    | 1 -> raise (Error "combinational cycle in netlist")
     | _ ->
       state.(net) <- 1;
       List.iter visit (fanins c.drv.(net));

@@ -81,8 +81,13 @@ val mk_xnor : builder -> int -> int -> int
 (** [mk_mux b s a0 a1]: [s = 0] selects [a0], [s = 1] selects [a1]. *)
 val mk_mux : builder -> int -> int -> int -> int
 
+(** Raised on a structural invariant violation: a flip-flop with no d
+    input at {!finalize}, or a combinational cycle in
+    {!topological_order}. *)
+exception Error of string
+
 (** Freeze the builder.
-    @raise Failure if a flip-flop was never given a d input. *)
+    @raise Error if a flip-flop was never given a d input. *)
 val finalize : builder -> t
 
 (** {1 Structure queries} *)
@@ -95,7 +100,7 @@ val fanins : driver -> int list
 val comb_cone : t -> int list -> bool array
 
 (** Topological order of all nets, fanins first; FF q nets are sources.
-    @raise Failure on a combinational cycle. *)
+    @raise Error on a combinational cycle. *)
 val topological_order : t -> int array
 
 (** For each net, the nets whose driver reads it. *)

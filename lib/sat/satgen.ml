@@ -56,7 +56,8 @@ let fault_cone (c : Netlist.t) fnet =
 
 (* One unrolling depth: build the miter in a fresh solver and decide
    it.  Returns the per-depth solver result plus the decoded cube. *)
-let attempt c ~cone ~frames ~piers ~pier_set ~fnet ~stuck ~conflict_limit =
+let attempt c ~cone ~frames ~piers ~pier_set ~fnet ~stuck ~conflict_limit
+    ~budget =
   let e = Cnf.create () in
   let num_pis = Netlist.num_pis c in
   let pi_rails =
@@ -115,7 +116,7 @@ let attempt c ~cone ~frames ~piers ~pier_set ~fnet ~stuck ~conflict_limit =
     piers;
   let sv = Cnf.solver e in
   Solver.add_clause sv !terms;
-  let result = Solver.solve ~conflict_limit sv in
+  let result = Solver.solve ~budget ~conflict_limit sv in
   let decoded =
     match result with
     | Solver.Sat ->
@@ -131,7 +132,7 @@ let attempt c ~cone ~frames ~piers ~pier_set ~fnet ~stuck ~conflict_limit =
   in
   (result, decoded, Solver.stats sv)
 
-let run_body ~max_frames ~conflict_limit ~piers c ~net ~stuck =
+let run_body ~max_frames ~conflict_limit ~piers ~budget c ~net ~stuck =
   let cone = fault_cone c net in
   let pier_set = Array.make (Netlist.num_ffs c) false in
   List.iter (fun i -> pier_set.(i) <- true) piers;
@@ -142,12 +143,15 @@ let run_body ~max_frames ~conflict_limit ~piers c ~net ~stuck =
     else
       let (result, decoded, st) =
         attempt c ~cone ~frames:d ~piers ~pier_set ~fnet:net ~stuck
-          ~conflict_limit
+          ~conflict_limit ~budget
       in
       stats := Solver.add_stats !stats st;
       match (result, decoded) with
       | (Solver.Sat, Some cube) -> Cube cube
-      | (Solver.Unsat, _) -> loop (d + 1)
+      | (Solver.Unsat, _) ->
+        (* a dead budget must not let an Unsat streak masquerade as a
+           full untestability proof at the next depth *)
+        if Engine.Budget.poll budget then Gave_up else loop (d + 1)
       | _ -> Gave_up
   in
   let outcome = loop 1 in
@@ -155,10 +159,11 @@ let run_body ~max_frames ~conflict_limit ~piers c ~net ~stuck =
 
 (* per-fault span: guard attr construction so untraced SAT sweeps pay
    nothing for instrumentation *)
-let run ?(max_frames = 1) ?(conflict_limit = 20_000) ?(piers = []) c ~net
-    ~stuck =
+let run ?(max_frames = 1) ?(conflict_limit = 20_000) ?(piers = [])
+    ?(budget = Engine.Budget.none) c ~net ~stuck =
   if Obs.Span.enabled () then
     Obs.Span.with_ "sat.atpg"
       ~attrs:[ ("net", Obs.Json.Int net); ("stuck", Obs.Json.Bool stuck) ]
-      (fun () -> run_body ~max_frames ~conflict_limit ~piers c ~net ~stuck)
-  else run_body ~max_frames ~conflict_limit ~piers c ~net ~stuck
+      (fun () ->
+        run_body ~max_frames ~conflict_limit ~piers ~budget c ~net ~stuck)
+  else run_body ~max_frames ~conflict_limit ~piers ~budget c ~net ~stuck

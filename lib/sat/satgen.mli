@@ -26,13 +26,16 @@ type outcome =
           circuit ([n = 1]) a complete untestability proof, otherwise
           a bounded one exactly as strong as PODEM exhausting every
           depth *)
-  | Gave_up  (** conflict limit reached before a verdict *)
+  | Gave_up  (** conflict limit or budget reached before a verdict *)
 
 (** [run c ~net ~stuck] targets the single stuck-at fault
     [net] stuck-at-[stuck].  Depths [1..max_frames] are tried in turn
     ([max_frames] is capped to 1 when [c] has no flip-flops); each
-    depth gets [conflict_limit] conflicts.  Also returns the solver
-    statistics summed over all depths. *)
+    depth gets [conflict_limit] conflicts.  A dead [budget] token turns
+    the remaining work into [Gave_up] (never a spurious untestability
+    verdict).  Also returns the solver statistics summed over all
+    depths. *)
 val run :
   ?max_frames:int -> ?conflict_limit:int -> ?piers:int list ->
+  ?budget:Engine.Budget.t ->
   Netlist.t -> net:int -> stuck:bool -> outcome * Solver.stats

@@ -519,10 +519,12 @@ let pick_branch s =
 (** One restart's worth of search: propagate / analyze / backjump until
     a model, a level-0 conflict, the conflict budget, or the restart
     budget (which reports [Unknown] to the restart loop). *)
-let search s (assumptions : lit array) budget limit =
+let search s (assumptions : lit array) tok budget limit =
   let result = ref None in
   let budget = ref budget in
   while !result = None do
+    if Engine.Budget.check tok then result := Some Unknown
+    else begin
     let confl = propagate s in
     if confl != null_clause then begin
       s.conflicts <- s.conflicts + 1;
@@ -543,6 +545,8 @@ let search s (assumptions : lit array) budget limit =
         if s.learnts.sz >= s.max_learnts then reduce_db s;
         decr budget;
         if s.conflicts >= limit then result := Some Unknown
+        else if s.conflicts land 127 = 0 && Engine.Budget.poll tok then
+          result := Some Unknown
         else if !budget <= 0 then begin
           s.restarts <- s.restarts + 1;
           result := Some Unknown
@@ -566,8 +570,11 @@ let search s (assumptions : lit array) budget limit =
         result := Some Sat
       | v ->
         s.decisions <- s.decisions + 1;
+        if s.decisions land 1023 = 0 then
+          ignore (Engine.Budget.poll tok : bool);
         new_level s;
         enqueue s (lit_of v s.polarity.(v)) null_clause
+    end
     end
   done;
   Option.get !result
@@ -582,9 +589,23 @@ let m_propagations = Obs.Metrics.counter "factor.sat.propagations"
 let m_sat = Obs.Metrics.counter "factor.sat.sat"
 let m_unsat = Obs.Metrics.counter "factor.sat.unsat"
 let m_unknown = Obs.Metrics.counter "factor.sat.unknown"
+let m_budget_stop = Obs.Metrics.counter "factor.sat.budget_stopped"
 
-let solve ?(assumptions = []) ?(conflict_limit = max_int) s =
-  if not s.ok then begin
+let solve ?(budget = Engine.Budget.none) ?(assumptions = [])
+    ?(conflict_limit = max_int) s =
+  if Engine.Budget.poll budget
+     || (budget != Engine.Budget.none
+         && Engine.Chaos.abort_point "sat.solve")
+  then begin
+    (* a dead budget (or an injected abort on a budgeted solve) gives up
+       before touching the trail, exactly like an exhausted conflict
+       limit *)
+    Obs.Metrics.incr m_solves;
+    Obs.Metrics.incr m_unknown;
+    Obs.Metrics.incr m_budget_stop;
+    Unknown
+  end
+  else if not s.ok then begin
     Obs.Metrics.incr m_solves;
     Obs.Metrics.incr m_unsat;
     Unsat
@@ -597,12 +618,18 @@ let solve ?(assumptions = []) ?(conflict_limit = max_int) s =
       else s.conflicts + conflict_limit
     in
     let rec restarts k =
-      let outcome = search s assumptions (100 * luby k) limit in
+      let outcome = search s assumptions budget (100 * luby k) limit in
       cancel_until s 0;
       match outcome with
       | Sat -> Sat
       | Unsat -> Unsat
-      | Unknown -> if s.conflicts >= limit then Unknown else restarts (k + 1)
+      | Unknown ->
+        if s.conflicts >= limit then Unknown
+        else if Engine.Budget.poll budget then begin
+          Obs.Metrics.incr m_budget_stop;
+          Unknown
+        end
+        else restarts (k + 1)
     in
     let outcome = restarts 0 in
     Obs.Metrics.incr m_solves;

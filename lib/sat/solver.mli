@@ -37,11 +37,18 @@ type result =
   | Unsat
   | Unknown  (** conflict limit reached *)
 
-(** [solve ?assumptions ?conflict_limit s] decides the conjunction of
-    every added clause under the given assumption literals.  [Unsat]
-    with assumptions means no model extends the assumptions; the clause
-    database itself may still be satisfiable. *)
-val solve : ?assumptions:lit list -> ?conflict_limit:int -> t -> result
+(** [solve ?budget ?assumptions ?conflict_limit s] decides the
+    conjunction of every added clause under the given assumption
+    literals.  [Unsat] with assumptions means no model extends the
+    assumptions; the clause database itself may still be satisfiable.
+
+    [budget] bounds the search in wall-clock terms the way
+    [conflict_limit] bounds it in conflicts: the search loop polls the
+    token every 128 conflicts (and every 1024 decisions) and gives up
+    with [Unknown] once it is dead, leaving the solver reusable.  The
+    solver never cancels the token itself. *)
+val solve : ?budget:Engine.Budget.t -> ?assumptions:lit list ->
+  ?conflict_limit:int -> t -> result
 
 (** Model value of a variable after [solve] returned [Sat]. *)
 val value : t -> int -> bool

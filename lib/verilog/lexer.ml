@@ -24,7 +24,7 @@ type token =
   | T_op of string
   | T_eof
 
-exception Error of string * int  (** message, line *)
+exception Error of string * int * int  (** message, line, column *)
 
 let keywords =
   [ "module"; "endmodule"; "input"; "output"; "inout"; "wire"; "reg";
@@ -42,7 +42,12 @@ let is_digit c = c >= '0' && c <= '9'
 let is_hex_digit c =
   is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
 
-type state = { src : string; mutable pos : int; mutable line : int }
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* byte offset of the current line's first column *)
+}
 
 let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
 
@@ -50,11 +55,15 @@ let peek2 st =
   if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
 
 let advance st =
-  (if st.pos < String.length st.src && st.src.[st.pos] = '\n' then
-     st.line <- st.line + 1);
+  (if st.pos < String.length st.src && st.src.[st.pos] = '\n' then begin
+     st.line <- st.line + 1;
+     st.bol <- st.pos + 1
+   end);
   st.pos <- st.pos + 1
 
-let error st msg = raise (Error (msg, st.line))
+let column st = st.pos - st.bol + 1
+
+let error st msg = raise (Error (msg, st.line, column st))
 
 let rec skip_space st =
   match peek st with
@@ -227,6 +236,7 @@ let lex_unsized_based st =
 let next_token st =
   skip_space st;
   let line = st.line in
+  let col = column st in
   let tok =
     match peek st with
     | None -> T_eof
@@ -287,18 +297,18 @@ let next_token st =
     | Some '%' -> advance st; T_op "%"
     | Some c -> error st (Printf.sprintf "unexpected character %C" c)
   in
-  (tok, line)
+  (tok, line, col)
 
-(** [tokenize src] lexes [src] into a list of (token, line) pairs ending in
-    [T_eof].
+(** [tokenize src] lexes [src] into a list of (token, line, column)
+    triples ending in [T_eof].
     @raise Error on malformed input. *)
 let tokenize src =
-  let st = { src; pos = 0; line = 1 } in
+  let st = { src; pos = 0; line = 1; bol = 0 } in
   let rec go acc =
-    let (tok, line) = next_token st in
+    let ((tok, _, _) as t) = next_token st in
     match tok with
-    | T_eof -> List.rev ((tok, line) :: acc)
-    | _ -> go ((tok, line) :: acc)
+    | T_eof -> List.rev (t :: acc)
+    | _ -> go (t :: acc)
   in
   go []
 

@@ -24,12 +24,13 @@ type token =
   | T_op of string
   | T_eof
 
-exception Error of string * int  (** message, line number *)
+exception Error of string * int * int
+(** message, line number, column (both 1-based) *)
 
-(** [tokenize src] lexes [src] into (token, line) pairs ending in
-    [T_eof].  Line comments, block comments and compiler directives are
-    skipped.  @raise Error on malformed input. *)
-val tokenize : string -> (token * int) list
+(** [tokenize src] lexes [src] into (token, line, column) triples ending
+    in [T_eof].  Line comments, block comments and compiler directives
+    are skipped.  @raise Error on malformed input. *)
+val tokenize : string -> (token * int * int) list
 
 (** Human-readable rendering for error messages. *)
 val token_to_string : token -> string

@@ -4,21 +4,22 @@
 
 open Ast
 
-exception Error of string * int  (** message, line *)
+exception Error of string * int * int  (** message, line, column *)
 
 type state = {
-  toks : (Lexer.token * int) array;
+  toks : (Lexer.token * int * int) array;
   mutable idx : int;
 }
 
-let current st = fst st.toks.(st.idx)
-let current_line st = snd st.toks.(st.idx)
+let current st = let (tok, _, _) = st.toks.(st.idx) in tok
+let current_line st = let (_, line, _) = st.toks.(st.idx) in line
+let current_col st = let (_, _, col) = st.toks.(st.idx) in col
 let advance st = if st.idx < Array.length st.toks - 1 then st.idx <- st.idx + 1
 
 let error st msg =
   raise (Error (Printf.sprintf "%s (found %s)" msg
                   (Lexer.token_to_string (current st)),
-                current_line st))
+                current_line st, current_col st))
 
 let expect st tok msg =
   if current st = tok then advance st else error st msg

@@ -2,7 +2,8 @@
     (declarations in the header) and classic (declarations in the body)
     port styles are accepted. *)
 
-exception Error of string * int  (** message, line number *)
+exception Error of string * int * int
+(** message, line number, column (both 1-based) *)
 
 (** [parse_design src] parses Verilog source text into a design.
     @raise Error on syntax errors.

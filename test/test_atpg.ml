@@ -378,7 +378,7 @@ let gen_tests =
         (* random phase, PODEM and fault simulation all share one
            memoized analysis of the circuit *)
         check_bool "at most one build" true (after - before <= 1));
-    test "budget exhaustion aborts remaining" (fun () ->
+    test "budget exhaustion skips remaining" (fun () ->
         let c = circuit (Arm.Rtl.source |> fun _ ->
           {|module top (input clk, input [7:0] d, output reg [7:0] q);
             always @(posedge clk) q <= q ^ d; endmodule|}) in
@@ -388,7 +388,11 @@ let gen_tests =
             g_total_budget = 0.0; g_random_batches = 0 }
         in
         let r = Atpg.Gen.run c cfg faults in
-        check_int "all aborted" (List.length faults) r.Atpg.Gen.r_aborted) ]
+        (* budget starvation is accounted separately from engine
+           give-ups: nothing here was genuinely attempted and aborted *)
+        check_int "all budget-skipped" (List.length faults)
+          r.Atpg.Gen.r_budget_skipped;
+        check_int "none aborted" 0 r.Atpg.Gen.r_aborted) ]
 
 (* ------------------------------------------------------------------ *)
 (* Compaction.                                                          *)

@@ -182,8 +182,8 @@ let fsim_sharded_matches_serial () =
 (* Everything in a generation result except timings. *)
 let gen_key (r : Atpg.Gen.result) =
   (r.Atpg.Gen.r_total, r.Atpg.Gen.r_detected, r.Atpg.Gen.r_untestable,
-   r.Atpg.Gen.r_aborted, r.Atpg.Gen.r_vectors, r.Atpg.Gen.r_tests,
-   r.Atpg.Gen.r_outcomes, r.Atpg.Gen.r_sat_detected,
+   r.Atpg.Gen.r_aborted, r.Atpg.Gen.r_budget_skipped, r.Atpg.Gen.r_vectors,
+   r.Atpg.Gen.r_tests, r.Atpg.Gen.r_outcomes, r.Atpg.Gen.r_sat_detected,
    r.Atpg.Gen.r_sat_untestable)
 
 (* Budgets that can never bind: scheduling noise must not be able to
@@ -249,21 +249,21 @@ let hier_src =
     module sidecalc (input [3:0] x, output [3:0] masked);
       assign masked = x & 4'd7;
     endmodule
-    module core (input [3:0] p, q, output [3:0] r, s);
+    module core (input [3:0] p, q, output [3:0] r, s, t);
       wire [3:0] m;
       sidecalc u_side (.x(p), .masked(m));
       leafm u_mut (.a(m), .b(q), .y(r));
       leafm u_mut2 (.a(q), .b(p), .y(s));
+      leafm u_mut3 (.a(p), .b(m), .y(t));
     endmodule
-    module top (input [3:0] i1, i2, output [3:0] o1, o2);
-      core u_core (.p(i1), .q(i2), .r(o1), .s(o2));
+    module top (input [3:0] i1, i2, output [3:0] o1, o2, o3);
+      core u_core (.p(i1), .q(i2), .r(o1), .s(o2), .t(o3));
     endmodule|}
 
-let flow_rows jobs =
+let make_flow_rows () =
   let env = Factor.Compose.make_env (parse hier_src) ~top:"top" in
   let session = Factor.Compose.create_session () in
-  let rows =
-    List.map
+  List.map
       (fun (name, path) ->
         let stats = Factor.Compose.compositional session env ~mut_path:path in
         let tf =
@@ -283,9 +283,13 @@ let flow_rows jobs =
           tr_cache_hits = stats.Factor.Compose.cs_cache_hits;
           tr_stats = stats;
           tr_transformed = tf })
-      [ ("mut", "u_core.u_mut"); ("mut2", "u_core.u_mut2") ]
-  in
-  Factor.Flow.transformed_atpg_all ~jobs rows det_cfg
+    [ ("mut", "u_core.u_mut"); ("mut2", "u_core.u_mut2");
+      ("mut3", "u_core.u_mut3") ]
+
+let flow_outcomes ?budget jobs =
+  Factor.Flow.transformed_atpg_all ~jobs ?budget (make_flow_rows ()) det_cfg
+
+let flow_rows jobs = Factor.Flow.completed_rows (flow_outcomes jobs)
 
 (* The timing-free text of a Table 5/6 row. *)
 let row_text (a : Factor.Flow.atpg_row) =
@@ -299,6 +303,292 @@ let flow_parallel_deterministic () =
   let parallel = String.concat "\n" (List.map row_text (flow_rows 4)) in
   check_string "Table 5/6 rows identical at 1 and 4 jobs" serial parallel
 
+(* ------------------------------------------------------------------ *)
+(* Budget tokens.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Budget = Engine.Budget
+
+let budget_deadline_expiry () =
+  let t = Budget.make ~deadline_in:0.0 () in
+  (* the flag only flips once some poll observes the deadline *)
+  check_bool "check before poll is false" false (Budget.check t);
+  check_bool "poll observes expiry" true (Budget.poll t);
+  check_bool "flag set after poll" true (Budget.is_cancelled t);
+  check_bool "why = Expired" true (Budget.why t = Some Budget.Expired);
+  check_bool "remaining clamps to zero" true (Budget.remaining t = 0.0);
+  let live = Budget.make ~deadline_in:1e9 () in
+  check_bool "distant deadline stays live" false (Budget.poll live)
+
+let budget_cancel_cascade () =
+  let p = Budget.make () in
+  let c = Budget.sub p in
+  let gc = Budget.sub ~deadline_in:1e9 c in
+  check_bool "tree starts live" false (Budget.poll gc);
+  Budget.cancel p;
+  check_bool "parent cancelled" true (Budget.check p);
+  check_bool "child cancelled" true (Budget.check c);
+  check_bool "grandchild cancelled" true (Budget.check gc);
+  check_bool "why = Cancelled" true (Budget.why gc = Some Budget.Cancelled)
+
+let budget_child_min_deadline () =
+  (* a child can only tighten: its effective deadline is the minimum *)
+  let p = Budget.make ~deadline_in:1e9 () in
+  let c = Budget.sub ~deadline_in:0.0 p in
+  check_bool "tight child expires" true (Budget.poll c);
+  check_bool "parent unaffected by child expiry" false (Budget.poll p);
+  let p2 = Budget.make ~deadline_in:0.0 () in
+  let c2 = Budget.sub ~deadline_in:1e9 p2 in
+  check_bool "child sees expired ancestor deadline" true (Budget.poll c2)
+
+let budget_detach_and_none () =
+  let p = Budget.make () in
+  let c = Budget.sub p in
+  Budget.detach c;
+  Budget.cancel p;
+  check_bool "detached child no longer cancelled by parent" false
+    (Budget.check c);
+  Budget.cancel Budget.none;
+  check_bool "none is never cancelled" false (Budget.poll Budget.none);
+  check_bool "none has no deadline" true (Budget.remaining Budget.none = infinity)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos harness.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Chaos = Engine.Chaos
+
+let chaos_site_decisions () =
+  (* which of 200 site hits inject, at rate 0.5 *)
+  Chaos.set ~seed:42 ~rate:0.5 ~mode:Chaos.Fail_only ();
+  Fun.protect ~finally:Chaos.clear @@ fun () ->
+  List.init 200 (fun i ->
+      let site = "test.site:" ^ string_of_int (i mod 10) in
+      match Chaos.point site with
+      | () -> false
+      | exception Chaos.Injected _ -> true)
+
+let chaos_deterministic () =
+  let a = chaos_site_decisions () in
+  let b = chaos_site_decisions () in
+  check_bool "rate 0.5 injects sometimes" true (List.mem true a);
+  check_bool "rate 0.5 passes sometimes" true (List.mem false a);
+  check_bool "same seed, same sites, same decisions" true (a = b);
+  check_bool "chaos disarmed after clear" false (Chaos.active ())
+
+let chaos_rate_and_prefix () =
+  Chaos.set ~seed:1 ~rate:1.0 ~mode:Chaos.Fail_only ();
+  Fun.protect ~finally:Chaos.clear (fun () ->
+      match Chaos.point "always" with
+      | () -> Alcotest.fail "rate 1.0 must inject"
+      | exception Chaos.Injected site -> check_string "site name" "always" site);
+  Chaos.set ~seed:1 ~rate:0.0 ();
+  Fun.protect ~finally:Chaos.clear (fun () -> Chaos.point "never");
+  Chaos.set ~seed:1 ~rate:1.0 ~mode:Chaos.Fail_only ~prefix:"flow." ();
+  Fun.protect ~finally:Chaos.clear (fun () ->
+      Chaos.point "pool.task";  (* filtered out: must not raise *)
+      match Chaos.point "flow.mut:x" with
+      | () -> Alcotest.fail "prefix-matched site must inject"
+      | exception Chaos.Injected _ -> ());
+  (* the graceful-abort seam never raises *)
+  Chaos.set ~seed:1 ~rate:1.0 ~mode:Chaos.Fail_only ();
+  Fun.protect ~finally:Chaos.clear (fun () ->
+      check_bool "abort_point gives up" true (Chaos.abort_point "sat.solve"));
+  check_bool "abort_point inert when disarmed" false
+    (Chaos.abort_point "sat.solve")
+
+(* ------------------------------------------------------------------ *)
+(* Pool cancellation and failure paths.                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Occupy the single worker of a 2-slot pool so submissions stay
+   queued; returns (blocker future, release function). *)
+let occupy_worker pool =
+  let m = Mutex.create () and cv = Condition.create () in
+  let started = ref false and release = ref false in
+  let fut =
+    Pool.submit pool (fun () ->
+        Mutex.protect m (fun () ->
+            started := true;
+            Condition.broadcast cv;
+            while not !release do Condition.wait cv m done);
+        99)
+  in
+  Mutex.protect m (fun () ->
+      while not !started do Condition.wait cv m done);
+  let release () =
+    Mutex.protect m (fun () ->
+        release := true;
+        Condition.broadcast cv)
+  in
+  (fut, release)
+
+let pool_cancel_queued () =
+  let pool = Pool.create 2 in
+  let (blocker, release) = occupy_worker pool in
+  let queued = Pool.submit pool (fun () -> 42) in
+  check_bool "queued future cancels" true (Pool.cancel queued);
+  check_bool "cancel is not repeatable" false (Pool.cancel queued);
+  (match Pool.await queued with
+   | _ -> Alcotest.fail "await of a cancelled future must raise"
+   | exception Pool.Cancelled -> ());
+  release ();
+  check_int "blocker unaffected" 99 (Pool.await blocker);
+  (* the slot that drains the cancelled task keeps serving *)
+  check_int "pool alive after drain" 7
+    (Pool.await (Pool.submit pool (fun () -> 7)));
+  let st = Pool.stats pool in
+  check_bool "cancellation counted" true (st.Pool.ps_cancelled >= 1);
+  Pool.shutdown pool
+
+let pool_cancel_running () =
+  let pool = Pool.create 2 in
+  let (blocker, release) = occupy_worker pool in
+  check_bool "running task cannot be cancelled" false (Pool.cancel blocker);
+  release ();
+  check_int "it completes normally" 99 (Pool.await blocker);
+  check_bool "finished future cannot be cancelled" false (Pool.cancel blocker);
+  Pool.shutdown pool
+
+let pool_raise_on_worker () =
+  let pool = Pool.create 2 in
+  let ran = Atomic.make false in
+  let fut =
+    Pool.submit pool (fun () ->
+        Atomic.set ran true;
+        raise (Boom 7))
+  in
+  (* wait for the worker domain to steal and run it, so the raise
+     happens off the awaiting domain *)
+  while not (Atomic.get ran) do Domain.cpu_relax () done;
+  (match Pool.await fut with
+   | _ -> Alcotest.fail "await must re-raise"
+   | exception Boom 7 -> ());
+  check_int "worker survived the raise" 5
+    (Pool.await (Pool.submit pool (fun () -> 5)));
+  Pool.shutdown pool
+
+let pool_shutdown_with_cancelled () =
+  let pool = Pool.create 2 in
+  let (blocker, release) = occupy_worker pool in
+  let futs = List.init 8 (fun i -> Pool.submit pool (fun () -> i)) in
+  List.iter
+    (fun f -> check_bool "queued future cancelled" true (Pool.cancel f))
+    futs;
+  release ();
+  check_int "blocker done" 99 (Pool.await blocker);
+  (* shutdown drains the cancelled tasks without running or hanging *)
+  Pool.shutdown pool;
+  let st = Pool.stats pool in
+  check_bool "all cancellations counted" true (st.Pool.ps_cancelled >= 8)
+
+(* ------------------------------------------------------------------ *)
+(* Flow isolation: one MUT dying must not take out its siblings.        *)
+(* ------------------------------------------------------------------ *)
+
+let status_names outcomes =
+  List.map
+    (fun (m : Factor.Flow.mut_outcome) ->
+      match m.Factor.Flow.mo_status with
+      | Factor.Flow.Mut_ok -> "ok"
+      | Factor.Flow.Mut_degraded _ -> "degraded"
+      | Factor.Flow.Mut_failed _ -> "failed"
+      | Factor.Flow.Mut_skipped _ -> "skipped")
+    outcomes
+
+(* Row texts of the outcomes whose status is Mut_ok. *)
+let ok_rows outcomes =
+  List.filter_map
+    (fun (m : Factor.Flow.mut_outcome) ->
+      match (m.Factor.Flow.mo_status, m.Factor.Flow.mo_row) with
+      | Factor.Flow.Mut_ok, Some a -> Some (row_text a)
+      | _ -> None)
+    outcomes
+
+let flow_chaos_isolation () =
+  Pool.set_jobs 4;
+  let clean = List.map row_text (flow_rows 1) in
+  (* kill exactly the MUT named mut2; the site embeds the name, so the
+     same MUT dies at every job count *)
+  Chaos.set ~seed:7 ~rate:1.0 ~mode:Chaos.Fail_only ~prefix:"flow.mut:mut2" ();
+  let (o1, o4) =
+    Fun.protect ~finally:Chaos.clear (fun () ->
+        (flow_outcomes 1, flow_outcomes 4))
+  in
+  check_bool "mut and mut3 survive, mut2 fails (j1)" true
+    (status_names o1 = [ "ok"; "failed"; "ok" ]);
+  check_bool "statuses identical at j4" true
+    (status_names o4 = status_names o1);
+  let expect = [ List.nth clean 0; List.nth clean 2 ] in
+  check_bool "survivor rows bit-identical to the undisturbed run" true
+    (ok_rows o1 = expect);
+  check_bool "survivor rows identical at j4" true (ok_rows o4 = ok_rows o1)
+
+(* The acceptance scenario: in one run, chaos crashes one MUT and
+   starves another MUT's budget; the remaining MUT's row is
+   bit-identical to the undisturbed run at every job count and the call
+   returns normally. *)
+let flow_chaos_kill_and_budget () =
+  Pool.set_jobs 4;
+  let clean = List.map row_text (flow_rows 1) in
+  Chaos.set ~seed:11 ~rate:1.0 ~mode:Chaos.Fail_only
+    ~prefix:"flow.mut:mut2,flow.budget:mut3" ();
+  let (o1, o4) =
+    Fun.protect ~finally:Chaos.clear (fun () ->
+        (flow_outcomes 1, flow_outcomes 4))
+  in
+  check_bool "ok / failed / degraded (j1)" true
+    (status_names o1 = [ "ok"; "failed"; "degraded" ]);
+  check_bool "statuses identical at j4" true
+    (status_names o4 = status_names o1);
+  check_bool "healthy row bit-identical to the undisturbed run" true
+    (ok_rows o1 = [ List.hd clean ]);
+  check_bool "healthy row identical at j4" true (ok_rows o4 = ok_rows o1);
+  (* the degraded row still carries partial data *)
+  List.iter
+    (fun (m : Factor.Flow.mut_outcome) ->
+      match (m.Factor.Flow.mo_status, m.Factor.Flow.mo_row) with
+      | Factor.Flow.Mut_degraded _, None ->
+        Alcotest.fail "degraded row must keep its partial result"
+      | _ -> ())
+    o1
+
+let flow_budget_skips_rows () =
+  Pool.set_jobs 4;
+  let dead = Budget.make ~deadline_in:0.0 () in
+  ignore (Budget.poll dead : bool);
+  List.iter
+    (fun jobs ->
+      let o = flow_outcomes ~budget:dead jobs in
+      check_int "every MUT reported" 3 (List.length o);
+      check_bool
+        (Printf.sprintf "dead run budget skips all rows (j%d)" jobs)
+        true
+        (List.for_all (fun s -> s = "skipped") (status_names o)))
+    [ 1; 4 ]
+
+let flow_mut_budget_degrades_rows () =
+  Pool.set_jobs 4;
+  List.iter
+    (fun jobs ->
+      let o =
+        Factor.Flow.transformed_atpg_all ~jobs ~mut_budget:0.0
+          (make_flow_rows ()) det_cfg
+      in
+      List.iter
+        (fun (m : Factor.Flow.mut_outcome) ->
+          match (m.Factor.Flow.mo_status, m.Factor.Flow.mo_row) with
+          | Factor.Flow.Mut_degraded _, Some a ->
+            (* partial results: the row exists with zero-coverage data
+               rather than being dropped *)
+            check_bool "budget-starved row reports its faults" true
+              (a.Factor.Flow.ar_faults > 0);
+            check_bool "skipped faults counted" true
+              (a.Factor.Flow.ar_result.Atpg.Gen.r_budget_skipped > 0)
+          | _ -> Alcotest.fail "expected a degraded row with partial data")
+        o)
+    [ 1; 4 ]
+
 let () =
   Alcotest.run "engine"
     [
@@ -308,6 +598,22 @@ let () =
           test "nested submission" pool_nested_submission;
           test "exception propagation and shutdown" pool_exception_propagation;
           test "serial degenerate pool" pool_serial_degenerate;
+          test "cancel a queued future" pool_cancel_queued;
+          test "cancel refuses running and finished" pool_cancel_running;
+          test "raise on a worker domain" pool_raise_on_worker;
+          test "shutdown with cancelled tasks queued" pool_shutdown_with_cancelled;
+        ] );
+      ( "budget",
+        [
+          test "deadline expiry via poll" budget_deadline_expiry;
+          test "cancel cascades to descendants" budget_cancel_cascade;
+          test "child deadline is the minimum" budget_child_min_deadline;
+          test "detach and the none token" budget_detach_and_none;
+        ] );
+      ( "chaos",
+        [
+          test "decisions are deterministic" chaos_deterministic;
+          test "rate, prefix and abort seams" chaos_rate_and_prefix;
         ] );
       ( "shard",
         [
@@ -321,5 +627,15 @@ let () =
           test "parallel atpg = serial atpg" gen_parallel_deterministic;
           test "eager mode is sound" gen_eager_mode_sound;
           test "mut-parallel flow = serial flow" flow_parallel_deterministic;
+        ] );
+      ( "isolation",
+        [
+          test "chaos kills one MUT, siblings bit-identical"
+            flow_chaos_isolation;
+          test "one MUT killed + one budget-starved in one run"
+            flow_chaos_kill_and_budget;
+          test "dead run budget skips every row" flow_budget_skips_rows;
+          test "per-MUT budget degrades rows with partial data"
+            flow_mut_budget_degrades_rows;
         ] );
     ]

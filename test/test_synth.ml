@@ -41,7 +41,7 @@ let builder_tests =
         let b = N.create_builder () in
         let _q = N.add_ff b "q" in
         match N.finalize b with
-        | exception Failure _ -> ()
+        | exception N.Error _ -> ()
         | _ -> Alcotest.fail "expected failure");
     test "topological order respects fanins" (fun () ->
         let b = N.create_builder () in

@@ -11,7 +11,7 @@ module U = Verilog.Ast_util
 (* Lexer.                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let tokens src = List.map fst (L.tokenize src)
+let tokens src = List.map (fun (tok, _, _) -> tok) (L.tokenize src)
 
 let lexer_tests =
   [ test "identifiers and keywords" (fun () ->
@@ -42,8 +42,18 @@ let lexer_tests =
           (tokens "`timescale 1ns/1ps\nwire" = [ L.T_keyword "wire"; L.T_eof ]));
     test "line numbers tracked" (fun () ->
         let toks = L.tokenize "a\nb\n\nc" in
-        let lines = List.map snd toks in
+        let lines = List.map (fun (_, line, _) -> line) toks in
         check_bool "lines" true (lines = [ 1; 2; 4; 4 ]));
+    test "columns tracked" (fun () ->
+        let toks = L.tokenize "ab cd\n  ef" in
+        let cols = List.map (fun (_, _, col) -> col) toks in
+        check_bool "cols" true (cols = [ 1; 4; 3; 5 ]));
+    test "lexer error carries position" (fun () ->
+        match L.tokenize "wire w;\n  \\bad" with
+        | exception L.Error (_, line, col) ->
+          check_int "line" 2 line;
+          check_int "col" 3 col
+        | _ -> Alcotest.fail "expected lexer error");
     test "unterminated block comment fails" (fun () ->
         match L.tokenize "/* never closed" with
         | exception L.Error _ -> ()
@@ -234,9 +244,11 @@ let parser_tests =
         let s1 = Verilog.Pp.design_to_string (parse src) in
         let s2 = Verilog.Pp.design_to_string (parse s1) in
         check_string "stable" s1 s2);
-    test "syntax error carries line" (fun () ->
+    test "syntax error carries position" (fun () ->
         match parse "module m (\n  input a\n  output b); endmodule" with
-        | exception P.Error (_, line) -> check_int "line" 3 line
+        | exception P.Error (_, line, col) ->
+          check_int "line" 3 line;
+          check_int "col" 3 col
         | _ -> Alcotest.fail "expected parse error");
     test "missing semicolon fails" (fun () ->
         match parse "module m (); wire x endmodule" with
