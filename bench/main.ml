@@ -6,7 +6,7 @@
     Usage: [bench/main.exe [table1|table2|table3|table4|table5|table6|
                             testability|translate|ablations|micro|fsim|
                             fsim_smoke|sat|sat_smoke|par|par_smoke|
-                            chaos_smoke|all]
+                            chaos_smoke|serve|serve_smoke|all]
                            [-j N] [--seed S]]. *)
 
 module Flow = Factor.Flow
@@ -317,7 +317,7 @@ let ablation_granularity () =
             ~tree:e.Factor.Compose.tree ~chains:e.Factor.Compose.chains
             ~stop:e.Factor.Compose.tree ~granularity ~node
             ~sources:(Design.Elaborate.inputs_of em)
-            ~props:(Design.Elaborate.outputs_of em)
+            ~props:(Design.Elaborate.outputs_of em) ()
         in
         let fine = run Factor.Extract.Fine in
         let coarse = run Factor.Extract.Coarse in
@@ -1274,6 +1274,228 @@ let bench_chaos_smoke () =
     (List.length rows) !seed_ref jobs
 
 (* ------------------------------------------------------------------ *)
+(* serve: the persistent daemon, smoke-gated and latency-measured.     *)
+(* ------------------------------------------------------------------ *)
+
+let serve_tmpdir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let with_daemon ?store f =
+  let dir = serve_tmpdir "factor-bench" in
+  let sock = Filename.concat dir "factor.sock" in
+  let t =
+    Serve.Server.start
+      { Serve.Server.sc_addr = Serve.Server.Unix_path sock;
+        sc_store = store;
+        sc_default_budget = None }
+  in
+  Fun.protect
+    ~finally:(fun () -> Serve.Server.stop t)
+    (fun () -> f (Serve.Server.Unix_path sock))
+
+let with_conn addr f =
+  let cl = Serve.Client.connect_retry addr in
+  Fun.protect ~finally:(fun () -> Serve.Client.close cl) (fun () -> f cl)
+
+let jfield name j =
+  Option.value ~default:""
+    (Option.bind (Obs.Json.member name j) Obs.Json.to_string_opt)
+
+let timed f =
+  let t0 = Engine.Clock.now () in
+  let r = f () in
+  (r, Engine.Clock.now () -. t0)
+
+(* Direct (no daemon) canonical lines for a corpus design, serial: the
+   reference every daemon response is compared against byte for byte. *)
+let direct_atpg name =
+  let e = Circuits.Collection.find name in
+  let ed =
+    Design.Elaborate.elaborate
+      (Verilog.Parser.parse_design e.Circuits.Collection.e_source)
+      ~top:e.Circuits.Collection.e_top
+  in
+  let c =
+    (Synth.Lower.lower
+       (Synth.Flatten.flatten ed e.Circuits.Collection.e_top))
+      .Synth.Lower.circuit
+  in
+  let faults = Atpg.Fault.collapse c (Atpg.Fault.all c) in
+  let cfg =
+    { Atpg.Gen.default_config with g_total_budget = 60.0; g_jobs = 1 }
+  in
+  let r = Atpg.Gen.run c cfg faults in
+  ( Serve.Render.atpg_counts r,
+    Serve.Render.atpg_quality r,
+    Atpg.Pattern.write_string ~pi_names:c.Netlist.pi_names r.Atpg.Gen.r_tests )
+
+let atpg_params name = [ ("design", Obs.Json.String ("@" ^ name)) ]
+
+let response_lines r = (jfield "counts" r, jfield "quality" r, jfield "vectors" r)
+
+(* CI gate: boot a daemon, drive every op, require byte-identity with
+   the one-shot pipeline, a warm hit on repeat traffic, a warm-disk
+   start after a restart over the same store, and a graceful stop. *)
+let bench_serve_smoke () =
+  Engine.Pool.set_jobs (max 1 !jobs_ref);
+  let store = serve_tmpdir "factor-bench-store" in
+  let expected = direct_atpg "arbiter" in
+  let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
+  with_daemon ~store (fun addr ->
+      with_conn addr (fun cl ->
+          (match Obs.Json.member "pong" (Serve.Client.rpc cl ~op:"ping" ~params:[]) with
+           | Some (Obs.Json.Bool true) -> ()
+           | _ -> die "serve smoke: ping did not pong");
+          let r1 = Serve.Client.rpc cl ~op:"atpg" ~params:(atpg_params "arbiter") in
+          if response_lines r1 <> expected then
+            die "serve smoke: cold daemon atpg differs from the one-shot run";
+          if jfield "cache" r1 <> "cold" then
+            die "serve smoke: first request should be cold, got %s"
+              (jfield "cache" r1);
+          let r2 = Serve.Client.rpc cl ~op:"atpg" ~params:(atpg_params "arbiter") in
+          if jfield "cache" r2 <> "warm-mem" then
+            die "serve smoke: repeat request should be warm-mem, got %s"
+              (jfield "cache" r2);
+          if response_lines r2 <> expected then
+            die "serve smoke: warm response is not bit-identical";
+          (* grade the daemon's own vectors, extract, and ec *)
+          let (_, _, vectors) = expected in
+          let g =
+            Serve.Client.rpc cl ~op:"grade"
+              ~params:(atpg_params "arbiter"
+                       @ [ ("vectors", Obs.Json.String vectors) ])
+          in
+          if jfield "line" g = "" then die "serve smoke: grade returned no line";
+          let x =
+            Serve.Client.rpc cl ~op:"extract"
+              ~params:
+                [ ("design", Obs.Json.String "@gcd");
+                  ("mut", Obs.Json.String "u_core.u_ctrl") ]
+          in
+          if jfield "extraction" x = "" then
+            die "serve smoke: extract returned no stats";
+          let ec =
+            Serve.Client.rpc cl ~op:"ec"
+              ~params:
+                [ ("a", Obs.Json.Obj [ ("design", Obs.Json.String "@arbiter") ]);
+                  ("b", Obs.Json.Obj [ ("design", Obs.Json.String "@arbiter") ]) ]
+          in
+          if jfield "verdict" ec <> "equal" then
+            die "serve smoke: self-equivalence verdict %S" (jfield "verdict" ec);
+          (* the daemon-side registry must show warm hits *)
+          let m = Serve.Client.rpc cl ~op:"metrics" ~params:[] in
+          let dump = jfield "prometheus" m in
+          let has_warm =
+            let needle = "factor_serve_cache_warm_mem" in
+            let nl = String.length needle and hl = String.length dump in
+            let rec go i =
+              i + nl <= hl && (String.sub dump i nl = needle || go (i + 1))
+            in
+            go 0
+          in
+          if not has_warm then
+            die "serve smoke: prometheus dump lacks the warm-hit counter"));
+  (* restart over the same store: the design must come back from disk *)
+  with_daemon ~store (fun addr ->
+      with_conn addr (fun cl ->
+          let r = Serve.Client.rpc cl ~op:"atpg" ~params:(atpg_params "arbiter") in
+          if jfield "cache" r <> "warm-disk" then
+            die "serve smoke: restarted daemon should warm-start, got %s"
+              (jfield "cache" r);
+          if response_lines r <> expected then
+            die "serve smoke: warm-disk response is not bit-identical"));
+  Printf.printf
+    "serve smoke: all ops byte-identical to one-shot, warm-mem and \
+     warm-disk hits observed, graceful stop (%d jobs)\n"
+    (max 1 !jobs_ref)
+
+(* BENCH_serve.json: cold vs warm request latency and requests/sec at
+   one client and at [-j N] concurrent clients. *)
+let bench_serve () =
+  let jobs = max 1 !jobs_ref in
+  Engine.Pool.set_jobs jobs;
+  let store = serve_tmpdir "factor-bench-store" in
+  let warm_reqs = 32 in
+  with_daemon ~store (fun addr ->
+      with_conn addr (fun cl ->
+          let rpc op params = Serve.Client.rpc cl ~op ~params in
+          let extract_params =
+            [ ("design", Obs.Json.String "@gcd");
+              ("mut", Obs.Json.String "u_core.u_ctrl") ]
+          in
+          let (_, extract_cold) =
+            timed (fun () -> rpc "extract" extract_params)
+          in
+          let (_, extract_warm) =
+            timed (fun () -> rpc "extract" extract_params)
+          in
+          let (r_cold, atpg_cold) =
+            timed (fun () -> rpc "atpg" (atpg_params "fifo"))
+          in
+          let (r_warm, atpg_warm) =
+            timed (fun () -> rpc "atpg" (atpg_params "fifo"))
+          in
+          if response_lines r_cold <> response_lines r_warm then begin
+            prerr_endline "bench serve: warm response differs from cold";
+            exit 1
+          end;
+          (* single-client throughput over warm traffic *)
+          let (_, serial_s) =
+            timed (fun () ->
+                for _ = 1 to warm_reqs do
+                  ignore (rpc "atpg" (atpg_params "arbiter"))
+                done)
+          in
+          (* [jobs] clients, each its own connection, same total work *)
+          let per_client = max 1 (warm_reqs / jobs) in
+          let (_, par_s) =
+            timed (fun () ->
+                let workers =
+                  List.init jobs (fun _ ->
+                      Domain.spawn (fun () ->
+                          with_conn addr (fun cl ->
+                              for _ = 1 to per_client do
+                                ignore
+                                  (Serve.Client.rpc cl ~op:"atpg"
+                                     ~params:(atpg_params "arbiter"))
+                              done)))
+                in
+                List.iter Domain.join workers)
+          in
+          let rps n s = if s <= 0.0 then 0.0 else float_of_int n /. s in
+          Printf.printf
+            "serve: extract cold %.1f ms, warm %.1f ms (%.1fx) | atpg cold \
+             %.1f ms, warm %.1f ms (%.1fx)\n"
+            (1e3 *. extract_cold) (1e3 *. extract_warm)
+            (extract_cold /. Float.max 1e-9 extract_warm)
+            (1e3 *. atpg_cold) (1e3 *. atpg_warm)
+            (atpg_cold /. Float.max 1e-9 atpg_warm);
+          Printf.printf
+            "serve: %.0f req/s at 1 client, %.0f req/s at %d clients\n"
+            (rps warm_reqs serial_s)
+            (rps (per_client * jobs) par_s)
+            jobs;
+          let oc = open_out "BENCH_serve.json" in
+          Printf.fprintf oc "{\n  \"jobs\": %d,\n" jobs;
+          Printf.fprintf oc
+            "  \"extract_cold_ms\": %.3f,\n  \"extract_warm_ms\": %.3f,\n"
+            (1e3 *. extract_cold) (1e3 *. extract_warm);
+          Printf.fprintf oc
+            "  \"atpg_cold_ms\": %.3f,\n  \"atpg_warm_ms\": %.3f,\n"
+            (1e3 *. atpg_cold) (1e3 *. atpg_warm);
+          Printf.fprintf oc "  \"warm_identical\": true,\n";
+          Printf.fprintf oc
+            "  \"rps_1_client\": %.1f,\n  \"rps_%d_clients\": %.1f,\n"
+            (rps warm_reqs serial_s) jobs
+            (rps (per_client * jobs) par_s);
+          Printf.fprintf oc "  \"metrics\": %s\n}\n" (metrics_json ());
+          close_out oc;
+          print_endline "wrote BENCH_serve.json"))
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1353,6 +1575,8 @@ let () =
     | "par" -> bench_par ()
     | "par_smoke" -> bench_par_smoke ()
     | "chaos_smoke" -> bench_chaos_smoke ()
+    | "serve" -> bench_serve ()
+    | "serve_smoke" -> bench_serve_smoke ()
     | "all" ->
       table1 ();
       table2 ();
@@ -1365,7 +1589,7 @@ let () =
       generality ()
     | other ->
       Printf.eprintf
-        "unknown target %S (expected table1..table6, testability, translate, generality, variance, ablations, micro, fsim, sat, sat_smoke, par, par_smoke, chaos_smoke, all)\n"
+        "unknown target %S (expected table1..table6, testability, translate, generality, variance, ablations, micro, fsim, sat, sat_smoke, par, par_smoke, chaos_smoke, serve, serve_smoke, all)\n"
         other;
       exit 1
   in

@@ -288,12 +288,9 @@ let extract_cmd =
             Factor.Compose.compositional (Factor.Compose.create_session ())
               env ~mut_path:mut
         in
-        Printf.printf
-          "extraction: %d kept sites across %d modules, %.4f s, %d stage(s)\n"
-          (Factor.Slice.cardinal stats.Factor.Compose.cs_slice)
-          (List.length (Factor.Slice.modules stats.Factor.Compose.cs_slice))
-          stats.Factor.Compose.cs_extraction_time
-          stats.Factor.Compose.cs_stages;
+        Printf.printf "%s, %.4f s\n"
+          (Serve.Render.extract_stats stats)
+          stats.Factor.Compose.cs_extraction_time;
         List.iter
           (fun d ->
             Obs.Log.warnf "%s" (Factor.Extract.dead_end_to_string d))
@@ -301,11 +298,7 @@ let extract_cmd =
         let tf =
           Factor.Transform.build env stats.Factor.Compose.cs_slice ~mut_path:mut
         in
-        Printf.printf
-          "transformed module: %d MUT gates + %d surrounding gates, %d PI bits, %d PO bits\n"
-          tf.Factor.Transform.tf_mut_gates
-          tf.Factor.Transform.tf_surrounding_gates
-          tf.Factor.Transform.tf_pi_bits tf.Factor.Transform.tf_po_bits;
+        print_endline (Serve.Render.transform_line tf);
         match output with
         | None -> ()
         | Some file ->
@@ -394,13 +387,12 @@ let atpg_cmd =
             g_jobs = jobs }
         in
         let r = Atpg.Gen.run c cfg faults in
-        Printf.printf
-          "faults %d | detected %d | untestable %d | aborted %d | budget-skipped %d\n"
-          r.Atpg.Gen.r_total r.Atpg.Gen.r_detected r.Atpg.Gen.r_untestable
-          r.Atpg.Gen.r_aborted r.Atpg.Gen.r_budget_skipped;
-        Printf.printf
-          "coverage %.2f%% | effectiveness %.2f%% | %d vectors | %.2f s wall (%.2f s cpu, %d jobs)\n"
-          r.Atpg.Gen.r_coverage r.Atpg.Gen.r_effectiveness r.Atpg.Gen.r_vectors
+        (* the deterministic lines come from Serve.Render so a daemon
+           response can be compared byte for byte; timing is appended
+           here, outside the canonical part *)
+        print_endline (Serve.Render.atpg_counts r);
+        Printf.printf "%s | %.2f s wall (%.2f s cpu, %d jobs)\n"
+          (Serve.Render.atpg_quality r)
           r.Atpg.Gen.r_wall r.Atpg.Gen.r_time jobs;
         if engine <> Atpg.Gen.Podem_only then
           Printf.printf
@@ -557,13 +549,9 @@ let grade_cmd =
         let detected =
           Array.to_list flags |> List.filter Fun.id |> List.length
         in
-        Printf.printf
-          "%d tests, %d vectors | %d / %d faults detected | coverage %.2f%%\n"
-          (List.length tests)
-          (Atpg.Pattern.total_vectors tests)
-          detected (List.length faults)
-          (100.0 *. float_of_int detected
-           /. float_of_int (max 1 (List.length faults))))
+        print_endline
+          (Serve.Render.grade_line ~tests ~detected
+             ~faults:(List.length faults)))
   in
   let doc = "Fault-simulate a vector file against a design (grade tests)." in
   Cmd.v (Cmd.info "grade" ~doc)
@@ -652,6 +640,344 @@ let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc)
     Term.(const run $ obs_term $ jobs_arg $ fsim_arg $ budget_opt)
 
+(* ------------------------------ serve ----------------------------- *)
+
+(* --socket PATH (the default transport) or --tcp HOST:PORT select the
+   daemon address; --tcp wins when both are given *)
+let addr_of ~socket ~tcp =
+  match tcp with
+  | None -> Serve.Server.Unix_path socket
+  | Some spec ->
+    (match String.rindex_opt spec ':' with
+     | None ->
+       Printf.eprintf "bad --tcp %S (expected HOST:PORT)\n" spec;
+       exit 1
+     | Some i ->
+       let host = String.sub spec 0 i in
+       let port_s = String.sub spec (i + 1) (String.length spec - i - 1) in
+       (match int_of_string_opt port_s with
+        | Some port -> Serve.Server.Tcp (host, port)
+        | None ->
+          Printf.eprintf "bad --tcp port %S\n" port_s;
+          exit 1))
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the daemon." in
+  Arg.(value & opt string "factor.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc = "TCP address of the daemon (overrides $(b,--socket))." in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let serve_cmd =
+  let store_arg =
+    let doc =
+      "Directory for the content-addressed on-disk cache; elaborated \
+       designs and constraint extractions persist there across daemon \
+       restarts."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Default wall-clock budget in seconds applied to every request \
+       that does not carry its own $(b,budget_s) parameter."
+    in
+    Arg.(value & opt (some float) None
+         & info [ "request-budget" ] ~docv:"SECONDS" ~doc)
+  in
+  let run () socket tcp store budget jobs =
+    handle_errors (fun () ->
+        let jobs = apply_jobs jobs in
+        let addr = addr_of ~socket ~tcp in
+        (match addr with
+         | Serve.Server.Unix_path p ->
+           Obs.Log.progressf "listening on %s (%d jobs)" p jobs
+         | Serve.Server.Tcp (h, p) ->
+           Obs.Log.progressf "listening on %s:%d (%d jobs)"
+             (if h = "" then "127.0.0.1" else h) p jobs);
+        Serve.Server.run
+          { Serve.Server.sc_addr = addr;
+            sc_store = store;
+            sc_default_budget = budget })
+  in
+  let doc =
+    "Run the persistent ATPG daemon: framed JSON requests over a socket, \
+     answered from a content-addressed design/constraint cache."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ obs_term $ socket_arg $ tcp_arg $ store_arg
+          $ budget_arg $ jobs_arg)
+
+(* ----------------------------- client ----------------------------- *)
+
+module J = Obs.Json
+
+let jstr name j =
+  Option.value ~default:"" (Option.bind (J.member name j) J.to_string_opt)
+
+(* Connect, run, and map daemon failures onto the same stage exit codes
+   as the one-shot CLI; exit 7 means the daemon itself is unreachable. *)
+let with_client ~socket ~tcp f =
+  let addr = addr_of ~socket ~tcp in
+  let cl =
+    try Serve.Client.connect addr with
+    | Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "factor: cannot connect to daemon: %s\n"
+        (Unix.error_message e);
+      exit 7
+  in
+  match f cl with
+  | v ->
+    Serve.Client.close cl;
+    v
+  | exception Serve.Client.Server_error (stage, msg) ->
+    Serve.Client.close cl;
+    Printf.eprintf "factor: %s error: %s\n" stage msg;
+    exit
+      (match stage with
+       | "parse" -> 2
+       | "elaborate" -> 3
+       | "extract" -> 4
+       | "solve" -> 5
+       | "io" -> 6
+       | _ -> 1)
+  | exception e ->
+    Serve.Client.close cl;
+    raise e
+
+(* '@name' designs travel by name (the daemon holds the same bundled
+   sources, so the content hash matches); files are shipped as text *)
+let design_params path top =
+  let base =
+    if String.length path > 0 && path.[0] = '@' then
+      [ ("design", J.String path) ]
+    else begin
+      let ic =
+        try open_in_bin path with
+        | Sys_error msg ->
+          Printf.eprintf "factor: io error: %s\n" msg;
+          exit 6
+      in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      [ ("source", J.String src) ]
+    end
+  in
+  base @ (match top with Some t -> [ ("top", J.String t) ] | None -> [])
+
+let budget_params = function
+  | None -> []
+  | Some s -> [ ("budget_s", J.Float s) ]
+
+let client_budget_arg =
+  let doc = "Wall-clock budget in seconds for this request." in
+  Arg.(value & opt (some float) None
+       & info [ "request-budget" ] ~docv:"SECONDS" ~doc)
+
+let report_cache result =
+  (match jstr "cache" result with
+   | "" -> ()
+   | o -> Obs.Log.progressf "cache: %s" o)
+
+let client_cmd =
+  let ping_cmd =
+    let run () socket tcp =
+      with_client ~socket ~tcp (fun cl ->
+          let _ = Serve.Client.rpc cl ~op:"ping" ~params:[] in
+          print_endline "pong")
+    in
+    let doc = "Check that the daemon is alive." in
+    Cmd.v (Cmd.info "ping" ~doc)
+      Term.(const run $ obs_term $ socket_arg $ tcp_arg)
+  in
+  let metrics_cmd =
+    let run () socket tcp =
+      with_client ~socket ~tcp (fun cl ->
+          let r = Serve.Client.rpc cl ~op:"metrics" ~params:[] in
+          print_string (jstr "prometheus" r))
+    in
+    let doc = "Dump the daemon's metrics registry (Prometheus text format)." in
+    Cmd.v (Cmd.info "metrics" ~doc)
+      Term.(const run $ obs_term $ socket_arg $ tcp_arg)
+  in
+  let shutdown_cmd =
+    let run () socket tcp =
+      with_client ~socket ~tcp (fun cl ->
+          let _ = Serve.Client.rpc cl ~op:"shutdown" ~params:[] in
+          Obs.Log.progressf "daemon stopping")
+    in
+    let doc = "Ask the daemon to shut down gracefully." in
+    Cmd.v (Cmd.info "shutdown" ~doc)
+      Term.(const run $ obs_term $ socket_arg $ tcp_arg)
+  in
+  let c_extract_cmd =
+    let run () socket tcp path top mut mode output budget =
+      with_client ~socket ~tcp (fun cl ->
+          let params =
+            design_params path top
+            @ [ ("mut", J.String mut); ("mode", J.String mode) ]
+            @ (if output <> None then [ ("emit_verilog", J.Bool true) ]
+               else [])
+            @ budget_params budget
+          in
+          let r = Serve.Client.rpc cl ~op:"extract" ~params in
+          report_cache r;
+          (match J.member "dead_ends" r with
+           | Some (J.List ds) ->
+             List.iter
+               (fun d ->
+                 match J.to_string_opt d with
+                 | Some s -> Obs.Log.warnf "%s" s
+                 | None -> ())
+               ds
+           | _ -> ());
+          print_endline (jstr "extraction" r);
+          print_endline (jstr "transformed" r);
+          match output with
+          | None -> ()
+          | Some f ->
+            let oc = open_out f in
+            output_string oc (jstr "verilog" r);
+            close_out oc;
+            Obs.Log.progressf "constraints written to %s" f)
+    in
+    let doc = "FACTOR-ise a design through the daemon's constraint cache." in
+    Cmd.v (Cmd.info "extract" ~doc)
+      Term.(const run $ obs_term $ socket_arg $ tcp_arg $ design_arg
+            $ top_arg $ mut_arg $ mode_arg $ output_arg $ client_budget_arg)
+  in
+  let c_atpg_cmd =
+    let mut_opt =
+      let doc = "Restrict faults to this instance subtree." in
+      Arg.(value & opt (some string) None & info [ "mut" ] ~docv:"PATH" ~doc)
+    in
+    let gen_budget =
+      let doc = "Total generation budget in seconds (daemon default 60)." in
+      Arg.(value & opt (some float) None
+           & info [ "budget" ] ~docv:"SECONDS" ~doc)
+    in
+    let engine_arg =
+      let doc = "Test-generation engine: 'podem', 'sat' or 'hybrid'." in
+      Arg.(value & opt string "hybrid" & info [ "engine" ] ~doc)
+    in
+    let seed_arg =
+      let doc = "Random seed for the generator." in
+      Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+    in
+    let piers_flag =
+      let doc = "Treat pseudo-primary-output pier flip-flops as observable." in
+      Arg.(value & flag & info [ "piers" ] ~doc)
+    in
+    let run () socket tcp path top mut gen_budget engine seed piers output
+        budget =
+      with_client ~socket ~tcp (fun cl ->
+          let params =
+            design_params path top
+            @ (match mut with
+               | Some m -> [ ("mut", J.String m) ]
+               | None -> [])
+            @ (match gen_budget with
+               | Some b -> [ ("budget", J.Float b) ]
+               | None -> [])
+            @ [ ("engine", J.String engine) ]
+            @ (match seed with
+               | Some s -> [ ("seed", J.Int s) ]
+               | None -> [])
+            @ (if piers then [ ("piers", J.Bool true) ] else [])
+            @ budget_params budget
+          in
+          let r = Serve.Client.rpc cl ~op:"atpg" ~params in
+          report_cache r;
+          print_endline (jstr "counts" r);
+          print_endline (jstr "quality" r);
+          match output with
+          | None -> ()
+          | Some f ->
+            let oc = open_out f in
+            output_string oc (jstr "vectors" r);
+            close_out oc;
+            Obs.Log.progressf "vectors written to %s" f)
+    in
+    let vec_out =
+      let doc = "Write the generated vectors to this file." in
+      Arg.(value & opt (some string) None
+           & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+    in
+    let doc = "Generate tests through the daemon's design cache." in
+    Cmd.v (Cmd.info "atpg" ~doc)
+      Term.(const run $ obs_term $ socket_arg $ tcp_arg $ design_arg
+            $ top_arg $ mut_opt $ gen_budget $ engine_arg $ seed_arg
+            $ piers_flag $ vec_out $ client_budget_arg)
+  in
+  let c_grade_cmd =
+    let vec_arg =
+      let doc = "Vector file to grade." in
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"VECTORS" ~doc)
+    in
+    let mut_opt =
+      let doc = "Restrict faults to this instance subtree." in
+      Arg.(value & opt (some string) None & info [ "mut" ] ~docv:"PATH" ~doc)
+    in
+    let run () socket tcp path top vec_file mut budget =
+      with_client ~socket ~tcp (fun cl ->
+          let vectors =
+            let ic =
+              try open_in_bin vec_file with
+              | Sys_error msg ->
+                Printf.eprintf "factor: io error: %s\n" msg;
+                exit 6
+            in
+            let s = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            s
+          in
+          let params =
+            design_params path top
+            @ [ ("vectors", J.String vectors) ]
+            @ (match mut with
+               | Some m -> [ ("mut", J.String m) ]
+               | None -> [])
+            @ budget_params budget
+          in
+          let r = Serve.Client.rpc cl ~op:"grade" ~params in
+          report_cache r;
+          print_endline (jstr "line" r))
+    in
+    let doc = "Fault-simulate a vector file through the daemon." in
+    Cmd.v (Cmd.info "grade" ~doc)
+      Term.(const run $ obs_term $ socket_arg $ tcp_arg $ design_arg
+            $ top_arg $ vec_arg $ mut_opt $ client_budget_arg)
+  in
+  let c_ec_cmd =
+    let design_b =
+      let doc = "Second design ('@name' or a file)." in
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"DESIGN_B" ~doc)
+    in
+    let top_b =
+      let doc = "Top module of the second design." in
+      Arg.(value & opt (some string) None & info [ "top-b" ] ~docv:"MODULE" ~doc)
+    in
+    let run () socket tcp path_a top_a path_b top_b budget =
+      with_client ~socket ~tcp (fun cl ->
+          let params =
+            [ ("a", J.Obj (design_params path_a top_a));
+              ("b", J.Obj (design_params path_b top_b)) ]
+            @ budget_params budget
+          in
+          let r = Serve.Client.rpc cl ~op:"ec" ~params in
+          print_endline (jstr "line" r))
+    in
+    let doc = "Check two designs for combinational equivalence via the daemon." in
+    Cmd.v (Cmd.info "ec" ~doc)
+      Term.(const run $ obs_term $ socket_arg $ tcp_arg $ design_arg
+            $ top_arg $ design_b $ top_b $ client_budget_arg)
+  in
+  let doc = "Talk to a running factor daemon." in
+  Cmd.group (Cmd.info "client" ~doc)
+    [ ping_cmd; metrics_cmd; shutdown_cmd; c_extract_cmd; c_atpg_cmd;
+      c_grade_cmd; c_ec_cmd ]
+
 let () =
   let doc = "hierarchical functional test generation and testability analysis" in
   let info = Cmd.info "factor" ~version:"1.0.0" ~doc in
@@ -659,4 +985,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ parse_cmd; synth_cmd; extract_cmd; atpg_cmd; sat_cmd; grade_cmd;
-            analyze_cmd; demo_cmd ]))
+            analyze_cmd; demo_cmd; serve_cmd; client_cmd ]))

@@ -50,32 +50,37 @@ let total_vectors tests =
 
 exception Parse_error of string
 
-(** [write_channel oc tests] emits the test set in the vector-file
-    format; [pi_names] become a header comment for humans. *)
-let write_channel ?(pi_names = [||]) oc tests =
+(** [write_string tests] renders the test set in the vector-file format;
+    [pi_names] become a header comment for humans. *)
+let write_string ?(pi_names = [||]) tests =
+  let buf = Buffer.create 256 in
   if Array.length pi_names > 0 then begin
-    output_string oc "# pins:";
-    Array.iter (fun n -> output_string oc (" " ^ n)) pi_names;
-    output_string oc "\n"
+    Buffer.add_string buf "# pins:";
+    Array.iter (fun n -> Buffer.add_string buf (" " ^ n)) pi_names;
+    Buffer.add_char buf '\n'
   end;
   List.iter
     (fun t ->
-      output_string oc "test\n";
+      Buffer.add_string buf "test\n";
       List.iter
         (fun (ff, v) ->
-          output_string oc
+          Buffer.add_string buf
             (Printf.sprintf "load %d %d\n" ff (if v then 1 else 0)))
         t.p_loads;
       Array.iter
         (fun vec ->
-          output_string oc "vec ";
+          Buffer.add_string buf "vec ";
           Array.iter
-            (fun b -> output_char oc (if b then '1' else '0'))
+            (fun b -> Buffer.add_char buf (if b then '1' else '0'))
             vec;
-          output_string oc "\n")
+          Buffer.add_char buf '\n')
         t.p_vectors;
-      output_string oc "end\n")
-    tests
+      Buffer.add_string buf "end\n")
+    tests;
+  Buffer.contents buf
+
+let write_channel ?pi_names oc tests =
+  output_string oc (write_string ?pi_names tests)
 
 let write_file ?pi_names path tests =
   let oc = open_out path in
@@ -83,9 +88,9 @@ let write_file ?pi_names path tests =
     ~finally:(fun () -> close_out oc)
     (fun () -> write_channel ?pi_names oc tests)
 
-(** [read_channel ic] parses a vector file back into tests.
-    @raise Parse_error on malformed input. *)
-let read_channel ic =
+(* Core parser over a pull-based line source ([next_line] returns [None]
+   at end of input), shared by the channel and string front ends. *)
+let read_lines next_line =
   let tests = ref [] in
   let vectors = ref [] and loads = ref [] in
   let in_test = ref false in
@@ -100,7 +105,11 @@ let read_channel ic =
   in
   (try
      while true do
-       let line = String.trim (input_line ic) in
+       let line =
+         match next_line () with
+         | Some l -> String.trim l
+         | None -> raise End_of_file
+       in
        if line = "" || (String.length line > 0 && line.[0] = '#') then ()
        else if line = "test" then begin
          if !in_test then raise (Parse_error "nested test block");
@@ -132,6 +141,25 @@ let read_channel ic =
    with End_of_file ->
      if !in_test then raise (Parse_error "unterminated test block"));
   List.rev !tests
+
+(** [read_channel ic] parses a vector file back into tests.
+    @raise Parse_error on malformed input. *)
+let read_channel ic =
+  read_lines (fun () ->
+      match input_line ic with
+      | l -> Some l
+      | exception End_of_file -> None)
+
+(** [read_string s] parses the vector-file format from a string.
+    @raise Parse_error on malformed input. *)
+let read_string s =
+  let rest = ref (String.split_on_char '\n' s) in
+  read_lines (fun () ->
+      match !rest with
+      | [] -> None
+      | l :: tl ->
+        rest := tl;
+        Some l)
 
 let read_file path =
   let ic = open_in path in

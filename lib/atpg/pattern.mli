@@ -21,14 +21,21 @@ val total_vectors : test list -> int
 
 exception Parse_error of string
 
-(** Emit a test set in the textual vector-file format ([test] / [load ff
-    v] / [vec 0101...] / [end] blocks); [pi_names] become a header
-    comment. *)
+(** Render a test set in the textual vector-file format ([test] /
+    [load ff v] / [vec 0101...] / [end] blocks); [pi_names] become a
+    header comment. *)
+val write_string : ?pi_names:string array -> test list -> string
+
+(** Emit {!write_string} output to a channel. *)
 val write_channel : ?pi_names:string array -> out_channel -> test list -> unit
 
 val write_file : ?pi_names:string array -> string -> test list -> unit
 
 (** Parse a vector file back.  @raise Parse_error on malformed input. *)
 val read_channel : in_channel -> test list
+
+(** Parse the vector-file format from a string.
+    @raise Parse_error on malformed input. *)
+val read_string : string -> test list
 
 val read_file : string -> test list

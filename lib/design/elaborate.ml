@@ -247,6 +247,7 @@ let specialized_name base overrides =
 type elab_ctx = {
   source : design;
   mutable done_ : emodule Smap.t;
+  guard : unit -> unit;  (* per-module cancellation hook *)
 }
 
 let rec elab_module ctx base_name (overrides : (string * int) list) =
@@ -254,6 +255,7 @@ let rec elab_module ctx base_name (overrides : (string * int) list) =
   match Smap.find_opt name ctx.done_ with
   | Some em -> em
   | None ->
+    ctx.guard ();
     let m =
       try Verilog.Ast.find_module ctx.source base_name
       with Not_found -> errorf "module %s is not defined" base_name
@@ -387,10 +389,10 @@ and elab_instance ctx env inst =
 (** [elaborate design ~top] elaborates [design] rooted at module [top].
     @raise Error on undefined modules, non-constant parameter expressions,
     unsupported constructs, or connection arity mismatches. *)
-let elaborate design ~top =
+let elaborate ?(guard = fun () -> ()) design ~top =
   Obs.Span.with_ "elaborate" ~attrs:[ ("top", Obs.Json.String top) ]
   @@ fun () ->
-  let ctx = { source = design; done_ = Smap.empty } in
+  let ctx = { source = design; done_ = Smap.empty; guard } in
   let top_module = elab_module ctx top [] in
   { ed_modules = ctx.done_; ed_top = top_module.em_name }
 

@@ -51,11 +51,14 @@ type edesign = {
   ed_top : string;
 }
 
-(** [elaborate design ~top] elaborates [design] rooted at module [top].
+(** [elaborate ?guard design ~top] elaborates [design] rooted at module
+    [top].  [guard] is called once per elaborated module specialization;
+    it may raise to abort a budgeted elaboration (the default does
+    nothing).
     @raise Error on undefined modules, non-constant parameter
     expressions, unsupported constructs, or connection arity
     mismatches. *)
-val elaborate : Verilog.Ast.design -> top:string -> edesign
+val elaborate : ?guard:(unit -> unit) -> Verilog.Ast.design -> top:string -> edesign
 
 (** @raise Error if the module is not part of the design. *)
 val find_emodule : edesign -> string -> emodule

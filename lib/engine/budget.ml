@@ -110,6 +110,10 @@ let rec poll t =
   end
   else false
 
+exception Exhausted of string
+
+let guard ?(site = "") t = if poll t then raise (Exhausted site)
+
 let why t =
   match Atomic.get t.flag with
   | 0 -> None

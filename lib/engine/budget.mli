@@ -61,6 +61,19 @@ val check : t -> bool
     the token is dead. *)
 val poll : t -> bool
 
+(** Raised by {!guard} when its token is dead; the payload names the
+    pipeline stage that was polling ("parse", "elaborate", "extract").
+    Used where partial results make no sense — a half-parsed design is
+    useless, unlike a half-graded fault list — so the stage aborts
+    instead of degrading.  The serve daemon maps it to a per-request
+    error response. *)
+exception Exhausted of string
+
+(** [guard ?site t]: {!poll}, raising {!Exhausted} when the token is
+    dead.  The raising form of the budget contract for front-end stages
+    (parse / elaborate / extract) that cannot return partial work. *)
+val guard : ?site:string -> t -> unit
+
 (** [why t] is [None] while live. *)
 val why : t -> why option
 

@@ -33,11 +33,65 @@ type env = {
   chains : Ch.t Smap.t;
 }
 
-(** [make_env design ~top] elaborates and indexes a design once for any
-    number of extractions. *)
-let make_env design ~top =
-  let ed = Design.Elaborate.elaborate design ~top in
+(** [make_env ?budget design ~top] elaborates and indexes a design once
+    for any number of extractions.  Elaboration polls [budget] once per
+    module specialization. *)
+let make_env ?(budget = Engine.Budget.none) design ~top =
+  let guard () = Engine.Budget.guard ~site:"elaborate" budget in
+  let ed = Design.Elaborate.elaborate ~guard design ~top in
   { ed; tree = H.build ed; chains = Ch.build_all ed }
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed fingerprints.                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Bump when anything that feeds a fingerprint changes meaning (the
+   pretty-printer, elaboration semantics, the traversal below), so stale
+   on-disk cache entries keyed by an old scheme can never alias. *)
+let fingerprint_version = "factor-fp-1"
+
+(** [source_fingerprint ~source ~top] is the raw-text content hash: MD5
+    over the version tag, the top module name, and the source bytes.  Two
+    byte-identical (source, top) pairs always collide; any edit — even
+    whitespace — changes it.  Used as a fast alias for a design already
+    fingerprinted structurally. *)
+let source_fingerprint ~source ~top =
+  Digest.to_hex
+    (Digest.string (fingerprint_version ^ "\x00" ^ top ^ "\x00" ^ source))
+
+(** [design_fingerprint design ~top] hashes the instantiation-reachable
+    module chain from [top]: each reachable module is pretty-printed back
+    to canonical Verilog and folded (in first-reach DFS order, which is
+    deterministic) into one MD5.  Whitespace, comments, and modules not
+    reachable from [top] do not affect it, so a cache keyed by this hash
+    survives cosmetic edits while any semantic change to a module the
+    design actually uses invalidates it. *)
+let design_fingerprint design ~top =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf fingerprint_version;
+  Buffer.add_char buf '\x00';
+  Buffer.add_string buf top;
+  let seen = Hashtbl.create 16 in
+  let rec visit name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      match Verilog.Ast.find_module design name with
+      | exception Not_found -> ()  (* elaboration will report it *)
+      | m ->
+        Buffer.add_char buf '\x00';
+        Buffer.add_string buf name;
+        Buffer.add_char buf '\x00';
+        Buffer.add_string buf
+          (Digest.to_hex (Digest.string (Verilog.Pp.module_to_string m)));
+        List.iter
+          (function
+            | Verilog.Ast.I_instance i -> visit i.Verilog.Ast.inst_module
+            | _ -> ())
+          m.Verilog.Ast.mod_items
+    end
+  in
+  visit top;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let mut_node env mut_path = H.find_path env.tree mut_path
 
@@ -60,7 +114,7 @@ let full_mut node slice =
     constraints are extracted in one coarse whole-design pass.  This is
     the "surrounding logic may prove to be too complex" limitation the
     paper's compositional flow removes. *)
-let conventional env ~mut_path =
+let conventional ?budget env ~mut_path =
   Obs.Span.with_ "extract.conventional"
     ~attrs:[ ("mut", Obs.Json.String mut_path) ]
   @@ fun () ->
@@ -75,10 +129,10 @@ let conventional env ~mut_path =
   let anchor = ancestor node in
   let em = Design.Elaborate.find_emodule env.ed anchor.H.nd_module in
   let result =
-    Extract.run ~ed:env.ed ~tree:env.tree ~chains:env.chains ~stop:env.tree
-      ~granularity:Extract.Coarse ~node:anchor
+    Extract.run ?budget ~ed:env.ed ~tree:env.tree ~chains:env.chains
+      ~stop:env.tree ~granularity:Extract.Coarse ~node:anchor
       ~sources:(Design.Elaborate.inputs_of em)
-      ~props:(Design.Elaborate.outputs_of em)
+      ~props:(Design.Elaborate.outputs_of em) ()
   in
   let slice = full_mut anchor result.Extract.rs_slice in
   { cs_slice = slice;
@@ -137,6 +191,26 @@ let create_session () =
 let stage_key ~parent ~node =
   parent.H.nd_module ^ "|" ^ H.path_to_string node.H.nd_path
 
+(* Pure-data image of a session's cache, for the serve daemon's on-disk
+   store: no mutexes, no mutable fields, Marshal-safe. *)
+type session_state = (string * (Sset.t * Sset.t * stage_result)) list
+
+let export_session s =
+  Mutex.protect s.ss_lock @@ fun () ->
+  Hashtbl.fold
+    (fun key e acc -> (key, (e.ce_srcs, e.ce_props, e.ce_result)) :: acc)
+    s.ss_cache []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let import_session st =
+  let s = create_session () in
+  List.iter
+    (fun (key, (srcs, props, r)) ->
+      Hashtbl.replace s.ss_cache key
+        { ce_srcs = srcs; ce_props = props; ce_result = r })
+    st;
+  s
+
 let merge_stage a b =
   { sg_slice = Slice.union a.sg_slice b.sg_slice;
     sg_bsrcs = List.sort_uniq compare (a.sg_bsrcs @ b.sg_bsrcs);
@@ -154,13 +228,13 @@ let log_stage kind key =
     Obs.Log.event Obs.Log.Debug "compose.stage"
       [ ("cache", Obs.Json.String kind); ("key", Obs.Json.String key) ]
 
-let run_stage session env ~parent ~node ~sources ~props =
+let run_stage ?budget session env ~parent ~node ~sources ~props =
   Mutex.protect session.ss_lock @@ fun () ->
   let key = stage_key ~parent ~node in
   let extract sources props =
     let result =
-      Extract.run ~ed:env.ed ~tree:env.tree ~chains:env.chains ~stop:parent
-        ~granularity:Extract.Fine ~node ~sources ~props
+      Extract.run ?budget ~ed:env.ed ~tree:env.tree ~chains:env.chains
+        ~stop:parent ~granularity:Extract.Fine ~node ~sources ~props ()
     in
     { sg_slice = result.Extract.rs_slice;
       sg_bsrcs = Sset.elements result.Extract.rs_boundary_sources;
@@ -201,7 +275,7 @@ let run_stage session env ~parent ~node ~sources ~props =
 (** [compositional session env ~mut_path] extracts the MUT's ATPG view
     level by level, composing the per-level constraints and reusing
     previously extracted ones through [session]. *)
-let compositional session env ~mut_path =
+let compositional ?budget session env ~mut_path =
   Obs.Span.with_ "extract.compositional"
     ~attrs:[ ("mut", Obs.Json.String mut_path) ]
   @@ fun () ->
@@ -215,7 +289,7 @@ let compositional session env ~mut_path =
       (* the MUT is the top module: nothing surrounds it *)
       (slice, deads, stage_count, visited, true, true)
     | Some parent ->
-      let r = run_stage session env ~parent ~node ~sources ~props in
+      let r = run_stage ?budget session env ~parent ~node ~sources ~props in
       let slice = Slice.union slice r.sg_slice in
       let deads = deads @ r.sg_deads in
       let visited = visited + r.sg_visited in

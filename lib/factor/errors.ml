@@ -75,5 +75,18 @@ let of_exn ?file exn =
   | Reconstruct.Error msg -> mk Extract msg
   | Engine.Chaos.Injected site ->
     mk Solve (Printf.sprintf "chaos fault injected at %s" site)
+  | Engine.Budget.Exhausted site ->
+    (* front-end stages raise with their stage name as the site; anything
+       else (or an unlabelled guard) is attributed to the solver, where
+       budgets otherwise bite *)
+    let stage =
+      match site with
+      | "parse" -> Parse
+      | "elaborate" -> Elaborate
+      | "extract" -> Extract
+      | _ -> Solve
+    in
+    let where = if site = "" then "" else Printf.sprintf " during %s" site in
+    mk stage (Printf.sprintf "budget exhausted%s" where)
   | Sys_error msg -> mk Io msg
   | _ -> None

@@ -50,6 +50,7 @@ type ctx = {
   chains : Ch.t Smap.t;
   stop : H.node;
   granularity : granularity;
+  budget : Engine.Budget.t;
   mutable slice : Slice.t;
   visited : (string * [ `Source | `Prop ] * string, unit) Hashtbl.t;
   mutable dead_ends : dead_end list;
@@ -59,6 +60,18 @@ type ctx = {
   mutable reached_po : bool;
   mutable visit_count : int;
 }
+
+(* Budget cadence: the walks are recursive with no outer loop to poll
+   from, so the visit counter doubles as the poll clock — one [poll]
+   (a clock read) every 64 visited signals, a cheap flag load otherwise.
+   Expiry raises [Engine.Budget.Exhausted "extract"]: a partial slice
+   under-constrains the MUT, so aborting is the only sound answer. *)
+let visit_guard ctx =
+  ctx.visit_count <- ctx.visit_count + 1;
+  if ctx.visit_count land 63 = 0 then
+    Engine.Budget.guard ~site:"extract" ctx.budget
+  else if Engine.Budget.check ctx.budget then
+    raise (Engine.Budget.Exhausted "extract")
 
 let is_root node = node.H.nd_path = []
 
@@ -90,7 +103,7 @@ let connection inst port = List.assoc port inst.ei_conns
 (* ------------------------------------------------------------------ *)
 
 let rec find_source_logic ctx node signal trace =
-  ctx.visit_count <- ctx.visit_count + 1;
+  visit_guard ctx;
   let key = (H.path_to_string node.H.nd_path, `Source, signal) in
   if not (Hashtbl.mem ctx.visited key) then begin
     Hashtbl.add ctx.visited key ();
@@ -181,7 +194,7 @@ and source_from_site ctx node em signal site trace =
 (* ------------------------------------------------------------------ *)
 
 let rec find_prop_paths ctx node signal trace =
-  ctx.visit_count <- ctx.visit_count + 1;
+  visit_guard ctx;
   let key = (H.path_to_string node.H.nd_path, `Prop, signal) in
   if not (Hashtbl.mem ctx.visited key) then begin
     Hashtbl.add ctx.visited key ();
@@ -272,9 +285,10 @@ let m_prop_walks = Obs.Metrics.counter "factor.extract.prop_walks"
 let m_visited = Obs.Metrics.counter "factor.extract.visited_signals"
 let m_dead_ends = Obs.Metrics.counter "factor.extract.dead_ends"
 
-let run ~ed ~tree ~chains ~stop ~granularity ~node ~sources ~props =
+let run ?(budget = Engine.Budget.none) ~ed ~tree ~chains ~stop ~granularity
+    ~node ~sources ~props () =
   let ctx =
-    { ed; tree; chains; stop; granularity;
+    { ed; tree; chains; stop; granularity; budget;
       slice = Slice.empty;
       visited = Hashtbl.create 256;
       dead_ends = [];

@@ -31,13 +31,17 @@ type granularity =
   | Fine    (** individual leaf statements with their enclosing
                 conditionals — FACTOR's compositional refinement *)
 
-(** [run ~ed ~tree ~chains ~stop ~granularity ~node ~sources ~props]
-    extracts the constraints needed to justify [sources] (signals of
-    [node]'s module) and observe [props], walking the hierarchy but never
-    above [stop].  When [stop] is the tree root, reaching it records chip
-    pin accessibility; otherwise the still-open requests on [stop]'s
-    ports are returned as boundaries for the compositional flow. *)
+(** [run ?budget ~ed ~tree ~chains ~stop ~granularity ~node ~sources
+    ~props ()] extracts the constraints needed to justify [sources]
+    (signals of [node]'s module) and observe [props], walking the
+    hierarchy but never above [stop].  When [stop] is the tree root,
+    reaching it records chip pin accessibility; otherwise the still-open
+    requests on [stop]'s ports are returned as boundaries for the
+    compositional flow.  The traversal polls [budget] as it visits
+    signals and raises {!Engine.Budget.Exhausted} when it expires.
+    @raise Engine.Budget.Exhausted when [budget] expires mid-walk. *)
 val run :
+  ?budget:Engine.Budget.t ->
   ed:Design.Elaborate.edesign ->
   tree:Design.Hierarchy.node ->
   chains:Design.Chains.t Verilog.Ast_util.Smap.t ->
@@ -46,4 +50,5 @@ val run :
   node:Design.Hierarchy.node ->
   sources:string list ->
   props:string list ->
+  unit ->
   result

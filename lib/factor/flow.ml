@@ -82,15 +82,15 @@ let standalone_fault_count env spec =
   let c = (Synth.Lower.lower flat).Synth.Lower.circuit in
   List.length (Atpg.Fault.collapse c (Atpg.Fault.all c))
 
-let transform env session mode spec ~surrounding_before =
+let transform ?budget env session mode spec ~surrounding_before =
   Obs.Span.with_ "flow.transform"
     ~attrs:[ ("mut", Obs.Json.String spec.ms_name) ]
   @@ fun () ->
   let stats =
     match mode with
-    | Conventional -> Compose.conventional env ~mut_path:spec.ms_path
+    | Conventional -> Compose.conventional ?budget env ~mut_path:spec.ms_path
     | Compositional ->
-      Compose.compositional session env ~mut_path:spec.ms_path
+      Compose.compositional ?budget session env ~mut_path:spec.ms_path
   in
   let tf =
     Transform.validate

@@ -47,11 +47,13 @@ type transform_row = {
 (** Collapsed fault count of the MUT synthesized stand-alone. *)
 val standalone_fault_count : Compose.env -> mut_spec -> int
 
-(** [transform env session mode spec ~surrounding_before] extracts in the
-    requested mode and synthesizes the transformed module;
-    [surrounding_before] (from Table 1) feeds the gate-reduction
-    column. *)
+(** [transform ?budget env session mode spec ~surrounding_before]
+    extracts in the requested mode and synthesizes the transformed
+    module; [surrounding_before] (from Table 1) feeds the gate-reduction
+    column.  Extraction polls [budget] as it walks the hierarchy.
+    @raise Engine.Budget.Exhausted when [budget] expires mid-walk. *)
 val transform :
+  ?budget:Engine.Budget.t ->
   Compose.env -> Compose.session -> mode -> mut_spec ->
   surrounding_before:int -> transform_row
 

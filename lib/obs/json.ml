@@ -68,3 +68,188 @@ let to_string j =
   let buf = Buffer.create 256 in
   to_buffer buf j;
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: a recursive-descent reader of RFC 8259 JSON, the inverse of
+   the printer above.  Numbers without '.', 'e' or 'E' that fit an OCaml
+   int parse as [Int], everything else as [Float]; \uXXXX escapes decode
+   to UTF-8. *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type parser_state = { src : string; mutable pos : int }
+
+let parse_fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && (match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    advance st
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> parse_fail st (Printf.sprintf "expected %C" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else parse_fail st ("expected " ^ word)
+
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string_body st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> parse_fail st "unterminated string"
+    | Some '"' -> advance st; Buffer.contents buf
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+       | None -> parse_fail st "unterminated escape"
+       | Some c ->
+         advance st;
+         (match c with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+            if st.pos + 4 > String.length st.src then
+              parse_fail st "truncated \\u escape";
+            let hex = String.sub st.src st.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex) with
+              | _ -> parse_fail st "bad \\u escape"
+            in
+            st.pos <- st.pos + 4;
+            add_utf8 buf code
+          | _ -> parse_fail st "bad escape"));
+      go ()
+    | Some c -> advance st; Buffer.add_char buf c; go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c when is_num_char c -> true | _ -> false) do
+    advance st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  let has_frac =
+    String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s
+  in
+  if has_frac then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> parse_fail st ("bad number " ^ s)
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None ->
+      (match float_of_string_opt s with
+       | Some f -> Float f
+       | None -> parse_fail st ("bad number " ^ s))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> parse_fail st "unexpected end of input"
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin advance st; Obj [] end
+    else begin
+      let rec fields acc =
+        skip_ws st;
+        let k = parse_string_body st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' -> advance st; fields ((k, v) :: acc)
+        | Some '}' -> advance st; Obj (List.rev ((k, v) :: acc))
+        | _ -> parse_fail st "expected ',' or '}'"
+      in
+      fields []
+    end
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin advance st; List [] end
+    else begin
+      let rec items acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' -> advance st; items (v :: acc)
+        | Some ']' -> advance st; List (List.rev (v :: acc))
+        | _ -> parse_fail st "expected ',' or ']'"
+      in
+      items []
+    end
+  | Some '"' -> String (parse_string_body st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> parse_fail st (Printf.sprintf "unexpected %C" c)
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then parse_fail st "trailing garbage";
+  v
+
+(* Field accessors for decoding protocol messages. *)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+
+let to_bool_opt = function Bool b -> Some b | _ -> None

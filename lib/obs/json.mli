@@ -19,3 +19,29 @@ val to_string : t -> string
 
 (** Append the compact rendering to a buffer. *)
 val to_buffer : Buffer.t -> t -> unit
+
+(** {1 Parsing}
+
+    The inverse of {!to_string}, used by the serve protocol and by
+    artifact self-checks.  Numbers without a fraction or exponent that
+    fit an OCaml [int] decode as [Int], everything else as [Float];
+    [\uXXXX] escapes decode to UTF-8 bytes. *)
+
+exception Parse_error of string
+
+(** [of_string s] parses one JSON value spanning the whole string.
+    @raise Parse_error on malformed input or trailing bytes. *)
+val of_string : string -> t
+
+(** {1 Accessors} — shallow field/shape helpers for protocol decoding. *)
+
+(** [member name j] is the field [name] of an [Obj], else [None]. *)
+val member : string -> t -> t option
+
+val to_int_opt : t -> int option
+
+(** Accepts both [Int] and [Float]. *)
+val to_float_opt : t -> float option
+
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option

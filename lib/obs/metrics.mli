@@ -63,5 +63,40 @@ val dump_string : unit -> string
 (** Look up one metric's snapshot value by name. *)
 val find : string -> Json.t option
 
+(** {1 Snapshots and deltas}
+
+    Reset-free per-request accounting: snapshot the registry before and
+    after a unit of work and {!diff} the two, leaving the live registry
+    (and any concurrent reader, including the exit-time dump)
+    untouched. *)
+
+type snapshot
+
+(** Copy every registered cell once.  O(registry size); no locks are
+    held while cells are read, so a snapshot taken mid-update is
+    per-cell consistent but not globally atomic. *)
+val snapshot : unit -> snapshot
+
+(** [diff before after] as JSON: counter and histogram cells subtract
+    (a metric born after [before] counts from zero), gauges report the
+    [after] value, and entries that did not move are dropped.  A
+    histogram delta carries window count/sum and percentiles computed
+    from the bucket-count deltas; its [max] is the run maximum (bucket
+    counts cannot recover a window maximum). *)
+val diff : snapshot -> snapshot -> Json.t
+
+(** Value of a counter inside a snapshot (0 when absent or not a
+    counter). *)
+val snapshot_counter : snapshot -> string -> int
+
+(** {1 Prometheus exposition}
+
+    The whole registry in Prometheus text format 0.0.4: names are
+    sanitized ([factor.fsim.evals] → [factor_fsim_evals]), counters and
+    gauges one sample each, histograms as cumulative [_bucket{le=...}]
+    series plus [_sum]/[_count].  Served by the daemon's [metrics]
+    request. *)
+val dump_prometheus : unit -> string
+
 (** Zero every registered metric (tests and benchmark deltas). *)
 val reset : unit -> unit

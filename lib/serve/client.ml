@@ -1,0 +1,97 @@
+(** Blocking serve-protocol client; see the mli. *)
+
+exception Server_error of string * string
+
+type t = {
+  cl_fd : Unix.file_descr;
+  cl_ic : in_channel;
+  cl_oc : out_channel;
+  mutable cl_next_id : int;
+  (* responses read while waiting for a different id *)
+  cl_pending : (int, Obs.Json.t) Hashtbl.t;
+  mutable cl_last_metrics : Obs.Json.t option;
+}
+
+let sockaddr = function
+  | Server.Unix_path p -> Unix.ADDR_UNIX p
+  | Server.Tcp (host, port) ->
+    let host = if host = "" then "127.0.0.1" else host in
+    Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+let domain_of = function
+  | Server.Unix_path _ -> Unix.PF_UNIX
+  | Server.Tcp _ -> Unix.PF_INET
+
+let connect addr =
+  let fd = Unix.socket ~cloexec:true (domain_of addr) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (sockaddr addr) with
+   | e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { cl_fd = fd;
+    cl_ic = Unix.in_channel_of_descr fd;
+    cl_oc = Unix.out_channel_of_descr fd;
+    cl_next_id = 1;
+    cl_pending = Hashtbl.create 4;
+    cl_last_metrics = None }
+
+let connect_retry ?(attempts = 50) ?(delay = 0.1) addr =
+  let rec go n =
+    match connect addr with
+    | t -> t
+    | exception Unix.Unix_error _ when n > 1 ->
+      Unix.sleepf delay;
+      go (n - 1)
+  in
+  go (max 1 attempts)
+
+let close t =
+  (* closing the channel closes the shared fd *)
+  try close_out_noerr t.cl_oc; close_in_noerr t.cl_ic with _ -> ()
+
+let read_response t =
+  let j = Obs.Json.of_string (Proto.input_frame t.cl_ic) in
+  let id =
+    match Option.bind (Obs.Json.member "id" j) Obs.Json.to_int_opt with
+    | Some id -> id
+    | None -> raise (Proto.Proto_error "response: missing id")
+  in
+  (id, j)
+
+let unpack t j =
+  t.cl_last_metrics <- Obs.Json.member "metrics" j;
+  match Option.bind (Obs.Json.member "ok" j) Obs.Json.to_bool_opt with
+  | Some true ->
+    Option.value (Obs.Json.member "result" j) ~default:Obs.Json.Null
+  | _ ->
+    let err = Option.value (Obs.Json.member "error" j) ~default:Obs.Json.Null in
+    let field name =
+      Option.value ~default:""
+        (Option.bind (Obs.Json.member name err) Obs.Json.to_string_opt)
+    in
+    raise (Server_error (field "stage", field "msg"))
+
+let rpc t ~op ~params =
+  let id = t.cl_next_id in
+  t.cl_next_id <- id + 1;
+  let rq =
+    { Proto.rq_id = id; rq_op = op; rq_params = Obs.Json.Obj params }
+  in
+  output_string t.cl_oc (Proto.encode_request rq);
+  flush t.cl_oc;
+  let rec wait () =
+    match Hashtbl.find_opt t.cl_pending id with
+    | Some j ->
+      Hashtbl.remove t.cl_pending id;
+      unpack t j
+    | None ->
+      let (rid, j) = read_response t in
+      if rid = id then unpack t j
+      else begin
+        Hashtbl.replace t.cl_pending rid j;
+        wait ()
+      end
+  in
+  wait ()
+
+let last_metrics t = t.cl_last_metrics

@@ -1,0 +1,34 @@
+(** Blocking client for the serve daemon.
+
+    One connection, synchronous RPC: {!rpc} sends a request and reads
+    frames until the response with the matching id arrives; responses
+    for other outstanding ids (none, unless the caller interleaves ids
+    manually) are stashed and returned when asked for. *)
+
+type t
+
+(** @raise Unix.Unix_error when the daemon is not reachable. *)
+val connect : Server.addr -> t
+
+(** [connect_retry ?attempts ?delay addr] retries [connect] while the
+    daemon is still booting ([attempts] × [delay] seconds, default
+    50 × 0.1).
+    @raise Unix.Unix_error when every attempt fails. *)
+val connect_retry : ?attempts:int -> ?delay:float -> Server.addr -> t
+
+val close : t -> unit
+
+(** Raised when the daemon answers [ok: false]; carries (stage, msg)
+    from the error object. *)
+exception Server_error of string * string
+
+(** [rpc t ~op ~params] performs one round trip and returns the
+    response's [result] object.  The per-request metrics delta, when
+    present, is available via {!last_metrics}.
+    @raise Server_error on an [ok: false] response.
+    @raise Proto.Proto_error on a malformed response.
+    @raise End_of_file when the daemon closed the connection. *)
+val rpc : t -> op:string -> params:(string * Obs.Json.t) list -> Obs.Json.t
+
+(** Metrics delta attached to the most recent {!rpc} response. *)
+val last_metrics : t -> Obs.Json.t option

@@ -1,0 +1,37 @@
+(** The daemon's request handlers — the socket layer stripped away, so
+    tests and benchmarks drive them in-process.
+
+    Every design-bearing op resolves its design through the shared
+    {!Cache}, accepts the same parameters, and renders its results
+    through {!Render}, so a warm daemon answer is byte-identical to the
+    deterministic part of the corresponding one-shot CLI output.
+
+    Common design parameters (for [ec], nested under ["a"]/["b"]):
+    - ["design"]: a bundled name — ["@arm"] or a corpus name like
+      ["@gcd"] — or
+    - ["source"]: Verilog text, with optional ["top"] (default: the last
+      module in the file).
+
+    Ops: ["ping"], ["metrics"] (Prometheus text), ["extract"] (["mut"],
+    ["mode"], optional ["emit_verilog"]), ["atpg"] (["mut"], ["budget"],
+    ["fault_budget"], ["frames"], ["piers"], ["engine"], ["seed"]),
+    ["grade"] (["vectors"] as vector-file text, ["mut"], ["piers"]),
+    ["ec"] (["a"], ["b"], ["conflict_limit"]).  Every op also accepts
+    ["budget_s"], a wall-clock bound for the whole request.
+
+    {!handle} raises on failure — {!Factor.Errors.Error},
+    {!Engine.Budget.Exhausted}, {!Proto.Proto_error},
+    {!Engine.Chaos.Injected} — and the server maps the exception to an
+    error response for that request only. *)
+
+type ctx
+
+(** [make_ctx ?store ?default_budget ()] — [default_budget] (seconds)
+    bounds requests that do not carry their own ["budget_s"]. *)
+val make_ctx : ?store:Store.t -> ?default_budget:float -> unit -> ctx
+
+val cache : ctx -> Cache.t
+
+(** Dispatch one request to its handler and return the [result] object
+    of the response. *)
+val handle : ctx -> Proto.request -> Obs.Json.t

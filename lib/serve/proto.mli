@@ -1,0 +1,70 @@
+(** Wire protocol of the FACTOR daemon: length-prefixed JSON frames over
+    a Unix-domain or TCP stream socket.
+
+    Framing: every message — request or response — travels as
+
+    {v <payload length in decimal ASCII>\n<payload bytes>\n v}
+
+    where the payload is one compact JSON value.  The prefix makes
+    message boundaries independent of the JSON contents, and the
+    trailing newline keeps a captured stream greppable.
+
+    Requests: [{"id": n, "op": "...", "params": {...}}].  [id] is chosen
+    by the client and echoed in the response; responses may arrive out
+    of request order (jobs run concurrently on the pool), so clients
+    match on it.  Responses: [{"id": n, "ok": true, "result": {...},
+    "metrics": {...}}] on success — [metrics] is the per-request
+    {!Obs.Metrics} delta — or [{"id": n, "ok": false, "error":
+    {"stage": "...", "msg": "..."}}] on failure, with [stage] from the
+    {!Factor.Errors} taxonomy. *)
+
+exception Proto_error of string
+
+type request = {
+  rq_id : int;
+  rq_op : string;
+  rq_params : Obs.Json.t;  (** an object, or [Null] when omitted *)
+}
+
+(** Encode a request as a framed message (prefix + payload + newline). *)
+val encode_request : request -> string
+
+(** Decode one request payload.
+    @raise Proto_error on missing/ill-typed fields. *)
+val request_of_json : Obs.Json.t -> request
+
+(** [ok_frame ~id ?metrics result] is a framed success response. *)
+val ok_frame : id:int -> ?metrics:Obs.Json.t -> Obs.Json.t -> string
+
+(** [error_frame ~id ~stage ~msg] is a framed failure response. *)
+val error_frame : id:int -> stage:string -> msg:string -> string
+
+(** Frame one already-rendered payload. *)
+val frame : string -> string
+
+(** {1 Incremental frame reader}
+
+    Feed raw bytes as they arrive; complete frames pop out.  Used by the
+    server's non-blocking event loop (the blocking client reads frames
+    directly off a channel instead). *)
+
+type reader
+
+val create_reader : unit -> reader
+
+(** Append [len] bytes of [b] (from offset 0). *)
+val feed : reader -> bytes -> int -> unit
+
+(** Pop the next complete frame payload, if one is buffered.
+    @raise Proto_error on a malformed length prefix, a missing frame
+    terminator, or a frame larger than the sanity cap. *)
+val next_frame : reader -> string option
+
+(** {1 Blocking channel I/O} *)
+
+(** Read one frame payload from a channel.
+    @raise End_of_file on a cleanly closed stream.
+    @raise Proto_error on malformed framing. *)
+val input_frame : in_channel -> string
+
+val output_frame : out_channel -> string -> unit

@@ -1,0 +1,39 @@
+(** Deterministic result lines shared by the CLI and the daemon; see the
+    mli for the byte-identity contract. *)
+
+let atpg_counts (r : Atpg.Gen.result) =
+  Printf.sprintf
+    "faults %d | detected %d | untestable %d | aborted %d | budget-skipped %d"
+    r.Atpg.Gen.r_total r.Atpg.Gen.r_detected r.Atpg.Gen.r_untestable
+    r.Atpg.Gen.r_aborted r.Atpg.Gen.r_budget_skipped
+
+let atpg_quality (r : Atpg.Gen.result) =
+  Printf.sprintf "coverage %.2f%% | effectiveness %.2f%% | %d vectors"
+    r.Atpg.Gen.r_coverage r.Atpg.Gen.r_effectiveness r.Atpg.Gen.r_vectors
+
+let extract_stats (stats : Factor.Compose.stats) =
+  Printf.sprintf "extraction: %d kept sites across %d modules, %d stage(s)"
+    (Factor.Slice.cardinal stats.Factor.Compose.cs_slice)
+    (List.length (Factor.Slice.modules stats.Factor.Compose.cs_slice))
+    stats.Factor.Compose.cs_stages
+
+let transform_line (tf : Factor.Transform.t) =
+  Printf.sprintf
+    "transformed module: %d MUT gates + %d surrounding gates, %d PI bits, %d PO bits"
+    tf.Factor.Transform.tf_mut_gates tf.Factor.Transform.tf_surrounding_gates
+    tf.Factor.Transform.tf_pi_bits tf.Factor.Transform.tf_po_bits
+
+let grade_line ~tests ~detected ~faults =
+  Printf.sprintf
+    "%d tests, %d vectors | %d / %d faults detected | coverage %.2f%%"
+    (List.length tests)
+    (Atpg.Pattern.total_vectors tests)
+    detected faults
+    (100.0 *. float_of_int detected /. float_of_int (max 1 faults))
+
+let ec_line v =
+  "equivalence: "
+  ^ (match v with
+     | Sat.Ec.Equal -> "equal"
+     | Sat.Ec.Differ out -> "differ on " ^ out
+     | Sat.Ec.Unknown -> "unknown")

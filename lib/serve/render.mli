@@ -1,0 +1,30 @@
+(** Canonical result lines shared by the one-shot CLI and the serve
+    daemon.
+
+    Byte-identity between a daemon response and the corresponding
+    one-shot run is part of the serve contract, so both front ends must
+    render results through the same functions — and those functions must
+    be deterministic: every line here is a pure function of the result
+    data, with wall-clock and CPU times deliberately excluded (the CLI
+    appends timing to its output separately). *)
+
+(** "faults N | detected N | untestable N | aborted N | budget-skipped N" *)
+val atpg_counts : Atpg.Gen.result -> string
+
+(** "coverage P% | effectiveness P% | N vectors" *)
+val atpg_quality : Atpg.Gen.result -> string
+
+(** "extraction: N kept sites across N modules, N stage(s)" *)
+val extract_stats : Factor.Compose.stats -> string
+
+(** "transformed module: N MUT gates + N surrounding gates, N PI bits,
+    N PO bits" *)
+val transform_line : Factor.Transform.t -> string
+
+(** "N tests, N vectors | D / F faults detected | coverage P%" *)
+val grade_line :
+  tests:Atpg.Pattern.test list -> detected:int -> faults:int -> string
+
+(** "equivalence: equal" / "equivalence: differ on <output>" /
+    "equivalence: unknown" *)
+val ec_line : Sat.Ec.verdict -> string

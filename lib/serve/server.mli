@@ -1,0 +1,47 @@
+(** The [factor serve] daemon: a select-based event loop accepting
+    framed JSON requests (see {!Proto}) over a Unix-domain or TCP
+    socket, dispatching jobs onto the shared {!Engine.Pool}, and
+    streaming responses back as they complete.
+
+    Concurrency model: one event-loop domain owns every socket.  A
+    decoded request becomes a pool task; the task's response is pushed
+    onto a mutex-guarded completion queue and a self-pipe byte wakes the
+    loop, which writes it out.  When the pool has a single slot (serial
+    [-j 1] runs), tasks would only execute inside [await] — which the
+    loop never calls — so requests are then handled inline instead.
+
+    Isolation: each request runs under its own {!Engine.Budget} token
+    and chaos seam; an exception (crash, budget expiry, injected fault)
+    is converted into an error response for that request only.
+
+    Shutdown is graceful on SIGTERM/SIGINT (under {!run}), on {!stop},
+    or on a ["shutdown"] request: the listener closes, pending responses
+    flush, and a Unix-domain socket path is unlinked. *)
+
+type addr =
+  | Unix_path of string        (** Unix-domain socket *)
+  | Tcp of string * int        (** host, port; host "" binds loopback *)
+
+type config = {
+  sc_addr : addr;
+  sc_store : string option;          (** on-disk cache directory *)
+  sc_default_budget : float option;  (** seconds per request without
+                                         an explicit [budget_s] *)
+}
+
+type t
+
+(** Bind and listen (synchronously — the socket is connectable on
+    return), then run the event loop on a fresh domain.  No signal
+    handlers are installed.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+val start : config -> t
+
+val addr : t -> addr
+
+(** Request shutdown and join the loop domain.  Idempotent. *)
+val stop : t -> unit
+
+(** Run the loop on the calling domain with SIGTERM/SIGINT handlers
+    installed; returns after a graceful shutdown. *)
+val run : config -> unit

@@ -1,0 +1,87 @@
+(** Flat-directory blob store with atomic writes and versioned Marshal
+    headers.  See the mli for the failure contract. *)
+
+type t = { st_dir : string }
+
+let dir t = t.st_dir
+
+(* Identifies both the store layout and the Marshal producer: entries
+   written by a different compiler build (whose Marshal format may
+   differ) must read as misses, not as garbage values. *)
+let magic = "FACTOR-STORE-1\n"
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    | Unix.Unix_error (e, _, _) ->
+      raise (Sys_error (path ^ ": " ^ Unix.error_message e))
+  end
+
+let open_ d =
+  mkdir_p d;
+  if not (Sys.is_directory d) then
+    raise (Sys_error (d ^ ": not a directory"));
+  { st_dir = d }
+
+let check_key key =
+  if key = "" then invalid_arg "Store: empty key";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> ()
+      | _ -> invalid_arg (Printf.sprintf "Store: unsafe key %S" key))
+    key
+
+let path t key =
+  check_key key;
+  Filename.concat t.st_dir key
+
+let put t ~key s =
+  let final = path t key in
+  let tmp =
+    Filename.temp_file ~temp_dir:t.st_dir ("." ^ key) ".tmp"
+  in
+  let ok =
+    try
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc s);
+      Sys.rename tmp final;
+      true
+    with e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+  in
+  ignore (ok : bool)
+
+let get t ~key =
+  let p = path t key in
+  match open_in_bin p with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try Some (really_input_string ic (in_channel_length ic)) with
+        | Sys_error _ | End_of_file -> None)
+
+let header = magic ^ Sys.ocaml_version ^ "\n"
+
+let put_value t ~key v =
+  put t ~key (header ^ Marshal.to_string v [])
+
+let get_value t ~key =
+  match get t ~key with
+  | None -> None
+  | Some s ->
+    let hl = String.length header in
+    if String.length s < hl || String.sub s 0 hl <> header then None
+    else (try Some (Marshal.from_string s hl) with _ -> None)
+
+let remove t ~key =
+  match Sys.remove (path t key) with
+  | () -> ()
+  | exception Sys_error _ -> ()

@@ -618,15 +618,20 @@ let parse_module st =
   { mod_name = name; mod_ports = ports;
     mod_items = params @ header_items @ body }
 
-(** [parse_design src] parses Verilog source text into a design.
+(** [parse_design ?guard src] parses Verilog source text into a design.
+    [guard] is invoked once per parsed module — a cancellation hook for
+    callers running the front end under a deadline (it raises to abort;
+    the parser itself imposes no policy and keeps its dependencies
+    free of the engine layer).
     @raise Error on syntax errors; @raise Lexer.Error on lexical errors. *)
-let parse_design src =
+let parse_design ?(guard = fun () -> ()) src =
   Obs.Span.with_ "parse"
     ~attrs:[ ("bytes", Obs.Json.Int (String.length src)) ]
   @@ fun () ->
   let toks = Array.of_list (Lexer.tokenize src) in
   let st = { toks; idx = 0 } in
   let rec go acc =
+    guard ();
     match current st with
     | Lexer.T_eof -> List.rev acc
     | _ -> go (parse_module st :: acc)

@@ -5,7 +5,9 @@
 exception Error of string * int * int
 (** message, line number, column (both 1-based) *)
 
-(** [parse_design src] parses Verilog source text into a design.
+(** [parse_design ?guard src] parses Verilog source text into a design.
+    [guard] is called once per parsed module; it may raise to abort a
+    budgeted parse (the default does nothing).
     @raise Error on syntax errors.
     @raise Lexer.Error on lexical errors. *)
-val parse_design : string -> Ast.design
+val parse_design : ?guard:(unit -> unit) -> string -> Ast.design

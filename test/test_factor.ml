@@ -46,7 +46,7 @@ let extract_demo granularity =
   let node = H.find_path tree "u_core.u_mut" in
   Factor.Extract.run ~ed:env.Factor.Compose.ed ~tree
     ~chains:env.Factor.Compose.chains ~stop:tree ~granularity ~node
-    ~sources:[ "a"; "b" ] ~props:[ "y" ]
+    ~sources:[ "a"; "b" ] ~props:[ "y" ] ()
 
 let extract_tests =
   [ test "source cone reaches chip pins" (fun () ->
@@ -84,7 +84,7 @@ let extract_tests =
         let r =
           Factor.Extract.run ~ed:env.Factor.Compose.ed ~tree
             ~chains:env.Factor.Compose.chains ~stop:tree
-            ~granularity:Factor.Extract.Fine ~node ~sources:[ "a" ] ~props:[]
+            ~granularity:Factor.Extract.Fine ~node ~sources:[ "a" ] ~props:[] ()
         in
         (match r.Factor.Extract.rs_dead_ends with
          | [ d ] ->
@@ -100,7 +100,7 @@ let extract_tests =
           Factor.Extract.run ~ed:env.Factor.Compose.ed ~tree
             ~chains:env.Factor.Compose.chains ~stop
             ~granularity:Factor.Extract.Fine ~node ~sources:[ "a"; "b" ]
-            ~props:[ "y" ]
+            ~props:[ "y" ] ()
         in
         check_bool "p and q boundary sources" true
           (Sset.equal r.Factor.Extract.rs_boundary_sources

@@ -1,0 +1,536 @@
+(** Tests for the serve subsystem: the framed JSON wire protocol, the
+    content-addressed store and two-level design cache (alias hash and
+    chain fingerprint), reset-free metrics snapshots, and a live daemon
+    driven end to end over a Unix socket — including budget expiry and
+    chaos isolation at the per-request seam. *)
+
+open Testutil
+module J = Obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* JSON parser (the protocol's substrate).                             *)
+(* ------------------------------------------------------------------ *)
+
+let json_roundtrip () =
+  let v =
+    J.Obj
+      [ ("id", J.Int 7);
+        ("neg", J.Int (-3));
+        ("f", J.Float 1.5);
+        ("s", J.String "a\"b\\c\nd\twith \xe2\x82\xac utf8");
+        ("t", J.Bool true);
+        ("n", J.Null);
+        ("l", J.List [ J.Int 1; J.Float 2.25; J.String "" ]) ]
+  in
+  check_bool "to_string . of_string is the identity" true
+    (J.of_string (J.to_string v) = v);
+  (* ints without fraction/exponent decode as Int, others as Float *)
+  check_bool "42 is Int" true (J.of_string "42" = J.Int 42);
+  check_bool "42.0 is Float" true (J.of_string "42.0" = J.Float 42.0);
+  check_bool "4e2 is Float" true (J.of_string "4e2" = J.Float 400.0);
+  check_bool "unicode escape decodes to utf8" true
+    (J.of_string {|"€"|} = J.String "\xe2\x82\xac");
+  let fails s =
+    match J.of_string s with
+    | exception J.Parse_error _ -> true
+    | _ -> false
+  in
+  check_bool "trailing bytes rejected" true (fails "1 2");
+  check_bool "truncated object rejected" true (fails {|{"a": 1|});
+  check_bool "bare word rejected" true (fails "pong")
+
+(* ------------------------------------------------------------------ *)
+(* Metrics snapshots and the Prometheus dump.                          *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_snapshot_diff () =
+  let c = Obs.Metrics.counter "test.serve.snap_counter" in
+  let h = Obs.Metrics.histogram "test.serve.snap_hist" in
+  let untouched = Obs.Metrics.counter "test.serve.snap_untouched" in
+  Obs.Metrics.incr untouched;
+  let before = Obs.Metrics.snapshot () in
+  Obs.Metrics.add c 5;
+  Obs.Metrics.observe h 0.25;
+  Obs.Metrics.observe h 0.75;
+  let after = Obs.Metrics.snapshot () in
+  let d = Obs.Metrics.diff before after in
+  (match J.member "test.serve.snap_counter" d with
+   | Some (J.Int 5) -> ()
+   | _ -> Alcotest.fail "counter delta should be 5");
+  check_bool "histogram delta present" true
+    (J.member "test.serve.snap_hist" d <> None);
+  check_bool "unmoved metrics are dropped from the diff" true
+    (J.member "test.serve.snap_untouched" d = None);
+  check_int "snapshot_counter reads inside a snapshot" 5
+    (Obs.Metrics.snapshot_counter after "test.serve.snap_counter"
+     - Obs.Metrics.snapshot_counter before "test.serve.snap_counter");
+  (* live registry is untouched by snapshotting: a second diff of two
+     fresh snapshots with no activity is empty for our cells *)
+  let s1 = Obs.Metrics.snapshot () in
+  let s2 = Obs.Metrics.snapshot () in
+  check_bool "idle diff has no counter delta" true
+    (J.member "test.serve.snap_counter" (Obs.Metrics.diff s1 s2) = None)
+
+let metrics_prometheus () =
+  let c = Obs.Metrics.counter "test.serve.promo-dash" in
+  Obs.Metrics.incr c;
+  let dump = Obs.Metrics.dump_prometheus () in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "names sanitized to [a-z0-9_]" true
+    (contains dump "test_serve_promo_dash")
+
+(* ------------------------------------------------------------------ *)
+(* Framing.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let proto_framing () =
+  let rq =
+    { Serve.Proto.rq_id = 3; rq_op = "atpg";
+      rq_params = J.Obj [ ("design", J.String "@arbiter") ] }
+  in
+  let wire = Serve.Proto.encode_request rq in
+  (* feed the encoded frame one byte at a time; exactly one frame pops *)
+  let r = Serve.Proto.create_reader () in
+  let popped = ref [] in
+  String.iter
+    (fun ch ->
+      Serve.Proto.feed r (Bytes.make 1 ch) 1;
+      match Serve.Proto.next_frame r with
+      | Some p -> popped := p :: !popped
+      | None -> ())
+    wire;
+  (match !popped with
+   | [ payload ] ->
+     let rq' = Serve.Proto.request_of_json (J.of_string payload) in
+     check_int "id survives" 3 rq'.Serve.Proto.rq_id;
+     check_string "op survives" "atpg" rq'.Serve.Proto.rq_op
+   | l -> Alcotest.failf "expected 1 frame, got %d" (List.length l));
+  (* two frames in one feed *)
+  let r = Serve.Proto.create_reader () in
+  let two = Serve.Proto.frame "{}" ^ Serve.Proto.frame "[1]" in
+  Serve.Proto.feed r (Bytes.of_string two) (String.length two);
+  check_bool "frame 1" true (Serve.Proto.next_frame r = Some "{}");
+  check_bool "frame 2" true (Serve.Proto.next_frame r = Some "[1]");
+  check_bool "drained" true (Serve.Proto.next_frame r = None);
+  (* malformed length prefix *)
+  let r = Serve.Proto.create_reader () in
+  Serve.Proto.feed r (Bytes.of_string "notanumber\n{}\n") 14;
+  check_bool "bad prefix raises" true
+    (match Serve.Proto.next_frame r with
+     | exception Serve.Proto.Proto_error _ -> true
+     | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Store.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let tmpdir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let store_roundtrip () =
+  let dir = tmpdir "factor-store" in
+  let s = Serve.Store.open_ dir in
+  Serve.Store.put s ~key:"k1" "hello";
+  check_bool "raw roundtrip" true (Serve.Store.get s ~key:"k1" = Some "hello");
+  check_bool "missing key is None" true (Serve.Store.get s ~key:"nope" = None);
+  Serve.Store.put_value s ~key:"v1" (1, "two", [ 3.0 ]);
+  check_bool "value roundtrip" true
+    (Serve.Store.get_value s ~key:"v1" = Some (1, "two", [ 3.0 ]));
+  (* corrupt entry: a truncated/garbage file is a miss, never an error *)
+  Serve.Store.put s ~key:"v2" "FACTOR-STORE-1\ngarbage";
+  check_bool "corrupt value is None" true
+    (match Serve.Store.get_value s ~key:"v2" with
+     | None -> true
+     | Some (_ : int) -> false);
+  Serve.Store.remove s ~key:"k1";
+  check_bool "removed key is None" true (Serve.Store.get s ~key:"k1" = None);
+  check_bool "unsafe key rejected" true
+    (match Serve.Store.put s ~key:"../evil" "x" with
+     | exception Invalid_argument _ -> true
+     | () -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fp_source =
+  {|
+  module leaf (input a, input b, output y);
+    assign y = a & b;
+  endmodule
+
+  module unused (input p, output q);
+    assign q = ~p;
+  endmodule
+
+  module fp_top (input a, input b, output y);
+    leaf u_leaf (.a(a), .b(b), .y(y));
+  endmodule
+  |}
+
+let replace ~sub ~by s =
+  let sl = String.length sub and l = String.length s in
+  let b = Buffer.create l in
+  let i = ref 0 in
+  while !i < l do
+    if !i + sl <= l && String.sub s !i sl = sub then begin
+      Buffer.add_string b by;
+      i := !i + sl
+    end else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let design_fp src = Factor.Compose.design_fingerprint (parse src) ~top:"fp_top"
+
+let fingerprint_invariance () =
+  let base = design_fp fp_source in
+  let ws = fp_source ^ "\n\n  // a trailing comment\n" in
+  check_bool "whitespace/comment edit changes the alias hash" true
+    (Factor.Compose.source_fingerprint ~source:fp_source ~top:"fp_top"
+     <> Factor.Compose.source_fingerprint ~source:ws ~top:"fp_top");
+  check_string "whitespace/comment edit keeps the chain fingerprint"
+    base (design_fp ws);
+  check_string "edit to an unreachable module keeps the chain fingerprint"
+    base
+    (design_fp (replace ~sub:"q = ~p" ~by:"q = p" fp_source));
+  check_bool "semantic edit to a reachable module changes it" true
+    (base <> design_fp (replace ~sub:"a & b" ~by:"a | b" fp_source));
+  check_bool "a different top is a different identity" true
+    (Factor.Compose.design_fingerprint (parse fp_source) ~top:"leaf" <> base)
+
+(* ------------------------------------------------------------------ *)
+(* Cache: cold -> warm-mem -> (restart) -> warm-disk, bit-identical.   *)
+(* ------------------------------------------------------------------ *)
+
+let gcd_source = Circuits.Collection.gcd.Circuits.Collection.e_source
+let gcd_top = Circuits.Collection.gcd.Circuits.Collection.e_top
+
+let transform_lines entry =
+  let ((tf, stats), hit) =
+    Serve.Cache.transform entry ~budget:Engine.Budget.none
+      ~mut:"u_core.u_ctrl" ~mode:"compositional"
+  in
+  ((Serve.Render.extract_stats stats, Serve.Render.transform_line tf), hit)
+
+let cache_outcomes () =
+  let dir = tmpdir "factor-cache" in
+  let none = Engine.Budget.none in
+  let t = Serve.Cache.create ~store:(Serve.Store.open_ dir) () in
+  let (e1, o1) =
+    Serve.Cache.find_or_build t ~budget:none ~source:gcd_source
+      ~top:(Some gcd_top)
+  in
+  check_bool "first lookup is cold" true (o1 = Serve.Cache.Cold);
+  let (_, o2) =
+    Serve.Cache.find_or_build t ~budget:none ~source:gcd_source
+      ~top:(Some gcd_top)
+  in
+  check_bool "repeat lookup is warm-mem" true (o2 = Serve.Cache.Warm_mem);
+  (* a whitespace edit misses the alias hash but lands on the same
+     chain fingerprint, so the entry (and its memos) are reused *)
+  let (e_ws, o_ws) =
+    Serve.Cache.find_or_build t ~budget:none
+      ~source:(gcd_source ^ "\n// warm\n") ~top:(Some gcd_top)
+  in
+  check_bool "whitespace variant is warm-mem via the chain fp" true
+    (o_ws = Serve.Cache.Warm_mem);
+  check_string "same fingerprint" (Serve.Cache.fingerprint e1)
+    (Serve.Cache.fingerprint e_ws);
+  check_int "one resident entry" 1 (Serve.Cache.resident t);
+  let (lines1, hit1) = transform_lines e1 in
+  check_bool "first transform is a miss" false hit1;
+  let (lines1', hit1') = transform_lines e1 in
+  check_bool "repeat transform is a hit" true hit1';
+  check_bool "hit returns the same lines" true (lines1 = lines1');
+  let c1 = Serve.Cache.circuit e1 in
+  (* restart: a fresh cache over the same store must warm-start from
+     disk and reproduce everything bit for bit *)
+  let t2 = Serve.Cache.create ~store:(Serve.Store.open_ dir) () in
+  let (e2, o3) =
+    Serve.Cache.find_or_build t2 ~budget:none ~source:gcd_source
+      ~top:(Some gcd_top)
+  in
+  check_bool "restarted lookup is warm-disk" true (o3 = Serve.Cache.Warm_disk);
+  check_string "fingerprint survives the restart"
+    (Serve.Cache.fingerprint e1) (Serve.Cache.fingerprint e2);
+  let (lines2, hit2) = transform_lines e2 in
+  check_bool "restored transform memo hits" true hit2;
+  check_bool "cold and warm-disk transforms are bit-identical" true
+    (lines1 = lines2);
+  check_bool "restored circuit is bit-identical" true
+    (c1 = Serve.Cache.circuit e2);
+  (* a cache with no store stays cold across instances but warm within *)
+  let t3 = Serve.Cache.create () in
+  let (_, o4) =
+    Serve.Cache.find_or_build t3 ~budget:none ~source:gcd_source
+      ~top:(Some gcd_top)
+  in
+  check_bool "storeless cache is cold" true (o4 = Serve.Cache.Cold)
+
+let cache_budget_expiry () =
+  let t = Serve.Cache.create () in
+  let dead = Engine.Budget.make ~deadline_in:0.0 () in
+  check_bool "expired budget kills a cold build" true
+    (match
+       Serve.Cache.find_or_build t ~budget:dead ~source:gcd_source
+         ~top:(Some gcd_top)
+     with
+     | exception Engine.Budget.Exhausted _ -> true
+     | _ -> false);
+  (* but a warm hit never needs the budget at all *)
+  let (_, o1) =
+    Serve.Cache.find_or_build t ~budget:Engine.Budget.none
+      ~source:gcd_source ~top:(Some gcd_top)
+  in
+  check_bool "cold build with a live budget" true (o1 = Serve.Cache.Cold);
+  let (_, o2) =
+    Serve.Cache.find_or_build t ~budget:dead ~source:gcd_source
+      ~top:(Some gcd_top)
+  in
+  check_bool "alias hit skips the guarded phases entirely" true
+    (o2 = Serve.Cache.Warm_mem)
+
+(* ------------------------------------------------------------------ *)
+(* End to end: a live daemon over a Unix socket.                       *)
+(* ------------------------------------------------------------------ *)
+
+let with_server ?store f =
+  let dir = tmpdir "factor-e2e" in
+  let sock = Filename.concat dir "factor.sock" in
+  let t =
+    Serve.Server.start
+      { Serve.Server.sc_addr = Serve.Server.Unix_path sock;
+        sc_store = store;
+        sc_default_budget = None }
+  in
+  Fun.protect
+    ~finally:(fun () -> Serve.Server.stop t)
+    (fun () ->
+      let cl = Serve.Client.connect_retry (Serve.Server.Unix_path sock) in
+      Fun.protect ~finally:(fun () -> Serve.Client.close cl) (fun () -> f cl))
+
+let jstr name j =
+  Option.value ~default:"" (Option.bind (J.member name j) J.to_string_opt)
+
+let jint name j =
+  Option.value ~default:(-1) (Option.bind (J.member name j) J.to_int_opt)
+
+(* the daemon's canonical atpg lines computed directly, serial and
+   parallel: what any byte-identical response must equal *)
+let arbiter_expected_lines jobs =
+  let src = Circuits.Collection.arbiter.Circuits.Collection.e_source in
+  let top = Circuits.Collection.arbiter.Circuits.Collection.e_top in
+  let c = circuit ~top src in
+  let faults = Atpg.Fault.collapse c (Atpg.Fault.all c) in
+  let cfg =
+    { Atpg.Gen.default_config with Atpg.Gen.g_total_budget = 60.0;
+      g_jobs = jobs }
+  in
+  let r = Atpg.Gen.run c cfg faults in
+  (Serve.Render.atpg_counts r, Serve.Render.atpg_quality r,
+   Atpg.Pattern.write_string ~pi_names:c.Netlist.pi_names r.Atpg.Gen.r_tests)
+
+let e2e_roundtrip () =
+  Engine.Pool.set_jobs 2;
+  let (counts, quality, vectors) = arbiter_expected_lines 1 in
+  let (counts4, quality4, vectors4) = arbiter_expected_lines 4 in
+  check_bool "direct -j 1 and -j 4 runs agree" true
+    ((counts, quality, vectors) = (counts4, quality4, vectors4));
+  with_server (fun cl ->
+      let pong = Serve.Client.rpc cl ~op:"ping" ~params:[] in
+      check_bool "ping answers pong" true
+        (J.member "pong" pong = Some (J.Bool true));
+      let params = [ ("design", J.String "@arbiter") ] in
+      let r1 = Serve.Client.rpc cl ~op:"atpg" ~params in
+      check_string "cold atpg counts match the direct run" counts
+        (jstr "counts" r1);
+      check_string "cold atpg quality matches" quality (jstr "quality" r1);
+      check_string "cold atpg vectors match" vectors (jstr "vectors" r1);
+      check_string "first request is cold" "cold" (jstr "cache" r1);
+      let r2 = Serve.Client.rpc cl ~op:"atpg" ~params in
+      check_string "warm repeat is warm-mem" "warm-mem" (jstr "cache" r2);
+      check_bool "warm response is bit-identical" true
+        ((jstr "counts" r2, jstr "quality" r2, jstr "vectors" r2)
+         = (counts, quality, vectors));
+      (* the per-request metrics delta must show the warm hit *)
+      (match Serve.Client.last_metrics cl with
+       | Some d ->
+         check_bool "delta counts a warm-mem hit" true
+           (jint "factor.serve.cache_warm_mem" d >= 1)
+       | None -> Alcotest.fail "response carried no metrics delta");
+      (* grade the generated vectors through the daemon *)
+      let g =
+        Serve.Client.rpc cl ~op:"grade"
+          ~params:(params @ [ ("vectors", J.String vectors) ])
+      in
+      check_bool "grading our own vectors detects faults" true
+        (jint "detected" g > 0);
+      check_bool "grade line is the canonical render" true
+        (jstr "line" g <> "");
+      (* extract through the constraint cache *)
+      let xp =
+        [ ("design", J.String "@gcd"); ("mut", J.String "u_core.u_ctrl") ]
+      in
+      let x1 = Serve.Client.rpc cl ~op:"extract" ~params:xp in
+      check_bool "extract is fresh" false
+        (match J.member "transform_cached" x1 with
+         | Some (J.Bool b) -> b
+         | _ -> true);
+      let x2 = Serve.Client.rpc cl ~op:"extract" ~params:xp in
+      check_bool "repeat extract hits the transform memo" true
+        (J.member "transform_cached" x2 = Some (J.Bool true));
+      check_bool "extract lines identical across hits" true
+        ((jstr "extraction" x1, jstr "transformed" x1)
+         = (jstr "extraction" x2, jstr "transformed" x2));
+      (* equivalence of a design against itself *)
+      let ec =
+        Serve.Client.rpc cl ~op:"ec"
+          ~params:
+            [ ("a", J.Obj [ ("design", J.String "@arbiter") ]);
+              ("b", J.Obj [ ("design", J.String "@arbiter") ]) ]
+      in
+      check_string "a design is equivalent to itself" "equal"
+        (jstr "verdict" ec))
+
+let e2e_errors_and_budget () =
+  with_server (fun cl ->
+      (* an unknown op is a proto error, not a dead connection *)
+      check_bool "unknown op answers an error response" true
+        (match Serve.Client.rpc cl ~op:"frobnicate" ~params:[] with
+         | exception Serve.Client.Server_error (stage, _) -> stage = "proto"
+         | _ -> false);
+      (* a dead budget on a cold design dies in the parse guard *)
+      check_bool "expired budget fails the request with stage parse" true
+        (match
+           Serve.Client.rpc cl ~op:"atpg"
+             ~params:
+               [ ("design", J.String "@traffic"); ("budget_s", J.Float 0.0) ]
+         with
+         | exception Serve.Client.Server_error (stage, msg) ->
+           stage = "parse"
+           && String.length msg >= 16
+           && String.sub msg 0 16 = "budget exhausted"
+         | _ -> false);
+      (* the failure degraded only itself: the same design works next *)
+      let r =
+        Serve.Client.rpc cl ~op:"atpg"
+          ~params:[ ("design", J.String "@traffic") ]
+      in
+      check_string "same design succeeds without the dead budget" "cold"
+        (jstr "cache" r);
+      (* a missing parameter reports proto, siblings still fine *)
+      check_bool "extract without mut is a proto error" true
+        (match
+           Serve.Client.rpc cl ~op:"extract"
+             ~params:[ ("design", J.String "@gcd") ]
+         with
+         | exception Serve.Client.Server_error ("proto", _) -> true
+         | _ -> false);
+      check_bool "connection still alive after errors" true
+        (J.member "pong" (Serve.Client.rpc cl ~op:"ping" ~params:[])
+         = Some (J.Bool true)))
+
+let e2e_warm_restart () =
+  let dir = tmpdir "factor-restart" in
+  let params = [ ("design", J.String "@fifo") ] in
+  let first =
+    with_server ~store:dir (fun cl ->
+        let r = Serve.Client.rpc cl ~op:"atpg" ~params in
+        check_string "fresh store starts cold" "cold" (jstr "cache" r);
+        (jstr "counts" r, jstr "quality" r, jstr "vectors" r))
+  in
+  with_server ~store:dir (fun cl ->
+      let r = Serve.Client.rpc cl ~op:"atpg" ~params in
+      check_string "restarted daemon warm-starts from disk" "warm-disk"
+        (jstr "cache" r);
+      check_bool "restarted response is bit-identical" true
+        (first = (jstr "counts" r, jstr "quality" r, jstr "vectors" r)))
+
+let e2e_shutdown_request () =
+  let dir = tmpdir "factor-shutdown" in
+  let sock = Filename.concat dir "factor.sock" in
+  let t =
+    Serve.Server.start
+      { Serve.Server.sc_addr = Serve.Server.Unix_path sock;
+        sc_store = None; sc_default_budget = None }
+  in
+  let cl = Serve.Client.connect_retry (Serve.Server.Unix_path sock) in
+  let r = Serve.Client.rpc cl ~op:"shutdown" ~params:[] in
+  check_bool "shutdown acknowledges before stopping" true
+    (J.member "stopping" r = Some (J.Bool true));
+  Serve.Client.close cl;
+  (* join the loop; stop is idempotent with the request-driven path *)
+  Serve.Server.stop t;
+  Serve.Server.stop t;
+  check_bool "socket file unlinked on shutdown" false (Sys.file_exists sock)
+
+let e2e_chaos_isolation () =
+  with_server (fun cl ->
+      let params = [ ("design", J.String "@arbiter") ] in
+      let before = Serve.Client.rpc cl ~op:"atpg" ~params in
+      (* kill exactly the atpg seam: every atpg request fails, every
+         other op keeps working on the same connection *)
+      Engine.Chaos.set ~seed:42 ~rate:1.0 ~mode:Engine.Chaos.Fail_only
+        ~prefix:"serve.request:atpg" ();
+      Fun.protect ~finally:Engine.Chaos.clear (fun () ->
+          check_bool "chaos kills the atpg request" true
+            (match Serve.Client.rpc cl ~op:"atpg" ~params with
+             | exception Serve.Client.Server_error _ -> true
+             | _ -> false);
+          check_bool "sibling op unaffected" true
+            (J.member "pong" (Serve.Client.rpc cl ~op:"ping" ~params:[])
+             = Some (J.Bool true));
+          let g =
+            Serve.Client.rpc cl ~op:"extract"
+              ~params:
+                [ ("design", J.String "@gcd");
+                  ("mut", J.String "u_core.u_ctrl") ]
+          in
+          check_bool "sibling extract unaffected" true
+            (jstr "extraction" g <> ""));
+      let after = Serve.Client.rpc cl ~op:"atpg" ~params in
+      check_bool "post-chaos response is bit-identical to pre-chaos" true
+        ((jstr "counts" before, jstr "quality" before, jstr "vectors" before)
+         = (jstr "counts" after, jstr "quality" after, jstr "vectors" after)))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "proto",
+        [
+          test "json roundtrip and parse errors" json_roundtrip;
+          test "framing, incremental reader" proto_framing;
+        ] );
+      ( "metrics",
+        [
+          test "snapshot/diff is reset-free" metrics_snapshot_diff;
+          test "prometheus dump sanitizes names" metrics_prometheus;
+        ] );
+      ( "store", [ test "roundtrip, corruption, unsafe keys" store_roundtrip ] );
+      ( "fingerprint",
+        [ test "alias vs chain invariance" fingerprint_invariance ] );
+      ( "cache",
+        [
+          test "cold, warm-mem, warm-disk, bit-identical" cache_outcomes;
+          test "budget guards cold builds only" cache_budget_expiry;
+        ] );
+      ( "daemon",
+        [
+          test "end-to-end roundtrip, byte-identical to direct runs"
+            e2e_roundtrip;
+          test "errors and budgets degrade one request" e2e_errors_and_budget;
+          test "store-backed warm restart" e2e_warm_restart;
+          test "shutdown request" e2e_shutdown_request;
+          test "chaos kills one op, siblings untouched" e2e_chaos_isolation;
+        ] );
+    ]
