@@ -1273,6 +1273,59 @@ let bench_chaos_smoke () =
      bit-identical (seed %d, %d jobs)\n"
     (List.length rows) !seed_ref jobs
 
+(* CI fuzz smoke: a fixed-seed differential campaign across every
+   check must come back clean and render byte-identically when re-run
+   (the determinism contract of [factor_cli fuzz]); then, with chaos
+   armed on the deliberate bug seam, the [Opt_ec] check must catch the
+   slipped gate substitution and shrink every reproducer under the
+   25-line bound. *)
+let bench_fuzz_smoke () =
+  let jobs = max 2 !jobs_ref in
+  Engine.Pool.set_jobs jobs;
+  let cfg = { Gen_rtl.Diff.default_config with dc_jobs = jobs } in
+  let r1 = Gen_rtl.Diff.campaign cfg ~base:0 ~count:6 in
+  if r1.Gen_rtl.Diff.rp_failures <> [] || r1.Gen_rtl.Diff.rp_crashes <> []
+  then begin
+    prerr_endline "fuzz smoke: clean campaign must have no disagreements";
+    prerr_endline (Gen_rtl.Diff.render r1);
+    exit 1
+  end;
+  let r2 = Gen_rtl.Diff.campaign cfg ~base:0 ~count:6 in
+  if Gen_rtl.Diff.render r1 <> Gen_rtl.Diff.render r2 then begin
+    prerr_endline "fuzz smoke: two identical campaigns rendered differently";
+    exit 1
+  end;
+  Engine.Chaos.set ~seed:1 ~rate:1.0 ~mode:Engine.Chaos.Fail_only
+    ~prefix:Gen_rtl.Diff.bug_seam ();
+  let seamed =
+    Fun.protect ~finally:Engine.Chaos.clear (fun () ->
+        Gen_rtl.Diff.campaign
+          { cfg with Gen_rtl.Diff.dc_checks = [ Gen_rtl.Diff.Opt_ec ] }
+          ~base:0 ~count:6)
+  in
+  if seamed.Gen_rtl.Diff.rp_failures = [] then begin
+    prerr_endline "fuzz smoke: armed bug seam was not caught";
+    exit 1
+  end;
+  List.iter
+    (fun (fl : Gen_rtl.Diff.failure) ->
+      if fl.Gen_rtl.Diff.fl_lines >= 25 then begin
+        Printf.eprintf
+          "fuzz smoke: seed %d reproducer is %d lines (bound 25)\n"
+          fl.Gen_rtl.Diff.fl_seed fl.Gen_rtl.Diff.fl_lines;
+        exit 1
+      end)
+    seamed.Gen_rtl.Diff.rp_failures;
+  Printf.printf
+    "fuzz smoke: 6 seeds x %d checks clean and deterministic; seam caught \
+     on %d seed(s), worst reproducer %d lines (%d jobs)\n"
+    (List.length cfg.Gen_rtl.Diff.dc_checks)
+    (List.length seamed.Gen_rtl.Diff.rp_failures)
+    (List.fold_left
+       (fun a (fl : Gen_rtl.Diff.failure) -> max a fl.Gen_rtl.Diff.fl_lines)
+       0 seamed.Gen_rtl.Diff.rp_failures)
+    jobs
+
 (* ------------------------------------------------------------------ *)
 (* serve: the persistent daemon, smoke-gated and latency-measured.     *)
 (* ------------------------------------------------------------------ *)
@@ -1290,6 +1343,7 @@ let with_daemon ?store f =
     Serve.Server.start
       { Serve.Server.sc_addr = Serve.Server.Unix_path sock;
         sc_store = store;
+        sc_max_resident = None;
         sc_default_budget = None }
   in
   Fun.protect
@@ -1575,6 +1629,7 @@ let () =
     | "par" -> bench_par ()
     | "par_smoke" -> bench_par_smoke ()
     | "chaos_smoke" -> bench_chaos_smoke ()
+    | "fuzz_smoke" -> bench_fuzz_smoke ()
     | "serve" -> bench_serve ()
     | "serve_smoke" -> bench_serve_smoke ()
     | "all" ->
@@ -1589,7 +1644,7 @@ let () =
       generality ()
     | other ->
       Printf.eprintf
-        "unknown target %S (expected table1..table6, testability, translate, generality, variance, ablations, micro, fsim, sat, sat_smoke, par, par_smoke, chaos_smoke, serve, serve_smoke, all)\n"
+        "unknown target %S (expected table1..table6, testability, translate, generality, variance, ablations, micro, fsim, sat, sat_smoke, par, par_smoke, chaos_smoke, fuzz_smoke, serve, serve_smoke, all)\n"
         other;
       exit 1
   in

@@ -640,6 +640,117 @@ let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc)
     Term.(const run $ obs_term $ jobs_arg $ fsim_arg $ budget_opt)
 
+(* ------------------------------ fuzz ------------------------------ *)
+
+let fuzz_cmd =
+  let seeds_arg =
+    let doc = "Number of seeds in the campaign." in
+    Arg.(value & opt int 50 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let base_arg =
+    let doc = "First seed; the campaign covers N .. N+seeds-1." in
+    Arg.(value & opt int 0 & info [ "seed-base" ] ~docv:"N" ~doc)
+  in
+  let corpus_arg =
+    let doc = "Write shrunk reproducers (with replay headers) into $(docv)." in
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR" ~doc)
+  in
+  let max_faults_arg =
+    let doc = "Collapsed-fault cap per seed for the PODEM-vs-SAT check." in
+    Arg.(value & opt int 24 & info [ "max-faults" ] ~docv:"N" ~doc)
+  in
+  let fsim_tests_arg =
+    let doc = "Random tests per seed for the fsim engine cross-check." in
+    Arg.(value & opt int 16 & info [ "fsim-tests" ] ~docv:"N" ~doc)
+  in
+  let seed_budget_arg =
+    let doc =
+      "Wall-clock budget in seconds per seed; a seed that exceeds it is \
+       reported as a crash with its replay line, and never as a \
+       disagreement.  Seeds run concurrently, so keep this well above \
+       the expected per-seed time or canonicity suffers under \
+       contention."
+    in
+    Arg.(value & opt float 300.0 & info [ "seed-budget" ] ~docv:"SECONDS" ~doc)
+  in
+  let checks_arg =
+    let doc =
+      "Comma-separated subset of checks to run (roundtrip, opt_ec, \
+       mutate_ec, podem_sat, fsim_engines, extract_modes, jobs; default \
+       all)."
+    in
+    Arg.(value & opt (some string) None & info [ "checks" ] ~docv:"LIST" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the campaign summary JSON to $(docv)." in
+    Arg.(value & opt string "BENCH_fuzz.json"
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let parse_checks = function
+    | None -> Gen_rtl.Diff.all_checks
+    | Some spec ->
+      String.split_on_char ',' spec
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun name ->
+             match
+               List.find_opt
+                 (fun c -> Gen_rtl.Diff.check_name c = name)
+                 Gen_rtl.Diff.all_checks
+             with
+             | Some c -> c
+             | None ->
+               Printf.eprintf "unknown check %S (have: %s)\n" name
+                 (String.concat ", "
+                    (List.map Gen_rtl.Diff.check_name Gen_rtl.Diff.all_checks));
+               exit 1)
+  in
+  let run () seeds base corpus max_faults fsim_tests seed_budget checks jobs
+      out =
+    handle_errors (fun () ->
+        Obs.Span.with_ "cli.fuzz" @@ fun () ->
+        let jobs = apply_jobs jobs in
+        let cfg =
+          { Gen_rtl.Diff.default_config with
+            dc_checks = parse_checks checks;
+            dc_max_faults = max_faults;
+            dc_fsim_tests = fsim_tests;
+            dc_seed_budget = seed_budget;
+            dc_jobs = max 2 jobs }
+        in
+        let report = Gen_rtl.Diff.campaign ?corpus cfg ~base ~count:seeds in
+        (* the canonical part — identical for identical seed ranges *)
+        print_string (Gen_rtl.Diff.render report);
+        let nf = List.length report.Gen_rtl.Diff.rp_failures in
+        let nc = List.length report.Gen_rtl.Diff.rp_crashes in
+        Printf.printf "%.2f s wall (%d jobs)\n" report.Gen_rtl.Diff.rp_wall
+          jobs;
+        let oc = open_out out in
+        Printf.fprintf oc
+          "{\n  \"seed_base\": %d,\n  \"seeds\": %d,\n  \"checks\": [%s],\n  \
+           \"failures\": %d,\n  \"crashes\": %d,\n  \"wall_s\": %.4f,\n  \
+           \"jobs\": %d,\n  \"metrics\": %s\n}\n"
+          base seeds
+          (String.concat ", "
+             (List.map
+                (fun c -> Printf.sprintf "%S" (Gen_rtl.Diff.check_name c))
+                report.Gen_rtl.Diff.rp_checks))
+          nf nc report.Gen_rtl.Diff.rp_wall jobs
+          (Obs.Json.to_string (Obs.Metrics.dump ()));
+        close_out oc;
+        Obs.Log.progressf "wrote %s" out;
+        if nf > 0 || nc > 0 then exit 1)
+  in
+  let doc =
+    "Differential fuzzing: generate random hierarchical designs and \
+     cross-check the optimizer, the ATPG engines, the fault simulators, \
+     the SAT engine and both extraction flows against each other; \
+     failures are shrunk to minimal reproducers."
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ obs_term $ seeds_arg $ base_arg $ corpus_arg
+          $ max_faults_arg $ fsim_tests_arg $ seed_budget_arg $ checks_arg
+          $ jobs_arg $ out_arg)
+
 (* ------------------------------ serve ----------------------------- *)
 
 (* --socket PATH (the default transport) or --tcp HOST:PORT select the
@@ -686,7 +797,17 @@ let serve_cmd =
     Arg.(value & opt (some float) None
          & info [ "request-budget" ] ~docv:"SECONDS" ~doc)
   in
-  let run () socket tcp store budget jobs =
+  let max_resident_arg =
+    let doc =
+      "Bound the number of designs held resident in memory; past the \
+       bound the least-recently-used entry is evicted (and served from \
+       the on-disk store, when $(b,--store) is given, on its next \
+       request)."
+    in
+    Arg.(value & opt (some int) None
+         & info [ "max-resident" ] ~docv:"N" ~doc)
+  in
+  let run () socket tcp store max_resident budget jobs =
     handle_errors (fun () ->
         let jobs = apply_jobs jobs in
         let addr = addr_of ~socket ~tcp in
@@ -699,6 +820,7 @@ let serve_cmd =
         Serve.Server.run
           { Serve.Server.sc_addr = addr;
             sc_store = store;
+            sc_max_resident = max_resident;
             sc_default_budget = budget })
   in
   let doc =
@@ -707,7 +829,7 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ obs_term $ socket_arg $ tcp_arg $ store_arg
-          $ budget_arg $ jobs_arg)
+          $ max_resident_arg $ budget_arg $ jobs_arg)
 
 (* ----------------------------- client ----------------------------- *)
 
@@ -985,4 +1107,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ parse_cmd; synth_cmd; extract_cmd; atpg_cmd; sat_cmd; grade_cmd;
-            analyze_cmd; demo_cmd; serve_cmd; client_cmd ]))
+            analyze_cmd; demo_cmd; fuzz_cmd; serve_cmd; client_cmd ]))

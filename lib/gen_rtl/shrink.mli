@@ -1,0 +1,26 @@
+(** Greedy deterministic test-case shrinking for differential-check
+    failures: repeatedly try structure-removing edits (drop unreachable
+    modules, drop instances with their outputs tied to zero, drop
+    statements, unwrap if/case branches, zero assignment right-hand
+    sides, drop ports and unused declarations) and keep any edit after
+    which the failure still reproduces.
+
+    The candidate order is a pure function of the design, and every
+    accepted edit strictly shrinks the pretty-printed source, so
+    shrinking terminates and two runs over the same failure produce
+    byte-identical reproducers.  A predicate that raises (the candidate
+    no longer elaborates, a check crashes) counts as "does not
+    reproduce" and the edit is rejected. *)
+
+(** Pretty-printed source of a design. *)
+val render : Verilog.Ast.design -> string
+
+(** Size in source lines — the metric reports quote. *)
+val size : Verilog.Ast.design -> int
+
+(** [run ~fails d ~top] greedily minimizes [d] while [fails] keeps
+    holding.  [fails d] must already hold, else [d] is returned
+    unchanged.  Bounded at 1000 accepted edits. *)
+val run :
+  fails:(Verilog.Ast.design -> bool) -> Verilog.Ast.design -> top:string ->
+  Verilog.Ast.design

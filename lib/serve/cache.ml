@@ -43,17 +43,26 @@ type t = {
   c_alias : (string, string) Hashtbl.t;
   (* chain fingerprint -> resident entry *)
   c_entries : (string, entry) Hashtbl.t;
+  (* LRU bound on [c_entries]; [None] = unbounded *)
+  c_max : int option;
+  (* logical clock + fingerprint -> last-use stamp, under [c_lock] *)
+  mutable c_clock : int;
+  c_stamp : (string, int) Hashtbl.t;
 }
 
 let m_cold = Obs.Metrics.counter "factor.serve.cache_cold"
 let m_warm_mem = Obs.Metrics.counter "factor.serve.cache_warm_mem"
 let m_warm_disk = Obs.Metrics.counter "factor.serve.cache_warm_disk"
+let m_evicted = Obs.Metrics.counter "factor.serve.cache_evicted"
 
-let create ?store () =
+let create ?store ?max_resident () =
   { c_store = store;
     c_lock = Mutex.create ();
     c_alias = Hashtbl.create 16;
-    c_entries = Hashtbl.create 16 }
+    c_entries = Hashtbl.create 16;
+    c_max = Option.map (max 1) max_resident;
+    c_clock = 0;
+    c_stamp = Hashtbl.create 16 }
 
 let fingerprint e = e.e_fp
 let top e = e.e_top
@@ -66,7 +75,48 @@ let resident t =
 let clear_resident t =
   Mutex.protect t.c_lock @@ fun () ->
   Hashtbl.reset t.c_entries;
-  Hashtbl.reset t.c_alias
+  Hashtbl.reset t.c_alias;
+  Hashtbl.reset t.c_stamp
+
+(* Call with [c_lock] held. *)
+let touch t fp =
+  t.c_clock <- t.c_clock + 1;
+  Hashtbl.replace t.c_stamp fp t.c_clock
+
+(* Call with [c_lock] held.  Eviction only forgets the resident image:
+   the on-disk blob and alias edges survive, so a re-request of an
+   evicted design comes back [Warm_disk] (or rebuilds cold without a
+   store) through the ordinary miss path. *)
+let evict_over_cap t =
+  match t.c_max with
+  | None -> ()
+  | Some cap ->
+    while Hashtbl.length t.c_entries > cap do
+      let victim =
+        Hashtbl.fold
+          (fun fp _ acc ->
+            let stamp =
+              Option.value (Hashtbl.find_opt t.c_stamp fp)
+                ~default:min_int
+            in
+            match acc with
+            | Some (_, best) when best <= stamp -> acc
+            | _ -> Some (fp, stamp))
+          t.c_entries None
+      in
+      match victim with
+      | None -> ()
+      | Some (fp, _) ->
+        Hashtbl.remove t.c_entries fp;
+        Hashtbl.remove t.c_stamp fp;
+        let aliases =
+          Hashtbl.fold
+            (fun a fp' acc -> if fp' = fp then a :: acc else acc)
+            t.c_alias []
+        in
+        List.iter (Hashtbl.remove t.c_alias) aliases;
+        Obs.Metrics.incr m_evicted
+    done
 
 (* ------------------------------------------------------------------ *)
 (* Persistence.                                                        *)
@@ -140,6 +190,8 @@ let resolve_top (design : Verilog.Ast.design) = function
 let install t ~alias entry =
   Hashtbl.replace t.c_entries entry.e_fp entry;
   Hashtbl.replace t.c_alias alias entry.e_fp;
+  touch t entry.e_fp;
+  evict_over_cap t;
   persist_alias t ~alias ~fp:entry.e_fp
 
 (* The cache lock covers the index lookups and installs only; parsing,
@@ -155,7 +207,10 @@ let find_or_build t ~budget ~source ~top =
   let resident_hit =
     Mutex.protect t.c_lock @@ fun () ->
     match Hashtbl.find_opt t.c_alias alias with
-    | Some fp -> Hashtbl.find_opt t.c_entries fp
+    | Some fp ->
+      let hit = Hashtbl.find_opt t.c_entries fp in
+      if hit <> None then touch t fp;
+      hit
     | None -> None
   in
   match resident_hit with
@@ -176,7 +231,8 @@ let find_or_build t ~budget ~source ~top =
       with
       | Some e ->
         Mutex.protect t.c_lock (fun () ->
-            Hashtbl.replace t.c_alias alias fp);
+            Hashtbl.replace t.c_alias alias fp;
+            touch t fp);
         persist_alias t ~alias ~fp;
         Obs.Metrics.incr m_warm_mem;
         Some (e, Warm_mem)

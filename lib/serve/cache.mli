@@ -34,7 +34,13 @@ val outcome_to_string : outcome -> string
 (** One resident design. *)
 type entry
 
-val create : ?store:Store.t -> unit -> t
+(** [max_resident] bounds the number of resident entries (clamped to at
+    least 1): installing past the bound evicts the least-recently-used
+    entries together with their resident alias edges.  Eviction never
+    touches the store — with one attached, a re-request of an evicted
+    design warm-starts from disk; without one it rebuilds cold.
+    Evictions are counted in [factor.serve.cache_evicted]. *)
+val create : ?store:Store.t -> ?max_resident:int -> unit -> t
 
 (** [find_or_build t ~budget ~source ~top] resolves [source] to a
     resident entry.  [top] is the requested top module ([None] = the

@@ -8,8 +8,9 @@ type ctx = {
   oc_default_budget : float option;
 }
 
-let make_ctx ?store ?default_budget () =
-  { oc_cache = Cache.create ?store (); oc_default_budget = default_budget }
+let make_ctx ?store ?max_resident ?default_budget () =
+  { oc_cache = Cache.create ?store ?max_resident ();
+    oc_default_budget = default_budget }
 
 let cache ctx = ctx.oc_cache
 

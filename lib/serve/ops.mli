@@ -26,9 +26,12 @@
 
 type ctx
 
-(** [make_ctx ?store ?default_budget ()] — [default_budget] (seconds)
-    bounds requests that do not carry their own ["budget_s"]. *)
-val make_ctx : ?store:Store.t -> ?default_budget:float -> unit -> ctx
+(** [make_ctx ?store ?max_resident ?default_budget ()] —
+    [default_budget] (seconds) bounds requests that do not carry their
+    own ["budget_s"]; [max_resident] bounds the resident cache (see
+    {!Cache.create}). *)
+val make_ctx :
+  ?store:Store.t -> ?max_resident:int -> ?default_budget:float -> unit -> ctx
 
 val cache : ctx -> Cache.t
 

@@ -8,6 +8,7 @@ type addr =
 type config = {
   sc_addr : addr;
   sc_store : string option;
+  sc_max_resident : int option;
   sc_default_budget : float option;
 }
 
@@ -313,7 +314,10 @@ let bind_listen = function
 
 let make_state cfg =
   let store = Option.map Store.open_ cfg.sc_store in
-  let ctx = Ops.make_ctx ?store ?default_budget:cfg.sc_default_budget () in
+  let ctx =
+    Ops.make_ctx ?store ?max_resident:cfg.sc_max_resident
+      ?default_budget:cfg.sc_default_budget ()
+  in
   let listen = bind_listen cfg.sc_addr in
   let (wake_r, wake_w) = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock wake_r;

@@ -25,6 +25,7 @@ type addr =
 type config = {
   sc_addr : addr;
   sc_store : string option;          (** on-disk cache directory *)
+  sc_max_resident : int option;      (** LRU bound on resident designs *)
   sc_default_budget : float option;  (** seconds per request without
                                          an explicit [budget_s] *)
 }

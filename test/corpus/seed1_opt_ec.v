@@ -1,0 +1,29 @@
+// gen_rtl differential reproducer (shrunk)
+// check:  opt_ec
+// detail: optimized rebuild differs: osum
+// top:    top
+// replay: FACTOR_SEED=1 FACTOR_CHAOS=1:1.0:fail:gen_rtl.seam FACTOR_JOBS=unset
+module leaf1 (in2, o2);
+  input [1:0] in2;
+  output [2:0] o2;
+  wire [2:0] w2;
+  assign w2 = (!in2);
+  assign o2 = w2;
+endmodule
+
+module mid1_0 (osum);
+  output osum;
+  wire [1:0] c0_in2;
+  wire [2:0] c0_o2;
+  leaf1 u0 (.in2(c0_in2), .o2(c0_o2));
+  assign osum = c0_o2;
+endmodule
+
+module top (osum);
+  output osum;
+  wire c0_out0;
+  wire c1_osum;
+  mid1_0 u1 (.osum(c1_osum));
+  assign osum = (c0_out0 ^ c1_osum);
+endmodule
+

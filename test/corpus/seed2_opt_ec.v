@@ -1,0 +1,11 @@
+// gen_rtl differential reproducer (shrunk)
+// check:  opt_ec
+// detail: optimized rebuild differs: next-state u0.u0.r0[0]
+// top:    top
+// replay: FACTOR_SEED=2 FACTOR_CHAOS=1:1.0:fail:gen_rtl.seam FACTOR_JOBS=unset
+module top (out1);
+  output [1:0] out1;
+  wire [7:0] c0_out0;
+  assign out1 = (2'd2 > c0_out0[2:0]);
+endmodule
+

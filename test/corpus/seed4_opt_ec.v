@@ -1,0 +1,12 @@
+// gen_rtl differential reproducer (shrunk)
+// check:  opt_ec
+// detail: optimized rebuild differs: out0[0]
+// top:    top
+// replay: FACTOR_SEED=4 FACTOR_CHAOS=1:1.0:fail:gen_rtl.seam FACTOR_JOBS=unset
+module top (in1, out1);
+  input [4:0] in1;
+  output out1;
+  wire c1_osum;
+  assign out1 = (in1 != c1_osum);
+endmodule
+

@@ -1,0 +1,12 @@
+// gen_rtl differential reproducer (shrunk)
+// check:  opt_ec
+// detail: optimized rebuild differs: out0[0]
+// top:    top
+// replay: FACTOR_SEED=5 FACTOR_CHAOS=1:1.0:fail:gen_rtl.seam FACTOR_JOBS=unset
+module top (in1, out0);
+  input [4:0] in1;
+  output [2:0] out0;
+  wire c0_osum;
+  assign out0 = (in1 || c0_osum);
+endmodule
+

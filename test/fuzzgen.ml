@@ -1,89 +1,13 @@
 (** Random well-formed RTL modules for differential fuzzing, shared by
-    the fuzz suites: a layered expression generator (acyclic by
-    construction), a full sequential module generator (wires, clocked
-    registers, a register array, a combinational always block) and a
-    purely combinational variant, plus the parse→flatten→lower build
-    helper and deterministic per-module stimulus. *)
+    the fuzz suites.  The generator itself lives in {!Gen_rtl.Gen} —
+    this module is a thin QCheck adapter that keeps the historical test
+    API: [gen_module]/[gen_comb_module] draw one flat module,
+    [gen_arbitrary]/[gen_comb_arbitrary] wrap them for property tests,
+    [stimulus] derives deterministic per-module input frames, and
+    [build] runs parse -> elaborate -> flatten -> lower. *)
 
 open Testutil
 module G = QCheck.Gen
-
-(* A generated module is built in layers so it is acyclic by
-   construction: every expression only mentions signals from earlier
-   layers (inputs, then wires in order, then registers, which may be
-   read anywhere). *)
-
-type genv = {
-  g_avail : (string * int) list;  (* signals readable at this point *)
-  g_depth : int;
-}
-
-let gen_const width =
-  G.map
-    (fun v -> Printf.sprintf "%d'd%d" width (v land ((1 lsl width) - 1)))
-    (G.int_bound ((1 lsl min width 15) - 1))
-
-let rec gen_expr env width =
-  let open G in
-  if env.g_depth = 0 then gen_leaf env width
-  else
-    let sub = { env with g_depth = env.g_depth - 1 } in
-    frequency
-      [ (3, gen_leaf env width);
-        (2, gen_binop sub width);
-        (1, gen_unop sub width);
-        (1, gen_cond sub width);
-        (1, gen_select env);
-        (1, gen_reduce sub) ]
-
-and gen_leaf env width =
-  let open G in
-  match env.g_avail with
-  | [] -> gen_const width
-  | avail ->
-    frequency
-      [ (3, map (fun (n, _) -> n) (oneofl avail));
-        (1, gen_const width) ]
-
-and gen_binop env width =
-  let open G in
-  let* op =
-    oneofl [ "+"; "-"; "*"; "&"; "|"; "^"; "=="; "!="; "<"; "<="; ">"; ">=";
-             "<<"; ">>"; "&&"; "||" ]
-  in
-  let* a = gen_expr env width in
-  let* b = gen_expr env width in
-  return (Printf.sprintf "(%s %s %s)" a op b)
-
-and gen_unop env width =
-  let open G in
-  let* op = oneofl [ "~"; "!"; "-" ] in
-  let* a = gen_expr env width in
-  return (Printf.sprintf "(%s%s)" op a)
-
-and gen_cond env width =
-  let open G in
-  let* c = gen_expr env 1 in
-  let* a = gen_expr env width in
-  let* b = gen_expr env width in
-  return (Printf.sprintf "(%s ? %s : %s)" c a b)
-
-and gen_select env =
-  let open G in
-  match List.filter (fun (_, w) -> w > 1) env.g_avail with
-  | [] -> gen_const 1
-  | wide ->
-    let* (name, w) = oneofl wide in
-    let* hi = int_range 0 (w - 1) in
-    let* lo = int_range 0 hi in
-    if hi = lo then return (Printf.sprintf "%s[%d]" name hi)
-    else return (Printf.sprintf "%s[%d:%d]" name hi lo)
-
-and gen_reduce env =
-  let open G in
-  let* op = oneofl [ "&"; "|"; "^" ] in
-  let* a = gen_leaf env 4 in
-  return (Printf.sprintf "(%s%s)" op a)
 
 (* One random module as source text plus its interface. *)
 type gen_module = {
@@ -92,149 +16,26 @@ type gen_module = {
   gm_outputs : (string * int) list;
 }
 
-(* [sequential:false] drops the registers, the register array and the
-   clocked block, leaving wires plus the combinational always block —
-   the lowered netlist then has no flip-flops. *)
+(* [QCheck.Gen.t] is [Random.State.t -> 'a], so the library's bare-rng
+   leaf generator plugs in directly — tests and [factor_cli fuzz] draw
+   from the exact same distribution. *)
 let gen_module_with ~sequential : gen_module G.t =
-  let open G in
-  let* n_inputs = int_range 2 4 in
-  let* input_widths = list_repeat n_inputs (int_range 1 8) in
-  let inputs = List.mapi (fun i w -> (Printf.sprintf "in%d" i, w)) input_widths in
-  let* n_wires = int_range 2 5 in
-  let* wire_widths = list_repeat n_wires (int_range 1 8) in
-  let wires = List.mapi (fun i w -> (Printf.sprintf "w%d" i, w)) wire_widths in
-  let* n_regs = if sequential then int_range 1 3 else return 0 in
-  let* reg_widths = list_repeat n_regs (int_range 1 8) in
-  let regs = List.mapi (fun i w -> (Printf.sprintf "r%d" i, w)) reg_widths in
-  (* wires are layered: wire i may read inputs, regs, and wires < i *)
-  let* wire_exprs =
-    let rec go avail = function
-      | [] -> return []
-      | (name, w) :: rest ->
-        let* e = gen_expr { g_avail = avail; g_depth = 3 } w in
-        let* tail = go ((name, w) :: avail) rest in
-        return ((name, w, e) :: tail)
-    in
-    go (inputs @ regs) wires
-  in
-  let all_readable = inputs @ regs @ wires in
-  (* clocked block: each register updated under a condition *)
-  let* reg_updates =
-    let gen_update (name, w) =
-      let* cond = gen_expr { g_avail = all_readable; g_depth = 2 } 1 in
-      let* rhs = gen_expr { g_avail = all_readable; g_depth = 3 } w in
-      let* alt = gen_expr { g_avail = all_readable; g_depth = 2 } w in
-      return
-        (Printf.sprintf "      if (%s) %s <= %s; else %s <= %s;" cond name rhs
-           name alt)
-    in
-    flatten_l (List.map gen_update regs)
-  in
-  (* a small register array written under a condition and read back *)
-  let* mem_words_log = int_range 1 2 in
-  let mem_words = 1 lsl mem_words_log in
-  let* mem_width = int_range 1 6 in
-  let* mem_waddr = gen_expr { g_avail = inputs; g_depth = 1 } mem_words_log in
-  let* mem_raddr = gen_expr { g_avail = inputs; g_depth = 1 } mem_words_log in
-  let* mem_wdata = gen_expr { g_avail = all_readable; g_depth = 2 } mem_width in
-  let* mem_we = gen_expr { g_avail = all_readable; g_depth = 1 } 1 in
-  (* a combinational always block with full default assignment *)
-  let* comb_width = int_range 1 8 in
-  let* comb_default = gen_expr { g_avail = all_readable; g_depth = 2 } comb_width in
-  let* comb_sel = gen_expr { g_avail = all_readable; g_depth = 2 } 2 in
-  let* use_casez = bool in
-  let* comb_a = gen_expr { g_avail = all_readable; g_depth = 2 } comb_width in
-  let* comb_b = gen_expr { g_avail = all_readable; g_depth = 2 } comb_width in
-  let comb = ("cmb", comb_width) in
-  let memout = ("memout", mem_width) in
-  (* outputs observe a sample of everything *)
-  let outputs =
-    List.mapi
-      (fun i (n, w) -> (Printf.sprintf "o%d" i, n, w))
-      (wires @ regs @ [ comb ] @ (if sequential then [ memout ] else []))
-  in
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "module fuzz (\n  input clk,\n";
-  List.iter
-    (fun (n, w) ->
-      Buffer.add_string buf
-        (if w = 1 then Printf.sprintf "  input %s,\n" n
-         else Printf.sprintf "  input [%d:0] %s,\n" (w - 1) n))
-    inputs;
-  List.iteri
-    (fun i (o, _, w) ->
-      let last = i = List.length outputs - 1 in
-      Buffer.add_string buf
-        (Printf.sprintf "  output %s%s%s\n"
-           (if w = 1 then "" else Printf.sprintf "[%d:0] " (w - 1))
-           o
-           (if last then "" else ",")))
-    outputs;
-  Buffer.add_string buf ");\n";
-  List.iter
-    (fun (n, w) ->
-      Buffer.add_string buf
-        (if w = 1 then Printf.sprintf "  wire %s;\n" n
-         else Printf.sprintf "  wire [%d:0] %s;\n" (w - 1) n))
-    wires;
-  List.iter
-    (fun (n, w) ->
-      Buffer.add_string buf
-        (if w = 1 then Printf.sprintf "  reg %s;\n" n
-         else Printf.sprintf "  reg [%d:0] %s;\n" (w - 1) n))
-    regs;
-  Buffer.add_string buf
-    (if comb_width = 1 then "  reg cmb;\n"
-     else Printf.sprintf "  reg [%d:0] cmb;\n" (comb_width - 1));
-  if sequential then
-    Buffer.add_string buf
-      (Printf.sprintf "  reg [%d:0] marr [0:%d];\n  wire [%d:0] memout;\n"
-         (mem_width - 1) (mem_words - 1) (mem_width - 1));
-  List.iter
-    (fun (n, _, e) ->
-      Buffer.add_string buf (Printf.sprintf "  assign %s = %s;\n" n e))
-    wire_exprs;
-  if sequential then begin
-    Buffer.add_string buf "  always @(posedge clk) begin\n";
-    List.iter (fun line -> Buffer.add_string buf (line ^ "\n")) reg_updates;
-    Buffer.add_string buf
-      (Printf.sprintf "      if (%s) marr[%s] <= %s;\n" mem_we mem_waddr
-         mem_wdata);
-    Buffer.add_string buf "  end\n";
-    Buffer.add_string buf
-      (Printf.sprintf "  assign memout = marr[%s];\n" mem_raddr)
-  end;
-  Buffer.add_string buf "  always @(*) begin\n";
-  Buffer.add_string buf (Printf.sprintf "    cmb = %s;\n" comb_default);
-  (if use_casez then
-     Buffer.add_string buf
-       (Printf.sprintf
-          "    casez (%s)\n      2'b1?: cmb = %s;\n      2'b?1: cmb = %s;\n    endcase\n"
-          comb_sel comb_a comb_b)
-   else
-     Buffer.add_string buf
-       (Printf.sprintf
-          "    case (%s)\n      2'd1: cmb = %s;\n      2'd2: cmb = %s;\n    endcase\n"
-          comb_sel comb_a comb_b));
-  Buffer.add_string buf "  end\n";
-  List.iter
-    (fun (o, src, _) ->
-      Buffer.add_string buf (Printf.sprintf "  assign %s = %s;\n" o src))
-    outputs;
-  Buffer.add_string buf "endmodule\n";
-  return
-    { gm_src = Buffer.contents buf;
-      gm_inputs = inputs;
-      gm_outputs = List.map (fun (o, _, w) -> (o, w)) outputs }
+ fun st ->
+  let m = Gen_rtl.Gen.leaf st ~name:"fuzz" ~sequential in
+  { gm_src = m.Gen_rtl.Gen.m_src;
+    gm_inputs = m.Gen_rtl.Gen.m_inputs;
+    gm_outputs = m.Gen_rtl.Gen.m_outputs }
 
 let gen_module = gen_module_with ~sequential:true
 let gen_comb_module = gen_module_with ~sequential:false
 
-(* Counterexamples carry the suite seed so the exact failing run — both
-   the generated module and the stimulus derived from it — can be
-   replayed with FACTOR_SEED=<seed> dune runtest. *)
+(* Counterexamples carry the full replay recipe — seed plus the chaos
+   and jobs environment verbatim — so the exact failing run (both the
+   generated module and the stimulus derived from it) can be replayed
+   with [<env> dune runtest]. *)
 let print_counterexample gm =
-  Printf.sprintf "// replay with FACTOR_SEED=%d\n%s" Testutil.fuzz_seed
+  Printf.sprintf "// replay with %s dune runtest\n%s"
+    (Gen_rtl.Diff.repro_env ~seed:Testutil.fuzz_seed)
     gm.gm_src
 
 let gen_arbitrary = QCheck.make ~print:print_counterexample gen_module

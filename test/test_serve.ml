@@ -277,6 +277,57 @@ let cache_outcomes () =
   in
   check_bool "storeless cache is cold" true (o4 = Serve.Cache.Cold)
 
+(* LRU bound: with [max_resident], installing a second design evicts
+   the first (and its alias edges), and the evicted design's next
+   request falls back to the store when one is attached — or rebuilds
+   cold without one.  The store itself is never touched by eviction. *)
+let cache_lru_eviction () =
+  let none = Engine.Budget.none in
+  let arb = Circuits.Collection.arbiter in
+  let arb_source = arb.Circuits.Collection.e_source in
+  let arb_top = arb.Circuits.Collection.e_top in
+  let lookup t source top =
+    snd (Serve.Cache.find_or_build t ~budget:none ~source ~top:(Some top))
+  in
+  (* with a store: evicted entries come back warm from disk *)
+  let dir = tmpdir "factor-lru" in
+  let t = Serve.Cache.create ~store:(Serve.Store.open_ dir) ~max_resident:1 () in
+  check_bool "gcd cold" true (lookup t gcd_source gcd_top = Serve.Cache.Cold);
+  check_int "one resident" 1 (Serve.Cache.resident t);
+  check_bool "arbiter cold evicts gcd" true
+    (lookup t arb_source arb_top = Serve.Cache.Cold);
+  check_int "still one resident" 1 (Serve.Cache.resident t);
+  check_bool "arbiter stayed resident" true
+    (lookup t arb_source arb_top = Serve.Cache.Warm_mem);
+  check_bool "evicted gcd returns warm-disk" true
+    (lookup t gcd_source gcd_top = Serve.Cache.Warm_disk);
+  check_bool "which in turn evicted arbiter" true
+    (lookup t arb_source arb_top = Serve.Cache.Warm_disk);
+  (* least-recently-USED, not least-recently-built: touch the older
+     entry, then install a third design — the untouched one must go *)
+  let t2 =
+    Serve.Cache.create ~store:(Serve.Store.open_ dir) ~max_resident:2 ()
+  in
+  let fifo = Circuits.Collection.fifo in
+  ignore (lookup t2 gcd_source gcd_top);
+  ignore (lookup t2 arb_source arb_top);
+  ignore (lookup t2 gcd_source gcd_top);  (* gcd is now the fresher one *)
+  ignore
+    (lookup t2 fifo.Circuits.Collection.e_source
+       fifo.Circuits.Collection.e_top);
+  check_bool "recently-touched gcd survived" true
+    (lookup t2 gcd_source gcd_top = Serve.Cache.Warm_mem);
+  check_bool "least-recently-used arbiter was evicted" true
+    (lookup t2 arb_source arb_top <> Serve.Cache.Warm_mem);
+  (* without a store, an evicted design rebuilds cold *)
+  let t3 = Serve.Cache.create ~max_resident:1 () in
+  check_bool "storeless gcd cold" true
+    (lookup t3 gcd_source gcd_top = Serve.Cache.Cold);
+  check_bool "storeless arbiter evicts gcd" true
+    (lookup t3 arb_source arb_top = Serve.Cache.Cold);
+  check_bool "storeless evicted gcd is cold again" true
+    (lookup t3 gcd_source gcd_top = Serve.Cache.Cold)
+
 let cache_budget_expiry () =
   let t = Serve.Cache.create () in
   let dead = Engine.Budget.make ~deadline_in:0.0 () in
@@ -311,6 +362,7 @@ let with_server ?store f =
     Serve.Server.start
       { Serve.Server.sc_addr = Serve.Server.Unix_path sock;
         sc_store = store;
+        sc_max_resident = None;
         sc_default_budget = None }
   in
   Fun.protect
@@ -462,7 +514,8 @@ let e2e_shutdown_request () =
   let t =
     Serve.Server.start
       { Serve.Server.sc_addr = Serve.Server.Unix_path sock;
-        sc_store = None; sc_default_budget = None }
+        sc_store = None; sc_max_resident = None;
+        sc_default_budget = None }
   in
   let cl = Serve.Client.connect_retry (Serve.Server.Unix_path sock) in
   let r = Serve.Client.rpc cl ~op:"shutdown" ~params:[] in
@@ -523,6 +576,7 @@ let () =
         [
           test "cold, warm-mem, warm-disk, bit-identical" cache_outcomes;
           test "budget guards cold builds only" cache_budget_expiry;
+          test "max-resident LRU evicts to warm-disk" cache_lru_eviction;
         ] );
       ( "daemon",
         [
