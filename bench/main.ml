@@ -6,7 +6,8 @@
     Usage: [bench/main.exe [table1|table2|table3|table4|table5|table6|
                             testability|translate|ablations|micro|fsim|
                             fsim_smoke|sat|sat_smoke|par|par_smoke|
-                            chaos_smoke|serve|serve_smoke|all]
+                            chaos_smoke|serve|serve_smoke|progress_smoke|
+                            all]
                            [-j N] [--seed S]]. *)
 
 module Flow = Factor.Flow
@@ -1344,7 +1345,8 @@ let with_daemon ?store f =
       { Serve.Server.sc_addr = Serve.Server.Unix_path sock;
         sc_store = store;
         sc_max_resident = None;
-        sc_default_budget = None }
+        sc_default_budget = None;
+        sc_heartbeat_s = 1.0 }
   in
   Fun.protect
     ~finally:(fun () -> Serve.Server.stop t)
@@ -1465,6 +1467,112 @@ let bench_serve_smoke () =
     "serve smoke: all ops byte-identical to one-shot, warm-mem and \
      warm-disk hits observed, graceful stop (%d jobs)\n"
     (max 1 !jobs_ref)
+
+(* CI gate for live progress streaming: a traced daemon ATPG run must
+   emit at least three monotonic progress frames (done non-decreasing,
+   total stable within each (phase, reporter) group) with an ETA, the
+   final response must stay byte-identical to a non-streaming run, and
+   the request id must land on both the client.rpc and serve.request
+   spans of the same trace. *)
+let bench_progress_smoke () =
+  Engine.Pool.set_jobs (max 2 !jobs_ref);
+  let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
+  Obs.Span.clear ();
+  Obs.Span.set_enabled true;
+  let req = "progress-smoke" in
+  let events = ref [] in
+  with_daemon (fun addr ->
+      with_conn addr (fun cl ->
+          (* byte-identity on a corpus design: streaming must not change
+             one byte of the final response *)
+          let plain =
+            Serve.Client.rpc cl ~op:"atpg" ~params:(atpg_params "arbiter")
+          in
+          let streamed =
+            Serve.Client.rpc ~stream:true
+              ~on_event:(fun _ -> ())
+              cl ~op:"atpg" ~params:(atpg_params "arbiter")
+          in
+          if response_lines plain <> response_lines streamed then
+            die "progress smoke: streamed final response differs";
+          (* the full-ARM core under a bounded budget: long enough that
+             progress actually streams *)
+          let r =
+            Serve.Client.rpc ~stream:true ~req ~timeout:120.0
+              ~on_event:(fun j -> events := j :: !events)
+              cl ~op:"atpg"
+              ~params:
+                [ ("design", Obs.Json.String "@arm");
+                  ("budget", Obs.Json.Float 10.0) ]
+          in
+          if jfield "counts" r = "" then
+            die "progress smoke: arm run returned no counts"));
+  Obs.Span.set_enabled false;
+  let events = List.rev !events in
+  (* (frame, phase, reporter, done, total, eta) for every progress frame *)
+  let progress =
+    List.filter_map
+      (fun j ->
+        match Serve.Proto.event_of_json j with
+        | Some (Serve.Proto.Ev_progress p) ->
+          Some (j, p.ep_phase, p.ep_reporter, p.ep_done, p.ep_total,
+                p.ep_eta_s)
+        | _ -> None)
+      events
+  in
+  if List.length progress < 3 then
+    die "progress smoke: expected >= 3 progress frames, got %d"
+      (List.length progress);
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun (j, phase, reporter, done_, total, _) ->
+      if jfield "req" j <> req then
+        die "progress smoke: frame lacks the request id (got %S)"
+          (jfield "req" j);
+      (match Hashtbl.find_opt groups (phase, reporter) with
+       | Some (d, t) ->
+         if done_ < d then
+           die "progress smoke: %s went backwards (%d after %d)" phase
+             done_ d;
+         if total <> t then
+           die "progress smoke: %s total moved (%d after %d)" phase total t
+       | None -> ());
+      Hashtbl.replace groups (phase, reporter) (done_, total))
+    progress;
+  if not (List.exists (fun (_, _, _, _, _, eta) -> eta >= 0.0) progress)
+  then die "progress smoke: no frame carried an ETA estimate";
+  (* the trace must correlate both halves by the request id *)
+  let tf = Filename.temp_file "factor_progress_trace" ".json" in
+  Obs.Span.write_chrome_trace tf;
+  let trace =
+    let ic = open_in_bin tf in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove tf;
+    Obs.Json.of_string s
+  in
+  let span_has_req name =
+    match trace with
+    | Obs.Json.List evs ->
+      List.exists
+        (fun ev ->
+          Obs.Json.member "name" ev = Some (Obs.Json.String name)
+          && (match Obs.Json.member "args" ev with
+              | Some args ->
+                Obs.Json.member "req" args = Some (Obs.Json.String req)
+              | None -> false))
+        evs
+    | _ -> die "progress smoke: trace is not a JSON array"
+  in
+  if not (span_has_req "client.rpc") then
+    die "progress smoke: no client.rpc span carries the request id";
+  if not (span_has_req "serve.request") then
+    die "progress smoke: no serve.request span carries the request id";
+  Obs.Span.clear ();
+  Printf.printf
+    "progress smoke: %d monotonic frames with ETA, byte-identical final, \
+     request id on client and server spans (%d jobs)\n"
+    (List.length progress) (max 2 !jobs_ref)
 
 (* BENCH_serve.json: cold vs warm request latency and requests/sec at
    one client and at [-j N] concurrent clients. *)
@@ -1632,6 +1740,7 @@ let () =
     | "fuzz_smoke" -> bench_fuzz_smoke ()
     | "serve" -> bench_serve ()
     | "serve_smoke" -> bench_serve_smoke ()
+    | "progress_smoke" -> bench_progress_smoke ()
     | "all" ->
       table1 ();
       table2 ();
@@ -1644,7 +1753,7 @@ let () =
       generality ()
     | other ->
       Printf.eprintf
-        "unknown target %S (expected table1..table6, testability, translate, generality, variance, ablations, micro, fsim, sat, sat_smoke, par, par_smoke, chaos_smoke, fuzz_smoke, serve, serve_smoke, all)\n"
+        "unknown target %S (expected table1..table6, testability, translate, generality, variance, ablations, micro, fsim, sat, sat_smoke, par, par_smoke, chaos_smoke, fuzz_smoke, serve, serve_smoke, progress_smoke, all)\n"
         other;
       exit 1
   in

@@ -147,6 +147,34 @@ let obs_term =
   Term.(const obs_setup $ trace $ profile $ metrics $ log_file $ quiet
         $ verbose)
 
+(* --progress: a live status line on stderr, redrawn in place.  The
+   reporter's shared rate limit bounds the redraw frequency; a newline
+   is emitted once at exit so the shell prompt is not glued to it. *)
+let progress_line u =
+  let open Obs.Progress in
+  if u.up_total > 0 then
+    Printf.sprintf "%s %d/%d (%.0f/s%s)" u.up_phase u.up_done u.up_total
+      u.up_rate
+      (if u.up_eta_s >= 0.0 then Printf.sprintf ", eta %.0fs" u.up_eta_s
+       else "")
+  else Printf.sprintf "%s %d (%.0f/s)" u.up_phase u.up_done u.up_rate
+
+let install_console_progress () =
+  let drew = ref false in
+  Obs.Progress.set_global_sink
+    (Some
+       (fun u ->
+         drew := true;
+         Printf.eprintf "\r%s\x1b[K%!" (progress_line u)));
+  at_exit (fun () -> if !drew then prerr_newline ())
+
+let progress_arg =
+  let doc =
+    "Render live progress (phase, counts, rate, ETA) on stderr while \
+     the run is underway."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
 (* ---------------------------- arguments --------------------------- *)
 
 let design_arg =
@@ -358,9 +386,10 @@ let atpg_cmd =
          & info [ "engine" ] ~docv:"ENGINE" ~doc)
   in
   let run () path top mut budget fault_budget frames use_piers engine jobs
-      fsim output =
+      fsim output progress =
     handle_errors (fun () ->
         Obs.Span.with_ "cli.atpg" @@ fun () ->
+        if progress then install_console_progress ();
         let jobs = apply_jobs jobs in
         apply_fsim fsim;
         let design = read_design path in
@@ -411,7 +440,7 @@ let atpg_cmd =
   Cmd.v (Cmd.info "atpg" ~doc)
     Term.(const run $ obs_term $ design_arg $ top_arg $ mut_opt $ budget
           $ fault_budget $ frames $ piers_flag $ engine_arg $ jobs_arg
-          $ fsim_arg $ out_vectors)
+          $ fsim_arg $ out_vectors $ progress_arg)
 
 (* ------------------------------ sat ------------------------------- *)
 
@@ -524,9 +553,10 @@ let grade_cmd =
     let doc = "Treat load/store-reachable registers as observable." in
     Arg.(value & flag & info [ "piers" ] ~doc)
   in
-  let run () path vec_file top mut use_piers jobs fsim =
+  let run () path vec_file top mut use_piers jobs fsim progress =
     handle_errors (fun () ->
         Obs.Span.with_ "cli.grade" @@ fun () ->
+        if progress then install_console_progress ();
         let jobs = apply_jobs jobs in
         apply_fsim fsim;
         let design = read_design path in
@@ -556,7 +586,7 @@ let grade_cmd =
   let doc = "Fault-simulate a vector file against a design (grade tests)." in
   Cmd.v (Cmd.info "grade" ~doc)
     Term.(const run $ obs_term $ design_arg $ vec_arg $ top_arg $ mut_opt
-          $ piers_flag $ jobs_arg $ fsim_arg)
+          $ piers_flag $ jobs_arg $ fsim_arg $ progress_arg)
 
 (* ------------------------------ demo ------------------------------ *)
 
@@ -705,9 +735,10 @@ let fuzz_cmd =
                exit 1)
   in
   let run () seeds base corpus max_faults fsim_tests seed_budget checks jobs
-      out =
+      out progress =
     handle_errors (fun () ->
         Obs.Span.with_ "cli.fuzz" @@ fun () ->
+        if progress then install_console_progress ();
         let jobs = apply_jobs jobs in
         let cfg =
           { Gen_rtl.Diff.default_config with
@@ -749,7 +780,7 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(const run $ obs_term $ seeds_arg $ base_arg $ corpus_arg
           $ max_faults_arg $ fsim_tests_arg $ seed_budget_arg $ checks_arg
-          $ jobs_arg $ out_arg)
+          $ jobs_arg $ out_arg $ progress_arg)
 
 (* ------------------------------ serve ----------------------------- *)
 
@@ -821,7 +852,8 @@ let serve_cmd =
           { Serve.Server.sc_addr = addr;
             sc_store = store;
             sc_max_resident = max_resident;
-            sc_default_budget = budget })
+            sc_default_budget = budget;
+            sc_heartbeat_s = 1.0 })
   in
   let doc =
     "Run the persistent ATPG daemon: framed JSON requests over a socket, \
@@ -838,8 +870,15 @@ module J = Obs.Json
 let jstr name j =
   Option.value ~default:"" (Option.bind (J.member name j) J.to_string_opt)
 
+let addr_to_string = function
+  | Serve.Server.Unix_path p -> p
+  | Serve.Server.Tcp (h, p) ->
+    Printf.sprintf "%s:%d" (if h = "" then "127.0.0.1" else h) p
+
 (* Connect, run, and map daemon failures onto the same stage exit codes
-   as the one-shot CLI; exit 7 means the daemon itself is unreachable. *)
+   as the one-shot CLI; exit 7 means the daemon itself is unreachable —
+   including a daemon that accepted the connection but then went silent
+   past the idle timeout. *)
 let with_client ~socket ~tcp f =
   let addr = addr_of ~socket ~tcp in
   let cl =
@@ -864,6 +903,13 @@ let with_client ~socket ~tcp f =
        | "solve" -> 5
        | "io" -> 6
        | _ -> 1)
+  | exception Serve.Client.Timeout s ->
+    Serve.Client.close cl;
+    Printf.eprintf
+      "factor: daemon at %s sent nothing (not even a heartbeat) for \
+       %.1f s; wedged or unreachable\n"
+      (addr_to_string addr) s;
+    exit 7
   | exception e ->
     Serve.Client.close cl;
     raise e
@@ -897,6 +943,17 @@ let client_budget_arg =
   Arg.(value & opt (some float) None
        & info [ "request-budget" ] ~docv:"SECONDS" ~doc)
 
+(* --timeout distinguishes a slow daemon from a wedged one: any frame
+   (heartbeats included) resets the clock, so it only fires when the
+   daemon has gone completely silent. *)
+let timeout_arg =
+  let doc =
+    "Exit with code 7 if the daemon sends nothing (not even a \
+     heartbeat) for $(docv) seconds.  Off by default."
+  in
+  Arg.(value & opt (some float) None
+       & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
 let report_cache result =
   (match jstr "cache" result with
    | "" -> ()
@@ -904,37 +961,57 @@ let report_cache result =
 
 let client_cmd =
   let ping_cmd =
-    let run () socket tcp =
+    let run () socket tcp timeout =
       with_client ~socket ~tcp (fun cl ->
-          let _ = Serve.Client.rpc cl ~op:"ping" ~params:[] in
+          let _ = Serve.Client.rpc ?timeout cl ~op:"ping" ~params:[] in
           print_endline "pong")
     in
     let doc = "Check that the daemon is alive." in
     Cmd.v (Cmd.info "ping" ~doc)
-      Term.(const run $ obs_term $ socket_arg $ tcp_arg)
+      Term.(const run $ obs_term $ socket_arg $ tcp_arg $ timeout_arg)
   in
   let metrics_cmd =
-    let run () socket tcp =
+    let run () socket tcp timeout =
       with_client ~socket ~tcp (fun cl ->
-          let r = Serve.Client.rpc cl ~op:"metrics" ~params:[] in
-          print_string (jstr "prometheus" r))
+          let r = Serve.Client.rpc ?timeout cl ~op:"metrics" ~params:[] in
+          let prom = jstr "prometheus" r in
+          print_string prom;
+          (* pull the store gauges back out of the exposition and render
+             a one-line summary; '#' keeps it comment-safe for scrapers *)
+          let gauge name =
+            List.find_map
+              (fun line ->
+                match String.index_opt line ' ' with
+                | Some i when String.sub line 0 i = name ->
+                  float_of_string_opt
+                    (String.sub line (i + 1) (String.length line - i - 1))
+                | _ -> None)
+              (String.split_on_char '\n' prom)
+          in
+          match
+            (gauge "factor_serve_store_entries",
+             gauge "factor_serve_store_bytes")
+          with
+          | (Some e, Some b) ->
+            Printf.printf "# store: %.0f entries, %.0f bytes\n" e b
+          | _ -> ())
     in
     let doc = "Dump the daemon's metrics registry (Prometheus text format)." in
     Cmd.v (Cmd.info "metrics" ~doc)
-      Term.(const run $ obs_term $ socket_arg $ tcp_arg)
+      Term.(const run $ obs_term $ socket_arg $ tcp_arg $ timeout_arg)
   in
   let shutdown_cmd =
-    let run () socket tcp =
+    let run () socket tcp timeout =
       with_client ~socket ~tcp (fun cl ->
-          let _ = Serve.Client.rpc cl ~op:"shutdown" ~params:[] in
+          let _ = Serve.Client.rpc ?timeout cl ~op:"shutdown" ~params:[] in
           Obs.Log.progressf "daemon stopping")
     in
     let doc = "Ask the daemon to shut down gracefully." in
     Cmd.v (Cmd.info "shutdown" ~doc)
-      Term.(const run $ obs_term $ socket_arg $ tcp_arg)
+      Term.(const run $ obs_term $ socket_arg $ tcp_arg $ timeout_arg)
   in
   let c_extract_cmd =
-    let run () socket tcp path top mut mode output budget =
+    let run () socket tcp path top mut mode output budget timeout =
       with_client ~socket ~tcp (fun cl ->
           let params =
             design_params path top
@@ -943,7 +1020,7 @@ let client_cmd =
                else [])
             @ budget_params budget
           in
-          let r = Serve.Client.rpc cl ~op:"extract" ~params in
+          let r = Serve.Client.rpc ?timeout cl ~op:"extract" ~params in
           report_cache r;
           (match J.member "dead_ends" r with
            | Some (J.List ds) ->
@@ -967,7 +1044,8 @@ let client_cmd =
     let doc = "FACTOR-ise a design through the daemon's constraint cache." in
     Cmd.v (Cmd.info "extract" ~doc)
       Term.(const run $ obs_term $ socket_arg $ tcp_arg $ design_arg
-            $ top_arg $ mut_arg $ mode_arg $ output_arg $ client_budget_arg)
+            $ top_arg $ mut_arg $ mode_arg $ output_arg $ client_budget_arg
+            $ timeout_arg)
   in
   let c_atpg_cmd =
     let mut_opt =
@@ -992,7 +1070,7 @@ let client_cmd =
       Arg.(value & flag & info [ "piers" ] ~doc)
     in
     let run () socket tcp path top mut gen_budget engine seed piers output
-        budget =
+        budget timeout =
       with_client ~socket ~tcp (fun cl ->
           let params =
             design_params path top
@@ -1009,7 +1087,7 @@ let client_cmd =
             @ (if piers then [ ("piers", J.Bool true) ] else [])
             @ budget_params budget
           in
-          let r = Serve.Client.rpc cl ~op:"atpg" ~params in
+          let r = Serve.Client.rpc ?timeout cl ~op:"atpg" ~params in
           report_cache r;
           print_endline (jstr "counts" r);
           print_endline (jstr "quality" r);
@@ -1030,7 +1108,7 @@ let client_cmd =
     Cmd.v (Cmd.info "atpg" ~doc)
       Term.(const run $ obs_term $ socket_arg $ tcp_arg $ design_arg
             $ top_arg $ mut_opt $ gen_budget $ engine_arg $ seed_arg
-            $ piers_flag $ vec_out $ client_budget_arg)
+            $ piers_flag $ vec_out $ client_budget_arg $ timeout_arg)
   in
   let c_grade_cmd =
     let vec_arg =
@@ -1041,7 +1119,7 @@ let client_cmd =
       let doc = "Restrict faults to this instance subtree." in
       Arg.(value & opt (some string) None & info [ "mut" ] ~docv:"PATH" ~doc)
     in
-    let run () socket tcp path top vec_file mut budget =
+    let run () socket tcp path top vec_file mut budget timeout =
       with_client ~socket ~tcp (fun cl ->
           let vectors =
             let ic =
@@ -1062,14 +1140,14 @@ let client_cmd =
                | None -> [])
             @ budget_params budget
           in
-          let r = Serve.Client.rpc cl ~op:"grade" ~params in
+          let r = Serve.Client.rpc ?timeout cl ~op:"grade" ~params in
           report_cache r;
           print_endline (jstr "line" r))
     in
     let doc = "Fault-simulate a vector file through the daemon." in
     Cmd.v (Cmd.info "grade" ~doc)
       Term.(const run $ obs_term $ socket_arg $ tcp_arg $ design_arg
-            $ top_arg $ vec_arg $ mut_opt $ client_budget_arg)
+            $ top_arg $ vec_arg $ mut_opt $ client_budget_arg $ timeout_arg)
   in
   let c_ec_cmd =
     let design_b =
@@ -1080,25 +1158,163 @@ let client_cmd =
       let doc = "Top module of the second design." in
       Arg.(value & opt (some string) None & info [ "top-b" ] ~docv:"MODULE" ~doc)
     in
-    let run () socket tcp path_a top_a path_b top_b budget =
+    let run () socket tcp path_a top_a path_b top_b budget timeout =
       with_client ~socket ~tcp (fun cl ->
           let params =
             [ ("a", J.Obj (design_params path_a top_a));
               ("b", J.Obj (design_params path_b top_b)) ]
             @ budget_params budget
           in
-          let r = Serve.Client.rpc cl ~op:"ec" ~params in
+          let r = Serve.Client.rpc ?timeout cl ~op:"ec" ~params in
           print_endline (jstr "line" r))
     in
     let doc = "Check two designs for combinational equivalence via the daemon." in
     Cmd.v (Cmd.info "ec" ~doc)
       Term.(const run $ obs_term $ socket_arg $ tcp_arg $ design_arg
-            $ top_arg $ design_b $ top_b $ client_budget_arg)
+            $ top_arg $ design_b $ top_b $ client_budget_arg $ timeout_arg)
+  in
+  let c_watch_cmd =
+    let op_arg =
+      let doc = "Operation to run and watch: 'atpg', 'grade' or 'extract'." in
+      Arg.(value
+           & opt (enum [ ("atpg", "atpg"); ("grade", "grade");
+                         ("extract", "extract") ]) "atpg"
+           & info [ "op" ] ~docv:"OP" ~doc)
+    in
+    let json_flag =
+      let doc =
+        "Print every event frame as one JSON line instead of redrawing \
+         a status line."
+      in
+      Arg.(value & flag & info [ "json" ] ~doc)
+    in
+    let mut_opt =
+      let doc =
+        "Instance path of the module under test (required with \
+         $(b,--op extract))."
+      in
+      Arg.(value & opt (some string) None & info [ "mut" ] ~docv:"PATH" ~doc)
+    in
+    let vec_opt =
+      let doc = "Vector file to grade (required with $(b,--op grade))." in
+      Arg.(value & opt (some string) None
+           & info [ "vectors" ] ~docv:"FILE" ~doc)
+    in
+    let gen_budget =
+      let doc = "Generation budget in seconds for $(b,--op atpg)." in
+      Arg.(value & opt (some float) None
+           & info [ "budget" ] ~docv:"SECONDS" ~doc)
+    in
+    let req_opt =
+      let doc =
+        "Request id to stamp on frames, spans and logs (default \
+         c<pid>-<seq>)."
+      in
+      Arg.(value & opt (some string) None & info [ "req" ] ~docv:"ID" ~doc)
+    in
+    let run () socket tcp path top op mut vectors gen_budget req budget
+        timeout json =
+      with_client ~socket ~tcp (fun cl ->
+          let need what = function
+            | Some v -> v
+            | None ->
+              Printf.eprintf "factor: --op %s needs %s\n" op what;
+              exit 1
+          in
+          let params =
+            design_params path top
+            @ (match op with
+               | "extract" ->
+                 [ ("mut", J.String (need "--mut" mut));
+                   ("mode", J.String "compositional") ]
+               | "grade" ->
+                 let file = need "--vectors" vectors in
+                 let ic =
+                   try open_in_bin file with
+                   | Sys_error msg ->
+                     Printf.eprintf "factor: io error: %s\n" msg;
+                     exit 6
+                 in
+                 let s = really_input_string ic (in_channel_length ic) in
+                 close_in ic;
+                 [ ("vectors", J.String s) ]
+                 @ (match mut with
+                    | Some m -> [ ("mut", J.String m) ]
+                    | None -> [])
+               | _ ->
+                 (match mut with
+                  | Some m -> [ ("mut", J.String m) ]
+                  | None -> [])
+                 @ (match gen_budget with
+                    | Some b -> [ ("budget", J.Float b) ]
+                    | None -> []))
+            @ budget_params budget
+          in
+          (* progress frames redraw one stderr line in place; log frames
+             get a line of their own, so first un-hijack the status line *)
+          let drew = ref false in
+          let clear_line () =
+            if !drew then begin
+              prerr_newline ();
+              drew := false
+            end
+          in
+          let on_event j =
+            if json then print_endline (J.to_string j)
+            else
+              match jstr "event" j with
+              | "progress" ->
+                let geti n =
+                  Option.value ~default:0
+                    (Option.bind (J.member n j) J.to_int_opt)
+                and getf n =
+                  Option.value ~default:0.0
+                    (Option.bind (J.member n j) J.to_float_opt)
+                in
+                let total = geti "total" and eta = getf "eta_s" in
+                Printf.eprintf "\r[%s] %s %d%s (%.0f/s%s)\x1b[K%!"
+                  (jstr "req" j) (jstr "phase" j) (geti "done")
+                  (if total > 0 then Printf.sprintf "/%d" total else "")
+                  (getf "rate")
+                  (if eta >= 0.0 then Printf.sprintf ", eta %.0fs" eta
+                   else "");
+                drew := true
+              | "log" ->
+                clear_line ();
+                Printf.eprintf "[%s] %s\n%!" (jstr "level" j) (jstr "msg" j)
+              | _ -> ()
+            (* heartbeats are proof of life, not news: they reset the
+               idle timeout inside the client and render nothing *)
+          in
+          let r =
+            Serve.Client.rpc ?timeout ?req ~on_event ~stream:true cl ~op
+              ~params
+          in
+          clear_line ();
+          report_cache r;
+          match op with
+          | "grade" -> print_endline (jstr "line" r)
+          | "extract" ->
+            print_endline (jstr "extraction" r);
+            print_endline (jstr "transformed" r)
+          | _ ->
+            print_endline (jstr "counts" r);
+            print_endline (jstr "quality" r))
+    in
+    let doc =
+      "Run an operation through the daemon with live progress: streamed \
+       phase/ETA updates, forwarded log lines and heartbeats, then the \
+       same final lines the plain subcommand prints."
+    in
+    Cmd.v (Cmd.info "watch" ~doc)
+      Term.(const run $ obs_term $ socket_arg $ tcp_arg $ design_arg
+            $ top_arg $ op_arg $ mut_opt $ vec_opt $ gen_budget $ req_opt
+            $ client_budget_arg $ timeout_arg $ json_flag)
   in
   let doc = "Talk to a running factor daemon." in
   Cmd.group (Cmd.info "client" ~doc)
     [ ping_cmd; metrics_cmd; shutdown_cmd; c_extract_cmd; c_atpg_cmd;
-      c_grade_cmd; c_ec_cmd ]
+      c_grade_cmd; c_ec_cmd; c_watch_cmd ]
 
 let () =
   let doc = "hierarchical functional test generation and testability analysis" in

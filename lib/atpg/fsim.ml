@@ -485,8 +485,12 @@ let run_event ?(budget = Engine.Budget.none) c ~observe ~faults tests =
   let detected = Array.make n false in
   if n > 0 then begin
     let eng = make_engine c in
+    let prog =
+      Obs.Progress.start ~total:(List.length tests) "fsim.grade"
+    in
     List.iter
       (fun test ->
+        Obs.Progress.step prog;
         (* only the still-undetected faults are simulated *)
         let remaining = ref 0 in
         for i = 0 to n - 1 do
@@ -509,7 +513,8 @@ let run_event ?(budget = Engine.Budget.none) c ~observe ~faults tests =
             (fun j hit -> if hit then detected.(active.(j)) <- true)
             flags
         end)
-      tests
+      tests;
+    Obs.Progress.finish prog
   end;
   detected
 
@@ -898,6 +903,9 @@ let run_packed ?(budget = Engine.Budget.none) c ~observe ~faults tests =
     let eng = make_pengine c in
     let tests_arr = Array.of_list tests in
     let nt = Array.length tests_arr in
+    let prog =
+      Obs.Progress.start ~total:((nt + P.width - 1) / P.width) "fsim.grade"
+    in
     let pos = ref 0 in
     let remaining = ref n in
     while !pos < nt && !remaining > 0
@@ -917,8 +925,10 @@ let run_packed ?(budget = Engine.Budget.none) c ~observe ~faults tests =
         ~faults:fault_arr ~active chunk
         ~apply:(fun k _det ->
           detected.(active.(k)) <- true;
-          decr remaining)
-    done
+          decr remaining);
+      Obs.Progress.step prog
+    done;
+    Obs.Progress.finish prog
   end;
   detected
 
@@ -935,6 +945,9 @@ let run_sharded_packed ?(budget = Engine.Budget.none) ~jobs c ~observe
     let pool = Engine.Pool.global () in
     let tests_arr = Array.of_list tests in
     let nt = Array.length tests_arr in
+    let prog =
+      Obs.Progress.start ~total:((nt + P.width - 1) / P.width) "fsim.grade"
+    in
     let pos = ref 0 in
     let remaining = ref n in
     while !pos < nt && !remaining > 0
@@ -990,8 +1003,10 @@ let run_sharded_packed ?(budget = Engine.Budget.none) ~jobs c ~observe
                ("shards", Obs.Json.Int jobs) ]
            sweep
        else sweep ());
-      Obs.Metrics.observe packed_batch_hist (Engine.Clock.now () -. t0)
-    done
+      Obs.Metrics.observe packed_batch_hist (Engine.Clock.now () -. t0);
+      Obs.Progress.step prog
+    done;
+    Obs.Progress.finish prog
   end;
   detected
 

@@ -250,6 +250,9 @@ let run ?(budget = Engine.Budget.none) c cfg faults =
     [ ("phase", Obs.Json.String "random"); ("faults", Obs.Json.Int n) ];
   let batch = ref 0 in
   let saturated = ref false in
+  let prog_random =
+    Obs.Progress.start ~total:cfg.g_random_batches "atpg.random"
+  in
   Obs.Span.with_ "atpg.random" (fun () ->
       while (not !saturated)
             && !batch < cfg.g_random_batches
@@ -292,8 +295,10 @@ let run ?(budget = Engine.Budget.none) c cfg faults =
             0 outcome
         in
         if after > before then tests := random_tests @ !tests
-        else saturated := true
+        else saturated := true;
+        Obs.Progress.step prog_random
       done);
+  Obs.Progress.finish prog_random;
   (* -------- phase 2: deterministic, iterative deepening ---------- *)
   let sat_detected = ref 0 and sat_untestable = ref 0 in
   let sat_time = ref 0.0 in
@@ -400,18 +405,31 @@ let run ?(budget = Engine.Budget.none) c cfg faults =
     | Sat.Satgen.Gave_up -> outcome.(i) <- Some Aborted_fault
   in
   let remaining i = outcome.(i) = None in
+  let det_remaining = Array.length (indices_where (fun o -> o = None)) in
   Obs.Log.event Obs.Log.Info "atpg.phase"
     [ ("phase", Obs.Json.String "deterministic");
-      ("remaining",
-       Obs.Json.Int (Array.length (indices_where (fun o -> o = None)))) ];
+      ("remaining", Obs.Json.Int det_remaining) ];
+  (* progress counts generation attempts: faults resolved en passant by
+     confirm-and-drop never generate, so done may finish below total —
+     monotonic either way, which is all a watcher needs *)
+  let prog_det =
+    Obs.Progress.start ~total:det_remaining "atpg.deterministic"
+  in
+  let stepped generate i =
+    let r = generate i in
+    Obs.Progress.step prog_det;
+    r
+  in
   Obs.Span.with_ "atpg.deterministic" (fun () ->
       if cfg.g_engine = Sat_only then
         (* the SAT engine replaces PODEM outright: miter per fault, depths
            1..max_frames, cubes confirmed (and dropped) through Fsim *)
-        sweep ~eligible:remaining ~generate:sat_attempt ~apply:sat_only_apply
+        sweep ~eligible:remaining ~generate:(stepped sat_attempt)
+          ~apply:sat_only_apply
       else
-        sweep ~eligible:remaining ~generate:podem_generate
+        sweep ~eligible:remaining ~generate:(stepped podem_generate)
           ~apply:podem_apply);
+  Obs.Progress.finish prog_det;
   (* -------- phase 2b: SAT rescue of aborted faults ---------------- *)
   (* retry every PODEM abort with the complete-search engine: a cube
      closes the fault, and bounded-UNSAT across the whole abort depth
@@ -419,13 +437,21 @@ let run ?(budget = Engine.Budget.none) c cfg faults =
      the paper's tables rely on *)
   let aborted i = outcome.(i) = Some Aborted_fault in
   if cfg.g_engine = Hybrid then begin
+    let rescue_total =
+      Array.length (indices_where (fun o -> o = Some Aborted_fault))
+    in
     Obs.Log.event Obs.Log.Info "atpg.phase"
       [ ("phase", Obs.Json.String "sat_rescue");
-        ("aborted",
-         Obs.Json.Int
-           (Array.length (indices_where (fun o -> o = Some Aborted_fault)))) ];
+        ("aborted", Obs.Json.Int rescue_total) ];
+    let prog_rescue =
+      Obs.Progress.start ~total:rescue_total "atpg.sat_rescue"
+    in
     Obs.Span.with_ "atpg.sat_rescue" (fun () ->
-        sweep ~eligible:aborted ~generate:sat_attempt
+        sweep ~eligible:aborted
+          ~generate:(fun i ->
+            let r = sat_attempt i in
+            Obs.Progress.step prog_rescue;
+            r)
           ~apply:(fun ~use_pool i (verdict, stats, dt) ->
               account_sat stats dt;
               match verdict with
@@ -450,7 +476,8 @@ let run ?(budget = Engine.Budget.none) c cfg faults =
                 if Obs.Log.enabled Obs.Log.Debug then
                   Obs.Log.event Obs.Log.Debug "atpg.sat_rescue.untestable"
                     [ ("net", Obs.Json.Int fault_arr.(i).Fault.f_net) ]
-              | Sat.Satgen.Gave_up -> ()))
+              | Sat.Satgen.Gave_up -> ()));
+    Obs.Progress.finish prog_rescue
   end;
   (* -------- phase 3: simulation-based rescue of aborted faults ---- *)
   if cfg.g_simgen_fallback then begin
@@ -461,11 +488,20 @@ let run ?(budget = Engine.Budget.none) c cfg faults =
         sg_max_frames = 4 * cfg.g_max_frames;
         sg_seed = cfg.g_seed }
     in
+    let prog_simgen =
+      Obs.Progress.start
+        ~total:(Array.length (indices_where (fun o -> o = Some Aborted_fault)))
+        "atpg.simgen"
+    in
     Obs.Span.with_ "atpg.simgen" (fun () ->
         sweep ~eligible:aborted
           ~generate:(fun i ->
-            with_chaos i ~crashed:None (fun () ->
-                Simgen.run c simgen_cfg fault_arr.(i)))
+            let r =
+              with_chaos i ~crashed:None (fun () ->
+                  Simgen.run c simgen_cfg fault_arr.(i))
+            in
+            Obs.Progress.step prog_simgen;
+            r)
           ~apply:(fun ~use_pool i result ->
               ignore i;
               match result with
@@ -475,7 +511,8 @@ let run ?(budget = Engine.Budget.none) c cfg faults =
                   (indices_where
                      (fun o -> o = None || o = Some Aborted_fault))
                   test
-              | None -> ()))
+              | None -> ()));
+    Obs.Progress.finish prog_simgen
   end;
   (* a fault left unresolved by an expired total budget is neither hard
      (aborted) nor easy — it simply never got its turn; count it apart

@@ -298,25 +298,37 @@ let transformed_atpg_all ?jobs ?(budget = Engine.Budget.none) ?mut_budget
   let jobs =
     match jobs with Some j -> max 1 j | None -> Engine.Pool.size pool
   in
-  if jobs <= 1 || List.length rows <= 1 then
-    List.map (run_one_mut ?mut_budget budget cfg) rows
-  else begin
-    let cfg = { cfg with Atpg.Gen.g_jobs = 1 } in
-    let futs =
+  let prog = Obs.Progress.start ~total:(List.length rows) "flow.muts" in
+  let result =
+    if jobs <= 1 || List.length rows <= 1 then
       List.map
         (fun row ->
-          (row, Engine.Pool.submit pool (fun () ->
-                    run_one_mut ?mut_budget budget cfg row)))
+          let o = run_one_mut ?mut_budget budget cfg row in
+          Obs.Progress.step prog;
+          o)
         rows
-    in
-    List.map
-      (fun (row, fut) ->
-        if Engine.Budget.poll budget then
-          ignore (Engine.Pool.cancel fut : bool);
-        match Engine.Pool.await fut with
-        | o -> o
-        | exception Engine.Pool.Cancelled ->
-          outcome row.tr_name
-            (Mut_skipped "run budget exhausted before start") None)
-      futs
-  end
+    else begin
+      let cfg = { cfg with Atpg.Gen.g_jobs = 1 } in
+      let futs =
+        List.map
+          (fun row ->
+            (row, Engine.Pool.submit pool (fun () ->
+                      let o = run_one_mut ?mut_budget budget cfg row in
+                      Obs.Progress.step prog;
+                      o)))
+          rows
+      in
+      List.map
+        (fun (row, fut) ->
+          if Engine.Budget.poll budget then
+            ignore (Engine.Pool.cancel fut : bool);
+          match Engine.Pool.await fut with
+          | o -> o
+          | exception Engine.Pool.Cancelled ->
+            outcome row.tr_name
+              (Mut_skipped "run budget exhausted before start") None)
+        futs
+    end
+  in
+  Obs.Progress.finish prog;
+  result

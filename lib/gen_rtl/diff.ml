@@ -518,10 +518,17 @@ let m_crashes = Obs.Metrics.counter "factor.fuzz.crashes"
 let campaign ?(budget = Engine.Budget.none) ?corpus cfg ~base ~count =
   let t0 = Engine.Clock.now () in
   let seeds = List.init count (fun i -> base + i) in
+  let prog = Obs.Progress.start ~total:count "fuzz.seeds" in
   let outcomes =
     Engine.Pool.run_all (Engine.Pool.global ())
-      (List.map (fun s () -> (s, run_seed ~budget cfg s)) seeds)
+      (List.map
+         (fun s () ->
+           let o = (s, run_seed ~budget cfg s) in
+           Obs.Progress.step prog;
+           o)
+         seeds)
   in
+  Obs.Progress.finish prog;
   let failures = ref [] and crashes = ref [] in
   List.iter
     (fun (seed, outcome) ->

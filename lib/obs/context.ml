@@ -1,0 +1,12 @@
+(** Ambient per-domain request context; see the mli. *)
+
+let key : string option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let request_id () = !(Domain.DLS.get key)
+
+let with_request_id id f =
+  let cell = Domain.DLS.get key in
+  let prev = !cell in
+  cell := Some id;
+  Fun.protect ~finally:(fun () -> cell := prev) f

@@ -1,0 +1,20 @@
+(** Ambient request identity, carried per-domain.
+
+    The serve daemon stamps each request's id here for the duration of
+    its handler; {!Span} and {!Log} read it back so every span and every
+    structured log record emitted while the request runs carries a
+    [req] attribute.  One grep over a JSONL log — or one Perfetto query
+    over a Chrome trace — then isolates a single request's lifetime
+    across client and daemon.
+
+    The context is domain-local: work handed to other domains (pool
+    tasks) does not inherit it.  The daemon runs each request's body on
+    a single domain, which is exactly the scope wanted. *)
+
+(** [with_request_id id f] runs [f ()] with [id] as the current domain's
+    request id, restoring the previous value (nesting-safe) even when
+    [f] raises. *)
+val with_request_id : string -> (unit -> 'a) -> 'a
+
+(** The current domain's request id, if inside {!with_request_id}. *)
+val request_id : unit -> string option

@@ -61,21 +61,60 @@ let set_file file =
         | Some f ->
           Some (open_out_gen [ Open_append; Open_creat ] 0o644 f))
 
+(* Forwarders receive every event regardless of the level gate (the
+   serve daemon streams a request's log records to its client even when
+   file/stderr logging is off); they filter by {!Context.request_id}
+   themselves.  The count is atomic so the disabled path stays at two
+   atomic loads with no lock. *)
+type forwarder = level -> string -> (string * Json.t) list -> unit
+
+let fwd_lock = Mutex.create ()
+let fwd_list : (int * forwarder) list ref = ref []
+let fwd_count = Atomic.make 0
+let fwd_next = ref 0
+
+let add_forwarder f =
+  Mutex.protect fwd_lock (fun () ->
+      incr fwd_next;
+      let id = !fwd_next in
+      fwd_list := (id, f) :: !fwd_list;
+      Atomic.incr fwd_count;
+      id)
+
+let remove_forwarder id =
+  Mutex.protect fwd_lock (fun () ->
+      if List.mem_assoc id !fwd_list then begin
+        fwd_list := List.remove_assoc id !fwd_list;
+        Atomic.decr fwd_count
+      end)
+
 let event l msg attrs =
-  if enabled l then begin
-    let line =
-      Json.to_string
-        (Json.Obj
-           (("ts", Json.Float (Unix.gettimeofday ()))
-            :: ("level", Json.String (level_name l))
-            :: ("msg", Json.String msg)
-            :: attrs))
+  let forwarding = Atomic.get fwd_count > 0 in
+  if enabled l || forwarding then begin
+    let attrs =
+      match Context.request_id () with
+      | Some r -> ("req", Json.String r) :: attrs
+      | None -> attrs
     in
-    Mutex.protect out_lock (fun () ->
-        let oc = match !out_chan with Some oc -> oc | None -> stderr in
-        output_string oc line;
-        output_char oc '\n';
-        flush oc)
+    if enabled l then begin
+      let line =
+        Json.to_string
+          (Json.Obj
+             (("ts", Json.Float (Unix.gettimeofday ()))
+              :: ("level", Json.String (level_name l))
+              :: ("msg", Json.String msg)
+              :: attrs))
+      in
+      Mutex.protect out_lock (fun () ->
+          let oc = match !out_chan with Some oc -> oc | None -> stderr in
+          output_string oc line;
+          output_char oc '\n';
+          flush oc)
+    end;
+    if forwarding then
+      List.iter
+        (fun (_, f) -> try f l msg attrs with _ -> ())
+        (Mutex.protect fwd_lock (fun () -> !fwd_list))
   end
 
 type verbosity = Quiet | Normal | Verbose

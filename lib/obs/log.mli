@@ -31,8 +31,30 @@ val set_file : string option -> unit
 (** Close the log file if one is open (flushes first). *)
 val close : unit -> unit
 
-(** [event l msg attrs] emits one JSONL record if [l] passes the gate. *)
+(** [event l msg attrs] emits one JSONL record if [l] passes the gate.
+    When {!Context.with_request_id} is live on the calling domain, a
+    [req] attribute is prepended so the record correlates with the
+    request's spans and progress frames.  Registered forwarders (below)
+    receive the event even when the level gate is closed. *)
 val event : level -> string -> (string * Json.t) list -> unit
+
+(** Printable name of a level: ["error"], ["warn"], ["info"],
+    ["debug"]. *)
+val level_name : level -> string
+
+(** {1 Forwarders}
+
+    A forwarder taps the structured-event stream — the serve daemon uses
+    one per streaming request to relay that request's log records to its
+    client as [log] event frames.  Forwarders see every event regardless
+    of the level gate and must filter (e.g. on {!Context.request_id})
+    themselves; exceptions they raise are swallowed.  With no forwarder
+    registered the cost per event is one extra atomic load. *)
+
+(** Register a forwarder; returns a handle for {!remove_forwarder}. *)
+val add_forwarder : (level -> string -> (string * Json.t) list -> unit) -> int
+
+val remove_forwarder : int -> unit
 
 type verbosity = Quiet | Normal | Verbose
 

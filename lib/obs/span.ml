@@ -40,6 +40,13 @@ let key =
       b)
 
 let record ~attrs name t0 t1 frame parent b =
+  (* the ambient request id (serve daemon / client rpc) rides on every
+     span recorded while it is set, so traces correlate by one attr *)
+  let attrs =
+    match Context.request_id () with
+    | Some r -> ("req", Json.String r) :: attrs
+    | None -> attrs
+  in
   let dur = t1 -. t0 in
   let ev =
     { ev_name = name;

@@ -138,6 +138,10 @@ let run_body ~max_frames ~conflict_limit ~piers ~budget c ~net ~stuck =
   List.iter (fun i -> pier_set.(i) <- true) piers;
   let depths = if Netlist.num_ffs c = 0 then 1 else max 1 max_frames in
   let stats = ref Solver.zero_stats in
+  (* one reporter per fault, one step per unroll depth: cheap enough to
+     sit on the per-fault path (disabled = one atomic load at start),
+     and under a sink the shared rate limit keeps the stream bounded *)
+  let prog = Obs.Progress.start ~total:depths "sat.unroll" in
   let rec loop d =
     if d > depths then Untestable depths
     else
@@ -146,6 +150,7 @@ let run_body ~max_frames ~conflict_limit ~piers ~budget c ~net ~stuck =
           ~conflict_limit ~budget
       in
       stats := Solver.add_stats !stats st;
+      Obs.Progress.step prog;
       match (result, decoded) with
       | (Solver.Sat, Some cube) -> Cube cube
       | (Solver.Unsat, _) ->
@@ -155,6 +160,7 @@ let run_body ~max_frames ~conflict_limit ~piers ~budget c ~net ~stuck =
       | _ -> Gave_up
   in
   let outcome = loop 1 in
+  Obs.Progress.finish prog;
   (outcome, !stats)
 
 (* per-fault span: guard attr construction so untraced SAT sweeps pay

@@ -215,14 +215,56 @@ let handler = function
   | "ec" -> op_ec
   | op -> bad "unknown op %S" op
 
-let handle ctx (rq : Proto.request) =
+(* Streaming scaffolding: while a [stream: true] request runs, a
+   domain-local {!Obs.Progress} sink converts every reporter update
+   into a progress event frame, and an {!Obs.Log} forwarder relays the
+   request's own structured events (filtered on the ambient request id)
+   as log frames.  [emit] hands each framed event to the server, which
+   queues it on the connection ahead of the final response. *)
+let with_streaming ~emit ~req rq f =
+  match emit with
+  | None -> f ()
+  | Some emit ->
+    (* lifecycle marker: the request reached its handler — a watcher
+       sees life before the first (possibly slow) phase reports *)
+    emit
+      (Proto.event_frame ~id:rq.Proto.rq_id ~req
+         (Proto.Ev_progress
+            { ep_phase = "serve." ^ rq.Proto.rq_op;
+              ep_reporter = 0;
+              ep_done = 0;
+              ep_total = 0;
+              ep_rate = 0.0;
+              ep_eta_s = -1.0;
+              ep_final = false }));
+    let sink (u : Obs.Progress.update) =
+      emit
+        (Proto.event_frame ~id:rq.Proto.rq_id ~req
+           (Proto.Ev_progress
+              { ep_phase = u.Obs.Progress.up_phase;
+                ep_reporter = u.up_reporter;
+                ep_done = u.up_done;
+                ep_total = u.up_total;
+                ep_rate = u.up_rate;
+                ep_eta_s = u.up_eta_s;
+                ep_final = u.up_final }))
+    in
+    Obs.Progress.with_sink sink (fun () ->
+        let fwd =
+          Obs.Log.add_forwarder (fun level msg attrs ->
+              if Obs.Context.request_id () = Some req then
+                emit
+                  (Proto.event_frame ~id:rq.Proto.rq_id ~req
+                     (Proto.Ev_log
+                        { el_level = Obs.Log.level_name level;
+                          el_msg = msg;
+                          el_attrs = J.Obj attrs })))
+        in
+        Fun.protect ~finally:(fun () -> Obs.Log.remove_forwarder fwd) f)
+
+let handle ?emit ctx (rq : Proto.request) =
   Obs.Metrics.incr m_requests;
   let t0 = Engine.Clock.now () in
-  (* the per-request chaos seam: a kill or stall here degrades exactly
-     one request — the server catches the exception and answers with an
-     error response while siblings proceed untouched *)
-  if Engine.Chaos.active () then
-    Engine.Chaos.point ("serve.request:" ^ rq.rq_op);
   let budget =
     match float_opt "budget_s" rq.rq_params with
     | Some s -> Engine.Budget.make ~deadline_in:s ()
@@ -231,7 +273,31 @@ let handle ctx (rq : Proto.request) =
        | Some s -> Engine.Budget.make ~deadline_in:s ()
        | None -> Engine.Budget.none)
   in
-  match (handler rq.rq_op) ctx budget rq.rq_params with
+  (* the request id correlates the whole lifetime: the client sends one
+     ([req] param), the daemon stamps it into the ambient context so
+     every span and log record of this request carries it *)
+  let req =
+    match str_opt "req" rq.rq_params with
+    | Some r -> r
+    | None -> Printf.sprintf "rq-%d" rq.rq_id
+  in
+  let body () =
+    (* the per-request chaos seam: a kill or stall here degrades exactly
+       one request — the server catches the exception and answers with
+       an error response while siblings proceed untouched *)
+    if Engine.Chaos.active () then
+      Engine.Chaos.point ("serve.request:" ^ rq.rq_op);
+    (handler rq.rq_op) ctx budget rq.rq_params
+  in
+  let traced () =
+    if Obs.Span.enabled () then
+      Obs.Span.with_ "serve.request"
+        ~attrs:[ ("op", J.String rq.rq_op); ("rq_id", J.Int rq.rq_id) ]
+        body
+    else body ()
+  in
+  let run () = with_streaming ~emit ~req rq traced in
+  match Obs.Context.with_request_id req run with
   | result ->
     Obs.Metrics.observe h_latency (Engine.Clock.now () -. t0);
     result

@@ -17,7 +17,11 @@
     ["fault_budget"], ["frames"], ["piers"], ["engine"], ["seed"]),
     ["grade"] (["vectors"] as vector-file text, ["mut"], ["piers"]),
     ["ec"] (["a"], ["b"], ["conflict_limit"]).  Every op also accepts
-    ["budget_s"], a wall-clock bound for the whole request.
+    ["budget_s"], a wall-clock bound for the whole request, plus two
+    protocol-level parameters: ["req"], a client-chosen correlation id
+    stamped into every span and log record the request emits (default
+    ["rq-<id>"]), and ["stream"], which opts the request into event
+    frames (see {!Proto.event}).
 
     {!handle} raises on failure — {!Factor.Errors.Error},
     {!Engine.Budget.Exhausted}, {!Proto.Proto_error},
@@ -36,5 +40,10 @@ val make_ctx :
 val cache : ctx -> Cache.t
 
 (** Dispatch one request to its handler and return the [result] object
-    of the response. *)
-val handle : ctx -> Proto.request -> Obs.Json.t
+    of the response.  [emit] opts the request into streaming (the
+    server passes it only when the request asked for [stream: true]):
+    each call hands one fully framed event (progress / log) to be
+    queued ahead of the final response; {!Obs.Progress} updates and the
+    request's own {!Obs.Log} events are converted automatically while
+    the handler runs. *)
+val handle : ?emit:(string -> unit) -> ctx -> Proto.request -> Obs.Json.t

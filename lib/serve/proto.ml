@@ -51,6 +51,97 @@ let ok_frame ~id ?metrics result =
   in
   frame (Obs.Json.to_string (Obs.Json.Obj fields))
 
+(* ------------------------------------------------------------------ *)
+(* Event frames.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type event =
+  | Ev_progress of {
+      ep_phase : string;
+      ep_reporter : int;
+      ep_done : int;
+      ep_total : int;
+      ep_rate : float;
+      ep_eta_s : float;
+      ep_final : bool;
+    }
+  | Ev_log of {
+      el_level : string;
+      el_msg : string;
+      el_attrs : Obs.Json.t;
+    }
+  | Ev_heartbeat
+
+let event_frame ~id ?req ev =
+  let req_field =
+    match req with
+    | Some r -> [ ("req", Obs.Json.String r) ]
+    | None -> []
+  in
+  let fields =
+    match ev with
+    | Ev_progress p ->
+      [ ("id", Obs.Json.Int id); ("event", Obs.Json.String "progress") ]
+      @ req_field
+      @ [ ("phase", Obs.Json.String p.ep_phase);
+          ("reporter", Obs.Json.Int p.ep_reporter);
+          ("done", Obs.Json.Int p.ep_done);
+          ("total", Obs.Json.Int p.ep_total);
+          ("rate", Obs.Json.Float p.ep_rate);
+          ("eta_s", Obs.Json.Float p.ep_eta_s);
+          ("final", Obs.Json.Bool p.ep_final) ]
+    | Ev_log l ->
+      [ ("id", Obs.Json.Int id); ("event", Obs.Json.String "log") ]
+      @ req_field
+      @ [ ("level", Obs.Json.String l.el_level);
+          ("msg", Obs.Json.String l.el_msg);
+          ("attrs", l.el_attrs) ]
+    | Ev_heartbeat ->
+      [ ("id", Obs.Json.Int id); ("event", Obs.Json.String "heartbeat") ]
+      @ req_field
+  in
+  frame (Obs.Json.to_string (Obs.Json.Obj fields))
+
+let is_event j =
+  match Obs.Json.member "event" j with Some _ -> true | None -> false
+
+let event_of_json j =
+  let str name =
+    Option.value ~default:""
+      (Option.bind (Obs.Json.member name j) Obs.Json.to_string_opt)
+  in
+  let int name =
+    Option.value ~default:0
+      (Option.bind (Obs.Json.member name j) Obs.Json.to_int_opt)
+  in
+  let flt name =
+    Option.value ~default:0.0
+      (Option.bind (Obs.Json.member name j) Obs.Json.to_float_opt)
+  in
+  match Option.bind (Obs.Json.member "event" j) Obs.Json.to_string_opt with
+  | Some "progress" ->
+    Some
+      (Ev_progress
+         { ep_phase = str "phase";
+           ep_reporter = int "reporter";
+           ep_done = int "done";
+           ep_total = int "total";
+           ep_rate = flt "rate";
+           ep_eta_s = flt "eta_s";
+           ep_final =
+             Option.value ~default:false
+               (Option.bind (Obs.Json.member "final" j) Obs.Json.to_bool_opt) })
+  | Some "log" ->
+    Some
+      (Ev_log
+         { el_level = str "level";
+           el_msg = str "msg";
+           el_attrs =
+             Option.value ~default:Obs.Json.Null (Obs.Json.member "attrs" j) })
+  | Some "heartbeat" -> Some Ev_heartbeat
+  | Some other -> fail "unknown event kind %S" other
+  | None -> None
+
 let error_frame ~id ~stage ~msg =
   frame
     (Obs.Json.to_string

@@ -10,6 +10,7 @@ type config = {
   sc_store : string option;
   sc_max_resident : int option;
   sc_default_budget : float option;
+  sc_heartbeat_s : float;
 }
 
 let m_conns = Obs.Metrics.counter "factor.serve.connections"
@@ -25,6 +26,8 @@ type conn = {
   cn_out : Buffer.t;          (* bytes not yet written *)
   mutable cn_out_pos : int;
   mutable cn_inflight : int;  (* requests on the pool for this conn *)
+  mutable cn_streams : int list;  (* request ids streaming event frames *)
+  mutable cn_last_beat : float;
 }
 
 type state = {
@@ -32,8 +35,11 @@ type state = {
   st_ctx : Ops.ctx;
   st_listen : Unix.file_descr;
   st_stop : bool Atomic.t;
-  (* completion queue: (connection id, framed response) *)
-  st_done : (int * string) Queue.t;
+  (* completion queue: (connection id, request id, framed bytes, final).
+     Interim event frames ride the same queue as final responses so a
+     streaming request's frames stay ordered; only a final entry
+     retires the in-flight slot and the stream registration. *)
+  st_done : (int * int * string * bool) Queue.t;
   st_done_lock : Mutex.t;
   st_wake_r : Unix.file_descr;
   st_wake_w : Unix.file_descr;
@@ -56,7 +62,7 @@ let addr t = t.sv_state.st_cfg.sc_addr
 (* One request, start to framed response: per-request metrics snapshot,
    budget, chaos seam (inside Ops.handle), and total fault isolation —
    every exception is folded into an error frame for this id only. *)
-let answer ctx payload =
+let answer ?emit ctx payload =
   let rq =
     try Some (Proto.request_of_json (Obs.Json.of_string payload)) with
     | Obs.Json.Parse_error msg | Proto.Proto_error msg ->
@@ -69,7 +75,7 @@ let answer ctx payload =
     Some (Proto.error_frame ~id:0 ~stage:"parse" ~msg:"unparseable request")
   | Some rq ->
     let before = Obs.Metrics.snapshot () in
-    (match Ops.handle ctx rq with
+    (match Ops.handle ?emit ctx rq with
      | result ->
        let metrics = Obs.Metrics.diff before (Obs.Metrics.snapshot ()) in
        Some (Proto.ok_frame ~id:rq.Proto.rq_id ~metrics result)
@@ -100,9 +106,16 @@ let wake st =
       ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _) ->
     ()
 
-let push_done st conn_id frame =
+let push_done st conn_id rq_id frame =
   Mutex.protect st.st_done_lock (fun () ->
-      Queue.add (conn_id, frame) st.st_done);
+      Queue.add (conn_id, rq_id, frame, true) st.st_done);
+  wake st
+
+(* Interim event frame: queued like a response but does not retire the
+   in-flight slot, so graceful drain still waits for the real answer. *)
+let push_event st conn_id rq_id frame =
+  Mutex.protect st.st_done_lock (fun () ->
+      Queue.add (conn_id, rq_id, frame, false) st.st_done);
   wake st
 
 let enqueue_out conn frame = Buffer.add_string conn.cn_out frame
@@ -115,11 +128,15 @@ let drain_done st =
         l)
   in
   List.iter
-    (fun (conn_id, frame) ->
+    (fun (conn_id, rq_id, frame, final) ->
       match Hashtbl.find_opt st.st_conns conn_id with
       | Some conn ->
-        conn.cn_inflight <- conn.cn_inflight - 1;
-        enqueue_out conn frame
+        if final then begin
+          conn.cn_inflight <- conn.cn_inflight - 1;
+          conn.cn_streams <-
+            List.filter (fun r -> r <> rq_id) conn.cn_streams
+        end;
+        if frame <> "" then enqueue_out conn frame
       | None -> () (* client hung up before its answer was ready *))
     pending
 
@@ -150,16 +167,20 @@ let has_output conn = Buffer.length conn.cn_out > conn.cn_out_pos
    when workers exist, inline otherwise (a 1-slot pool only runs tasks
    inside [await], which the loop never calls). *)
 let dispatch st conn payload =
-  let is_shutdown =
+  let parsed =
     match Obs.Json.of_string payload with
-    | j ->
-      (match Option.bind (Obs.Json.member "op" j) Obs.Json.to_string_opt with
-       | Some "shutdown" ->
-         Some
-           (Option.value ~default:0
-              (Option.bind (Obs.Json.member "id" j) Obs.Json.to_int_opt))
-       | _ -> None)
+    | j -> Some j
     | exception Obs.Json.Parse_error _ -> None
+  in
+  let member name j = Obs.Json.member name j in
+  let is_shutdown =
+    match Option.bind parsed (member "op") with
+    | Some (Obs.Json.String "shutdown") ->
+      Some
+        (Option.value ~default:0
+           (Option.bind (Option.bind parsed (member "id"))
+              Obs.Json.to_int_opt))
+    | _ -> None
   in
   match is_shutdown with
   | Some id ->
@@ -167,21 +188,39 @@ let dispatch st conn payload =
       (Proto.ok_frame ~id (Obs.Json.Obj [ ("stopping", Obs.Json.Bool true) ]));
     Atomic.set st.st_stop true
   | None ->
+    let rq_id =
+      Option.value ~default:0
+        (Option.bind (Option.bind parsed (member "id")) Obs.Json.to_int_opt)
+    in
+    let stream =
+      Option.value ~default:false
+        (Option.bind
+           (Option.bind (Option.bind parsed (member "params"))
+              (member "stream"))
+           Obs.Json.to_bool_opt)
+    in
+    if stream then begin
+      conn.cn_streams <- rq_id :: conn.cn_streams;
+      conn.cn_last_beat <- Unix.gettimeofday ()
+    end;
+    conn.cn_inflight <- conn.cn_inflight + 1;
+    let conn_id = conn.cn_id in
+    let emit =
+      if stream then Some (fun frame -> push_event st conn_id rq_id frame)
+      else None
+    in
+    let work () =
+      match answer ?emit st.st_ctx payload with
+      | Some frame -> push_done st conn_id rq_id frame
+      | None -> push_done st conn_id rq_id ""
+    in
     let pool = Engine.Pool.global () in
     if Engine.Pool.size pool <= 1 then
-      match answer st.st_ctx payload with
-      | Some frame -> enqueue_out conn frame
-      | None -> ()
-    else begin
-      conn.cn_inflight <- conn.cn_inflight + 1;
-      let conn_id = conn.cn_id in
-      ignore
-        (Engine.Pool.submit pool (fun () ->
-             match answer st.st_ctx payload with
-             | Some frame -> push_done st conn_id frame
-             | None -> push_done st conn_id "")
-          : unit Engine.Pool.future)
-    end
+      (* inline on the loop domain: event frames queue up during the
+         run and flush with the final response — streaming needs pool
+         workers ([-j 2] or more) to interleave mid-request *)
+      work ()
+    else ignore (Engine.Pool.submit pool work : unit Engine.Pool.future)
 
 let handle_readable st conn =
   let buf = Bytes.create 65536 in
@@ -218,7 +257,9 @@ let accept_conn st =
         cn_reader = Proto.create_reader ();
         cn_out = Buffer.create 256;
         cn_out_pos = 0;
-        cn_inflight = 0 }
+        cn_inflight = 0;
+        cn_streams = [];
+        cn_last_beat = 0.0 }
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -234,9 +275,29 @@ let loop st =
     | _ -> ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   in
+  (* While a streaming request is in flight, the loop beats on its
+     connection so the client can tell a slow request from a wedged
+     daemon.  Cadence is max(sc_heartbeat_s, the select timeout). *)
+  let heartbeat () =
+    let hb = st.st_cfg.sc_heartbeat_s in
+    if hb > 0.0 then begin
+      let now = Unix.gettimeofday () in
+      Hashtbl.iter
+        (fun _ c ->
+          if c.cn_streams <> [] && now -. c.cn_last_beat >= hb then begin
+            List.iter
+              (fun rq_id ->
+                enqueue_out c (Proto.event_frame ~id:rq_id Proto.Ev_heartbeat))
+              c.cn_streams;
+            c.cn_last_beat <- now
+          end)
+        st.st_conns
+    end
+  in
   (* main phase: accept, read, execute, write *)
   while not (Atomic.get st.st_stop) do
     drain_done st;
+    heartbeat ();
     let cs = conns st in
     let reads = st.st_listen :: st.st_wake_r :: List.map (fun c -> c.cn_fd) cs in
     let writes =

@@ -14,6 +14,16 @@
     and chaos seam; an exception (crash, budget expiry, injected fault)
     is converted into an error response for that request only.
 
+    Streaming: a request with [params.stream = true] receives interim
+    event frames (progress, relayed log records, loop-driven
+    heartbeats — see {!Proto.event}) on its connection ahead of the
+    final response, whose bytes stay identical to a non-streaming run.
+    Interim frames ride the same completion queue as responses, so
+    ordering holds and only the final frame retires the in-flight
+    slot.  With a single pool slot requests run inline on the loop
+    domain, so event frames coalesce and flush just before the final
+    response — live interleaving needs [-j 2] or more.
+
     Shutdown is graceful on SIGTERM/SIGINT (under {!run}), on {!stop},
     or on a ["shutdown"] request: the listener closes, pending responses
     flush, and a Unix-domain socket path is unlinked. *)
@@ -28,6 +38,10 @@ type config = {
   sc_max_resident : int option;      (** LRU bound on resident designs *)
   sc_default_budget : float option;  (** seconds per request without
                                          an explicit [budget_s] *)
+  sc_heartbeat_s : float;            (** heartbeat cadence for streaming
+                                         requests; [0.0] disables.  The
+                                         loop ticks every 0.25 s, so the
+                                         effective floor is 0.25 s *)
 }
 
 type t

@@ -19,11 +19,40 @@ let rec mkdir_p path =
       raise (Sys_error (path ^ ": " ^ Unix.error_message e))
   end
 
+(* The store only ever grows (nothing evicts from disk), so its size is
+   exactly the kind of number an operator wants on a dashboard: the
+   gauges track the most recently touched store — the daemon opens
+   exactly one. *)
+let g_bytes = Obs.Metrics.gauge "factor.serve.store_bytes"
+let g_entries = Obs.Metrics.gauge "factor.serve.store_entries"
+
+let stats t =
+  match Sys.readdir t.st_dir with
+  | exception Sys_error _ -> (0, 0)
+  | files ->
+    Array.fold_left
+      (fun (n, b) f ->
+        (* dot-prefixed names are in-flight temp files, not entries *)
+        if String.length f = 0 || f.[0] = '.' then (n, b)
+        else
+          match Unix.stat (Filename.concat t.st_dir f) with
+          | { Unix.st_kind = Unix.S_REG; st_size; _ } -> (n + 1, b + st_size)
+          | _ -> (n, b)
+          | exception Unix.Unix_error _ -> (n, b))
+      (0, 0) files
+
+let publish_stats t =
+  let (n, b) = stats t in
+  Obs.Metrics.set g_entries (float_of_int n);
+  Obs.Metrics.set g_bytes (float_of_int b)
+
 let open_ d =
   mkdir_p d;
   if not (Sys.is_directory d) then
     raise (Sys_error (d ^ ": not a directory"));
-  { st_dir = d }
+  let t = { st_dir = d } in
+  publish_stats t;
+  t
 
 let check_key key =
   if key = "" then invalid_arg "Store: empty key";
@@ -55,7 +84,8 @@ let put t ~key s =
       (try Sys.remove tmp with Sys_error _ -> ());
       raise e
   in
-  ignore (ok : bool)
+  ignore (ok : bool);
+  publish_stats t
 
 let get t ~key =
   let p = path t key in
@@ -82,6 +112,7 @@ let get_value t ~key =
     else (try Some (Marshal.from_string s hl) with _ -> None)
 
 let remove t ~key =
-  match Sys.remove (path t key) with
-  | () -> ()
-  | exception Sys_error _ -> ()
+  (match Sys.remove (path t key) with
+   | () -> ()
+   | exception Sys_error _ -> ());
+  publish_stats t

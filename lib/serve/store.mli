@@ -39,3 +39,10 @@ val get_value : t -> key:string -> 'a option
 
 (** Remove an entry if present. *)
 val remove : t -> key:string -> unit
+
+(** [(entries, bytes)] currently on disk — regular files only,
+    in-flight temp files excluded.  Also published as the
+    [factor.serve.store_entries] / [factor.serve.store_bytes] gauges on
+    {!open_} and after every write or removal, so the otherwise
+    grow-only store is visible on the [metrics] op. *)
+val stats : t -> int * int

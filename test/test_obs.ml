@@ -192,6 +192,7 @@ let span_exception_recorded () =
 
 let disabled_tracing_no_alloc () =
   Obs.Span.set_enabled false;
+  Obs.Progress.set_global_sink None;
   let acc = ref 0 in
   let f () = incr acc in
   (* the guarded pattern hot sites use for spans that carry attributes:
@@ -201,15 +202,22 @@ let disabled_tracing_no_alloc () =
       Obs.Span.with_ "noop" ~attrs:[ ("i", Obs.Json.Int i) ] f
     else f ()
   in
+  (* the per-fault generation loop pairs each span with a progress
+     reporter; disabled, the whole triple must stay allocation-free *)
+  let body i =
+    Obs.Span.with_ "noop" f;
+    guarded i;
+    let r = Obs.Progress.start ~total:1 "noop" in
+    Obs.Progress.step r;
+    Obs.Progress.finish r
+  in
   (* warm-up, then measure: a disabled span must be a direct call *)
   for i = 1 to 1_000 do
-    Obs.Span.with_ "noop" f;
-    guarded i
+    body i
   done;
   let before = Gc.allocated_bytes () in
   for i = 1 to 10_000 do
-    Obs.Span.with_ "noop" f;
-    guarded i
+    body i
   done;
   let after = Gc.allocated_bytes () in
   ignore (Sys.opaque_identity !acc);
@@ -237,6 +245,200 @@ let float_round_trip () =
       0.0012345678901234567;
       Float.pi;
       1e15 +. 0.5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Progress reporters.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let with_captured_progress f =
+  let updates = ref [] in
+  Obs.Progress.set_interval 0.0;
+  Obs.Progress.with_sink
+    (fun u -> updates := u :: !updates)
+    (fun () ->
+      Fun.protect
+        ~finally:(fun () -> Obs.Progress.set_interval 0.05)
+        f);
+  List.rev !updates
+
+let progress_updates_monotonic () =
+  let ups =
+    with_captured_progress (fun () ->
+        let r = Obs.Progress.start ~total:5 "test.phase" in
+        for _ = 1 to 5 do
+          Obs.Progress.step r
+        done;
+        Obs.Progress.finish r)
+  in
+  check_bool "every step plus the finish emitted" true
+    (List.length ups = 6);
+  let open Obs.Progress in
+  List.iter
+    (fun u ->
+      check_string "phase travels" "test.phase" u.up_phase;
+      check_int "total stable" 5 u.up_total)
+    ups;
+  let dones = List.map (fun u -> u.up_done) ups in
+  check_bool "done is non-decreasing" true
+    (List.sort compare dones = dones);
+  (match List.rev ups with
+   | last :: _ ->
+     check_bool "closing update is final at the full count" true
+       (last.up_final && last.up_done = 5);
+     check_bool "a finished phase has no remaining ETA" true
+       (last.up_eta_s = 0.0 || last.up_rate = 0.0)
+   | [] -> Alcotest.fail "no updates");
+  (* distinct reporters get distinct ids even on the same phase *)
+  let ups2 =
+    with_captured_progress (fun () ->
+        let a = Obs.Progress.start ~total:1 "test.phase" in
+        let b = Obs.Progress.start ~total:1 "test.phase" in
+        Obs.Progress.step a;
+        Obs.Progress.step b;
+        Obs.Progress.finish a;
+        Obs.Progress.finish b)
+  in
+  let ids =
+    List.sort_uniq compare (List.map (fun u -> u.up_reporter) ups2)
+  in
+  check_int "two reporters, two ids" 2 (List.length ids)
+
+let progress_unknown_total () =
+  let ups =
+    with_captured_progress (fun () ->
+        let r = Obs.Progress.start "test.unknown" in
+        Obs.Progress.step r ~n:3;
+        Obs.Progress.finish r)
+  in
+  let open Obs.Progress in
+  List.iter
+    (fun u ->
+      check_int "total stays 0 when unknown" 0 u.up_total;
+      check_bool "no ETA without a total" true (u.up_eta_s < 0.0))
+    ups
+
+let progress_sink_scoping () =
+  (* no sink: start returns the no-op reporter, nothing observes it *)
+  check_bool "disabled outside any sink" false (Obs.Progress.enabled ());
+  let leaked = ref 0 in
+  Obs.Progress.set_global_sink (Some (fun _ -> incr leaked));
+  Fun.protect
+    ~finally:(fun () -> Obs.Progress.set_global_sink None)
+    (fun () ->
+      check_bool "global sink enables reporting" true
+        (Obs.Progress.enabled ());
+      (* a domain-local sink shadows the global one *)
+      let local = ref 0 in
+      Obs.Progress.set_interval 0.0;
+      Obs.Progress.with_sink
+        (fun _ -> incr local)
+        (fun () ->
+          let r = Obs.Progress.start ~total:2 "test.scope" in
+          Obs.Progress.step r;
+          Obs.Progress.finish r);
+      Obs.Progress.set_interval 0.05;
+      check_bool "local sink saw the updates" true (!local >= 2);
+      check_int "global sink saw none while shadowed" 0 !leaked);
+  check_bool "disabled again after teardown" false (Obs.Progress.enabled ())
+
+let progress_rate_limit () =
+  let n = ref 0 in
+  Obs.Progress.with_sink
+    (fun _ -> incr n)
+    (fun () ->
+      Fun.protect
+        ~finally:(fun () -> Obs.Progress.set_interval 0.05)
+        (fun () ->
+          let r = Obs.Progress.start ~total:10_000 "test.burst" in
+          (* make the reporter visible: one step with the limiter open *)
+          Obs.Progress.set_interval 0.0;
+          Obs.Progress.step r;
+          check_int "first step emitted" 1 !n;
+          (* then slam the limiter shut: a 10k-step burst emits nothing *)
+          Obs.Progress.set_interval 10.0;
+          for _ = 1 to 10_000 do
+            Obs.Progress.step r
+          done;
+          check_int "burst fully suppressed" 1 !n;
+          (* a phase that was ever visible always closes out *)
+          Obs.Progress.finish r;
+          check_int "final update bypasses the limiter" 2 !n));
+  (* a reporter that never emitted may close silently — short-lived
+     per-fault phases must not flood the sink just by finishing *)
+  let m = ref 0 in
+  Obs.Progress.with_sink
+    (fun _ -> incr m)
+    (fun () ->
+      Fun.protect
+        ~finally:(fun () -> Obs.Progress.set_interval 0.05)
+        (fun () ->
+          Obs.Progress.set_interval 10.0;
+          let r = Obs.Progress.start ~total:1 "test.invisible" in
+          Obs.Progress.step r;
+          Obs.Progress.finish r));
+  check_int "an invisible phase closes silently" 0 !m
+
+(* ------------------------------------------------------------------ *)
+(* Request-id context.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let context_request_id () =
+  check_bool "no ambient id by default" true
+    (Obs.Context.request_id () = None);
+  let seen =
+    Obs.Context.with_request_id "rq-outer" (fun () ->
+        let inner =
+          Obs.Context.with_request_id "rq-inner" Obs.Context.request_id
+        in
+        (inner, Obs.Context.request_id ()))
+  in
+  check_bool "nesting shadows and restores" true
+    (seen = (Some "rq-inner", Some "rq-outer"));
+  check_bool "restored to none outside" true
+    (Obs.Context.request_id () = None);
+  (* raising inside restores too *)
+  (match
+     Obs.Context.with_request_id "rq-boom" (fun () -> failwith "expected")
+   with
+   | () -> Alcotest.fail "must re-raise"
+   | exception Failure _ -> ());
+  check_bool "restored after an exception" true
+    (Obs.Context.request_id () = None)
+
+let context_stamps_spans_and_logs () =
+  (* spans record a req attribute while a request id is ambient *)
+  Obs.Span.clear ();
+  Obs.Span.set_enabled true;
+  Obs.Context.with_request_id "rq-7" (fun () ->
+      Obs.Span.with_ "req.span" (fun () -> ()));
+  Obs.Span.with_ "bare.span" (fun () -> ());
+  Obs.Span.set_enabled false;
+  let ev = find_event "req.span" in
+  check_bool "span carries the ambient request id" true
+    (List.assoc_opt "req" ev.Obs.Span.ev_attrs
+     = Some (Obs.Json.String "rq-7"));
+  check_bool "spans outside a request carry none" true
+    (not (List.mem_assoc "req" (find_event "bare.span").Obs.Span.ev_attrs));
+  Obs.Span.clear ();
+  (* log forwarders fire regardless of the level gate and see the
+     ambient id, so the daemon can relay one request's events *)
+  let got = ref [] in
+  let fwd =
+    Obs.Log.add_forwarder (fun _level msg _attrs ->
+        got := (msg, Obs.Context.request_id ()) :: !got)
+  in
+  Fun.protect
+    ~finally:(fun () -> Obs.Log.remove_forwarder fwd)
+    (fun () ->
+      check_bool "level gate still closed" true
+        (not (Obs.Log.enabled Obs.Log.Info));
+      Obs.Context.with_request_id "rq-8" (fun () ->
+          Obs.Log.event Obs.Log.Info "fwd.event" []));
+  check_bool "forwarder saw the event with its request id" true
+    (!got = [ ("fwd.event", Some "rq-8") ]);
+  (* removed: later events no longer reach it *)
+  Obs.Log.event Obs.Log.Info "fwd.after" [];
+  check_int "no delivery after removal" 1 (List.length !got)
 
 (* ------------------------------------------------------------------ *)
 (* Metrics.                                                            *)
@@ -484,6 +686,21 @@ let () =
           test "exception path records the span" span_exception_recorded;
           test "disabled tracing allocates nothing" disabled_tracing_no_alloc;
           test "floats print round-trippably" float_round_trip;
+        ] );
+      ( "progress",
+        [
+          test "updates monotonic, reporters distinct"
+            progress_updates_monotonic;
+          test "unknown total means no ETA" progress_unknown_total;
+          test "sink scoping: local shadows global" progress_sink_scoping;
+          test "rate limit bounds bursts, keeps the final"
+            progress_rate_limit;
+        ] );
+      ( "context",
+        [
+          test "request id nests and restores" context_request_id;
+          test "spans and log forwarders carry the id"
+            context_stamps_spans_and_logs;
         ] );
       ( "metrics",
         [

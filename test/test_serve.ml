@@ -124,6 +124,52 @@ let proto_framing () =
      | exception Serve.Proto.Proto_error _ -> true
      | _ -> false)
 
+let proto_event_frames () =
+  (* encode each event kind, strip the framing, decode, compare *)
+  let unframe s =
+    match String.index_opt s '\n' with
+    | Some i -> String.sub s (i + 1) (String.length s - i - 2)
+    | None -> Alcotest.fail "missing length prefix"
+  in
+  let roundtrip ev =
+    let j = J.of_string (unframe (Serve.Proto.event_frame ~id:9 ~req:"r-1" ev)) in
+    check_bool "event frames are events" true (Serve.Proto.is_event j);
+    check_bool "id travels" true (J.member "id" j = Some (J.Int 9));
+    (Serve.Proto.event_of_json j, j)
+  in
+  let p =
+    Serve.Proto.Ev_progress
+      { ep_phase = "atpg.random"; ep_reporter = 3; ep_done = 7;
+        ep_total = 32; ep_rate = 14.0; ep_eta_s = 1.5; ep_final = false }
+  in
+  (match roundtrip p with
+   | (Some p', j) ->
+     check_bool "progress roundtrips" true (p' = p);
+     check_bool "req travels" true (J.member "req" j = Some (J.String "r-1"))
+   | (None, _) -> Alcotest.fail "progress decoded as a final response");
+  (match
+     roundtrip
+       (Serve.Proto.Ev_log
+          { el_level = "info"; el_msg = "hello";
+            el_attrs = J.Obj [ ("k", J.Int 1) ] })
+   with
+   | (Some (Serve.Proto.Ev_log l), _) ->
+     check_string "log msg" "hello" l.el_msg
+   | _ -> Alcotest.fail "log event lost");
+  (match roundtrip Serve.Proto.Ev_heartbeat with
+   | (Some Serve.Proto.Ev_heartbeat, _) -> ()
+   | _ -> Alcotest.fail "heartbeat lost");
+  (* a final response is not an event and decodes to None *)
+  let final = J.of_string {|{"id": 9, "ok": true, "result": {}}|} in
+  check_bool "final response is not an event" false (Serve.Proto.is_event final);
+  check_bool "final response decodes to None" true
+    (Serve.Proto.event_of_json final = None);
+  (* an unknown event kind is a protocol error, not a silent skip *)
+  check_bool "unknown event kind raises" true
+    (match Serve.Proto.event_of_json (J.of_string {|{"id":1,"event":"??"}|}) with
+     | exception Serve.Proto.Proto_error _ -> true
+     | _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Store.                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -137,6 +183,8 @@ let tmpdir prefix =
 let store_roundtrip () =
   let dir = tmpdir "factor-store" in
   let s = Serve.Store.open_ dir in
+  let (e0, b0) = Serve.Store.stats s in
+  check_bool "fresh store is empty" true (e0 = 0 && b0 = 0);
   Serve.Store.put s ~key:"k1" "hello";
   check_bool "raw roundtrip" true (Serve.Store.get s ~key:"k1" = Some "hello");
   check_bool "missing key is None" true (Serve.Store.get s ~key:"nope" = None);
@@ -149,8 +197,19 @@ let store_roundtrip () =
     (match Serve.Store.get_value s ~key:"v2" with
      | None -> true
      | Some (_ : int) -> false);
+  (* occupancy gauges track every write and removal *)
+  let (entries, bytes) = Serve.Store.stats s in
+  check_int "three entries after three puts" 3 entries;
+  check_bool "byte total counts the payloads" true (bytes > 0);
+  check_bool "store_entries gauge published" true
+    (Obs.Metrics.get (Obs.Metrics.gauge "factor.serve.store_entries")
+     = float_of_int entries);
+  check_bool "store_bytes gauge published" true
+    (Obs.Metrics.get (Obs.Metrics.gauge "factor.serve.store_bytes")
+     = float_of_int bytes);
   Serve.Store.remove s ~key:"k1";
   check_bool "removed key is None" true (Serve.Store.get s ~key:"k1" = None);
+  check_int "removal retires its entry" 2 (fst (Serve.Store.stats s));
   check_bool "unsafe key rejected" true
     (match Serve.Store.put s ~key:"../evil" "x" with
      | exception Invalid_argument _ -> true
@@ -355,7 +414,7 @@ let cache_budget_expiry () =
 (* End to end: a live daemon over a Unix socket.                       *)
 (* ------------------------------------------------------------------ *)
 
-let with_server ?store f =
+let with_server ?store ?(heartbeat = 1.0) f =
   let dir = tmpdir "factor-e2e" in
   let sock = Filename.concat dir "factor.sock" in
   let t =
@@ -363,7 +422,8 @@ let with_server ?store f =
       { Serve.Server.sc_addr = Serve.Server.Unix_path sock;
         sc_store = store;
         sc_max_resident = None;
-        sc_default_budget = None }
+        sc_default_budget = None;
+        sc_heartbeat_s = heartbeat }
   in
   Fun.protect
     ~finally:(fun () -> Serve.Server.stop t)
@@ -515,7 +575,7 @@ let e2e_shutdown_request () =
     Serve.Server.start
       { Serve.Server.sc_addr = Serve.Server.Unix_path sock;
         sc_store = None; sc_max_resident = None;
-        sc_default_budget = None }
+        sc_default_budget = None; sc_heartbeat_s = 1.0 }
   in
   let cl = Serve.Client.connect_retry (Serve.Server.Unix_path sock) in
   let r = Serve.Client.rpc cl ~op:"shutdown" ~params:[] in
@@ -556,6 +616,180 @@ let e2e_chaos_isolation () =
         ((jstr "counts" before, jstr "quality" before, jstr "vectors" before)
          = (jstr "counts" after, jstr "quality" after, jstr "vectors" after)))
 
+(* ------------------------------------------------------------------ *)
+(* Streaming: progress frames, failure mid-stream, idle timeout.       *)
+(* ------------------------------------------------------------------ *)
+
+(* done non-decreasing and total stable within each (phase, reporter)
+   group, in arrival order *)
+let check_monotonic progress =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (phase, reporter, done_, total) ->
+      (match Hashtbl.find_opt tbl (phase, reporter) with
+       | Some (d, t) ->
+         if done_ < d then
+           Alcotest.failf "%s: done went backwards (%d after %d)" phase
+             done_ d;
+         if total <> t then
+           Alcotest.failf "%s: total moved (%d after %d)" phase total t
+       | None -> ());
+      Hashtbl.replace tbl (phase, reporter) (done_, total))
+    progress
+
+let progress_of_events events =
+  List.filter_map
+    (fun j ->
+      match Serve.Proto.event_of_json j with
+      | Some (Serve.Proto.Ev_progress p) ->
+        Some (p.ep_phase, p.ep_reporter, p.ep_done, p.ep_total)
+      | _ -> None)
+    events
+
+(* Streaming is strictly additive: the same request with [stream: true]
+   delivers ordered monotonic progress frames, every one stamped with
+   the client's request id, and then a final response byte-identical to
+   the non-streaming run. *)
+let e2e_streaming () =
+  Engine.Pool.set_jobs 2;
+  Obs.Progress.set_interval 0.0;
+  Fun.protect ~finally:(fun () -> Obs.Progress.set_interval 0.05)
+  @@ fun () ->
+  with_server (fun cl ->
+      let params = [ ("design", J.String "@arbiter") ] in
+      let plain = Serve.Client.rpc cl ~op:"atpg" ~params in
+      let events = ref [] in
+      let on_event j = events := j :: !events in
+      let streamed =
+        Serve.Client.rpc ~on_event ~stream:true ~req:"watch-1" cl ~op:"atpg"
+          ~params
+      in
+      check_bool "streamed final response is byte-identical" true
+        ((jstr "counts" streamed, jstr "quality" streamed,
+          jstr "vectors" streamed)
+         = (jstr "counts" plain, jstr "quality" plain, jstr "vectors" plain));
+      let events = List.rev !events in
+      let progress = progress_of_events events in
+      check_bool "at least three progress frames" true
+        (List.length progress >= 3);
+      check_monotonic progress;
+      (* every progress/log frame carries the caller's request id *)
+      List.iter
+        (fun j ->
+          match jstr "event" j with
+          | "progress" | "log" ->
+            check_string "request id stamped on event frames" "watch-1"
+              (jstr "req" j)
+          | _ -> ())
+        events;
+      (* the non-streaming sibling saw no frames at all (on_event was
+         only wired for the streamed request, but also: the daemon must
+         not leak one request's frames into another's stream) *)
+      let events2 = ref [] in
+      let r2 =
+        Serve.Client.rpc ~on_event:(fun j -> events2 := j :: !events2) cl
+          ~op:"atpg" ~params
+      in
+      check_bool "warm repeat without stream gets no events" true
+        (!events2 = []);
+      check_string "and stays byte-identical" (jstr "counts" plain)
+        (jstr "counts" r2))
+
+(* A request chaos-killed mid-stream still answers: the frames already
+   emitted arrive, then a well-formed final error frame — never a
+   dangling stream. *)
+let e2e_stream_chaos_kill () =
+  Engine.Pool.set_jobs 2;
+  with_server (fun cl ->
+      let params = [ ("design", J.String "@arbiter") ] in
+      Engine.Chaos.set ~seed:42 ~rate:1.0 ~mode:Engine.Chaos.Fail_only
+        ~prefix:"serve.request:atpg" ();
+      Fun.protect ~finally:Engine.Chaos.clear (fun () ->
+          let events = ref [] in
+          let failed =
+            match
+              Serve.Client.rpc ~on_event:(fun j -> events := j :: !events)
+                ~stream:true cl ~op:"atpg" ~params
+            with
+            | exception Serve.Client.Server_error _ -> true
+            | _ -> false
+          in
+          check_bool "chaos kill still yields a final error frame" true
+            failed;
+          check_bool "the stream delivered frames before dying" true
+            (List.length (progress_of_events (List.rev !events)) >= 1));
+      (* the stream is retired: the connection answers normally next *)
+      let r = Serve.Client.rpc cl ~op:"atpg" ~params in
+      check_bool "connection usable after a killed stream" true
+        (jstr "counts" r <> ""))
+
+(* Watching a request that dies at birth (expired budget) terminates
+   with its error instead of hanging the watcher. *)
+let e2e_stream_cancelled () =
+  Engine.Pool.set_jobs 2;
+  with_server (fun cl ->
+      let events = ref [] in
+      check_bool "cancelled streaming request answers its error" true
+        (match
+           Serve.Client.rpc ~on_event:(fun j -> events := j :: !events)
+             ~stream:true ~timeout:10.0 cl ~op:"atpg"
+             ~params:
+               [ ("design", J.String "@arbiter");
+                 ("budget_s", J.Float 0.0) ]
+         with
+         | exception Serve.Client.Server_error ("parse", _) -> true
+         | _ -> false);
+      (* the lifecycle marker preceded the failure *)
+      check_bool "marker frame arrived before the error" true
+        (List.exists
+           (fun (phase, _, _, _) -> phase = "serve.atpg")
+           (progress_of_events (List.rev !events))))
+
+(* A wedged daemon — socket accepted, nothing ever answered — trips the
+   idle timeout instead of blocking forever. *)
+let e2e_client_timeout () =
+  let dir = tmpdir "factor-wedged" in
+  let sock = Filename.concat dir "factor.sock" in
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX sock);
+  Unix.listen fd 4;
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let cl = Serve.Client.connect (Serve.Server.Unix_path sock) in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close cl)
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          match Serve.Client.rpc ~timeout:0.3 cl ~op:"ping" ~params:[] with
+          | _ -> Alcotest.fail "a wedged daemon answered?"
+          | exception Serve.Client.Timeout s ->
+            check_bool "timeout reports the configured window" true
+              (s = 0.3);
+            check_bool "timeout fired promptly" true
+              (Unix.gettimeofday () -. t0 < 5.0)))
+
+(* While a streaming request runs, the server loop beats on the
+   connection: heartbeats reset the idle clock, so a slow request under
+   a tight timeout survives where a wedged daemon would not. *)
+let e2e_heartbeat () =
+  Engine.Pool.set_jobs 2;
+  with_server ~heartbeat:0.05 (fun cl ->
+      let beats = ref 0 in
+      let on_event j =
+        if jstr "event" j = "heartbeat" then incr beats
+      in
+      (* full-ARM with a sub-second budget: long enough for the loop to
+         beat, bounded so the test stays quick *)
+      let r =
+        Serve.Client.rpc ~on_event ~stream:true ~timeout:60.0 cl ~op:"atpg"
+          ~params:
+            [ ("design", J.String "@arm"); ("budget", J.Float 1.0) ]
+      in
+      check_bool "the slow request finished under its timeout" true
+        (jstr "counts" r <> "");
+      check_bool "the loop heartbeat while it ran" true (!beats >= 1))
+
 let () =
   Alcotest.run "serve"
     [
@@ -563,6 +797,8 @@ let () =
         [
           test "json roundtrip and parse errors" json_roundtrip;
           test "framing, incremental reader" proto_framing;
+          test "event frames: encode/decode, final-response discrimination"
+            proto_event_frames;
         ] );
       ( "metrics",
         [
@@ -586,5 +822,14 @@ let () =
           test "store-backed warm restart" e2e_warm_restart;
           test "shutdown request" e2e_shutdown_request;
           test "chaos kills one op, siblings untouched" e2e_chaos_isolation;
+        ] );
+      ( "streaming",
+        [
+          test "progress frames: monotonic, correlated, byte-identical final"
+            e2e_streaming;
+          test "chaos kill mid-stream still answers" e2e_stream_chaos_kill;
+          test "cancelled request terminates the watcher" e2e_stream_cancelled;
+          test "idle timeout distinguishes wedged from slow" e2e_client_timeout;
+          test "heartbeats keep a slow stream alive" e2e_heartbeat;
         ] );
     ]
